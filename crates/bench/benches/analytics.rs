@@ -1,0 +1,87 @@
+//! Criterion benchmarks on the analytical layer: model fitting, accuracy
+//! prediction, budget inversion and Pareto extraction — the operations a
+//! deployed planner runs online.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgereasoning_core::fit::{fit_const_log, fit_exp_log, polyfit};
+use edgereasoning_core::latency::{
+    DecodeLatencyModel, LatencySample, PrefillLatencyModel, TotalLatencyModel,
+};
+use edgereasoning_core::planner::{pareto_frontier, ConfigPoint};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_models::predict::expected_accuracy;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+use std::hint::black_box;
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fitting");
+    let xs: Vec<f64> = (1..=64).map(|k| k as f64 * 64.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 6.6e-7 * x * x + 2.9e-4 * x + 0.104).collect();
+    g.bench_function("polyfit_quadratic_64pts", |b| {
+        b.iter(|| polyfit(black_box(&xs), black_box(&ys), 2))
+    });
+    let pw: Vec<f64> = xs.iter().map(|&x| if x < 800.0 { 6.0 } else { 1.2 * x.ln() }).collect();
+    g.bench_function("piecewise_const_log", |b| {
+        b.iter(|| fit_const_log(black_box(&xs), black_box(&pw)))
+    });
+    let pe: Vec<f64> = xs
+        .iter()
+        .map(|&x| if x < 640.0 { 0.16 * (-0.03 * x).exp() + 0.005 } else { 0.012 * x.ln() - 0.07 })
+        .collect();
+    g.bench_function("piecewise_exp_log", |b| {
+        b.iter(|| fit_exp_log(black_box(&xs), black_box(&pe)))
+    });
+    let samples: Vec<LatencySample> = (1..=100)
+        .map(|k| LatencySample {
+            input_tokens: 64 * (k % 10 + 1),
+            output_tokens: 32 * k,
+            latency_s: 0.092 * (32 * k) as f64,
+        })
+        .collect();
+    g.bench_function("decode_model_fit_100pts", |b| {
+        b.iter(|| DecodeLatencyModel::fit(black_box(&samples)))
+    });
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planning");
+    let model = TotalLatencyModel {
+        prefill: PrefillLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+        decode: DecodeLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+    };
+    g.bench_function("budget_inversion", |b| {
+        b.iter(|| model.max_output_tokens(black_box(512), black_box(30.0)))
+    });
+    g.bench_function("expected_accuracy_analytic", |b| {
+        b.iter(|| {
+            expected_accuracy(
+                ModelId::Dsr1Qwen14b,
+                Precision::Fp16,
+                Benchmark::MmluRedux,
+                PromptConfig::Hard(256),
+            )
+        })
+    });
+    let points: Vec<ConfigPoint> = (0..1000)
+        .map(|i| ConfigPoint {
+            model: ModelId::Dsr1Qwen1_5b,
+            precision: Precision::Fp16,
+            config: PromptConfig::Base,
+            parallel: 1,
+            accuracy_pct: (i * 37 % 100) as f64,
+            latency_s: (i * 17 % 300) as f64 + 1.0,
+            cost_per_mtok: 0.01,
+            avg_tokens: 100.0,
+        })
+        .collect();
+    g.bench_function("pareto_1000pts", |b| {
+        b.iter(|| pareto_frontier(black_box(&points), |p| p.latency_s, |p| p.accuracy_pct))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fitting, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benchmarks on the simulator hot paths: kernel lowering,
+//! roofline execution, full generations, and dataset-scale evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
+use edgereasoning_engine::request::GenerationRequest;
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
+use edgereasoning_models::evaluate::{evaluate, EvalOptions};
+use edgereasoning_soc::gpu::{ExecCalib, Gpu};
+use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+use std::hint::black_box;
+
+fn bench_kernel_lowering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_lowering");
+    for model in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b] {
+        let arch = model.arch();
+        g.bench_with_input(BenchmarkId::new("decode_step", model), &arch, |b, arch| {
+            b.iter(|| decode_step_kernels(black_box(arch), Precision::Fp16, 1, 512))
+        });
+        g.bench_with_input(BenchmarkId::new("prefill_1k", model), &arch, |b, arch| {
+            b.iter(|| prefill_kernels(black_box(arch), Precision::Fp16, 1, 1024))
+        });
+    }
+    g.finish();
+}
+
+fn bench_roofline_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roofline");
+    let arch = ModelId::Dsr1Llama8b.arch();
+    let kernels = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
+    g.bench_function("decode_step_8b", |b| {
+        let mut gpu = Gpu::new(OrinSpec::agx_orin_64gb().gpu, PowerMode::MaxN, 1);
+        b.iter(|| gpu.run_phase(black_box(&kernels).iter(), &ExecCalib::default()))
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(20);
+    for (label, tokens) in [("short_128", 128usize), ("long_1024", 1024)] {
+        g.bench_function(label, |b| {
+            let mut engine = InferenceEngine::new(EngineConfig::vllm(), 3);
+            let req = GenerationRequest::new(512, tokens);
+            b.iter(|| engine.run(ModelId::Dsr1Llama8b, Precision::Fp16, black_box(&req)))
+        });
+    }
+    g.bench_function("parallel_sf32", |b| {
+        let mut engine = InferenceEngine::new(EngineConfig::vllm(), 3);
+        let req = GenerationRequest::new(512, 128).with_batch(32);
+        b.iter(|| engine.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, black_box(&req)))
+    });
+    g.finish();
+}
+
+fn bench_dataset_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_eval");
+    g.sample_size(10);
+    g.bench_function("mmlu_redux_3k_base", |b| {
+        b.iter(|| {
+            evaluate(
+                ModelId::Dsr1Llama8b,
+                Precision::Fp16,
+                Benchmark::MmluRedux,
+                PromptConfig::Base,
+                EvalOptions::default(),
+            )
+        })
+    });
+    g.bench_function("mmlu_redux_500_voted_8x", |b| {
+        b.iter(|| {
+            evaluate(
+                ModelId::Dsr1Qwen14b,
+                Precision::Fp16,
+                Benchmark::MmluRedux,
+                PromptConfig::Hard(128),
+                EvalOptions::default().with_parallel(8).with_subset(500),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_lowering,
+    bench_roofline_execution,
+    bench_generation,
+    bench_dataset_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Fig. 2 + Table IV: prefill latency vs input length, with the fitted
+//! quadratic model `a·I_pad² + b·I_pad + c` per DSR1 model.
+
+use edgereasoning_bench::{TableWriter, vs};
+use edgereasoning_core::latency::PrefillLatencyModel;
+use edgereasoning_core::rig::{Rig, RigConfig};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+
+    // --- Fig. 2: measured prefill latency series (with the 128-token
+    // stepped pattern: probe off-multiple lengths too). ---
+    let mut fig = TableWriter::new(
+        "Fig. 2 — prefill latency vs input length (s)",
+        &["input_tokens", "DSR1-Qwen-1.5B", "DSR1-Llama-8B", "DSR1-Qwen-14B"],
+    );
+    let lengths: Vec<usize> = (1..=32)
+        .flat_map(|k| [k * 128 - 64, k * 128, k * 128 + 1])
+        .filter(|&i| i <= 4096)
+        .collect();
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for model in ModelId::DSR1 {
+        let sweep = rig.sweep_prefill(model, Precision::Fp16, &lengths);
+        series.push(sweep.into_iter().map(|(_, p)| p.latency_s).collect());
+    }
+    for (k, &i) in lengths.iter().enumerate() {
+        fig.row(&[
+            format!("{i}"),
+            format!("{:.4}", series[0][k]),
+            format!("{:.4}", series[1][k]),
+            format!("{:.4}", series[2][k]),
+        ]);
+    }
+    fig.write_csv("fig02_prefill_latency");
+    println!("(Fig. 2 series written to outputs/fig02_prefill_latency.csv)\n");
+
+    // The stepped pattern: latency at k*128+1 should jump vs k*128.
+    let mut steps = TableWriter::new(
+        "Fig. 2 inset — tensor-core 128-token step (DSR1-Llama-8B)",
+        &["input", "latency_s"],
+    );
+    for i in [1920usize, 1984, 2048, 2049, 2112, 2176] {
+        let p = rig.sweep_prefill(ModelId::Dsr1Llama8b, Precision::Fp16, &[i]);
+        steps.row(&[format!("{i}"), format!("{:.4}", p[0].1.latency_s)]);
+    }
+    steps.print();
+
+    // --- Table IV: fitted coefficients vs the paper's. ---
+    let mut t4 = TableWriter::new(
+        "Table IV — fitted prefill coefficients (ours vs paper)",
+        &["model", "a (ours)", "a (paper)", "b (ours)", "b (paper)", "c (ours vs paper)"],
+    );
+    for model in ModelId::DSR1 {
+        let fitted = rig.characterize_latency(model, Precision::Fp16).prefill;
+        let paper = PrefillLatencyModel::paper_reference(model).expect("dsr1");
+        t4.row(&[
+            model.to_string(),
+            format!("{:.2e}", fitted.a),
+            format!("{:.2e}", paper.a),
+            format!("{:.2e}", fitted.b),
+            format!("{:.2e}", paper.b),
+            vs(paper.c, fitted.c),
+        ]);
+    }
+    t4.print();
+    t4.write_csv("table04_prefill_coefficients");
+}

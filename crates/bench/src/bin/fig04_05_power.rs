@@ -1,0 +1,129 @@
+//! Figs. 4/5 + Tables VIII/XX/XXI: prefill and decode power & energy per
+//! token vs sequence length, fitted piecewise models, and energy-model
+//! MAPE.
+
+use edgereasoning_bench::{vs, TableWriter};
+use edgereasoning_core::rig::{Rig, RigConfig};
+use edgereasoning_engine::request::GenerationRequest;
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::stats;
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+
+    // --- Fig. 4: prefill power (a) and energy/token (b) vs input length. ---
+    let lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
+    let mut fig4 = TableWriter::new(
+        "Fig. 4 — prefill power (W) and energy/token (J) vs input length",
+        &["input", "P 1.5B", "P 8B", "P 14B", "E/tok 1.5B", "E/tok 8B", "E/tok 14B"],
+    );
+    let mut sweeps = Vec::new();
+    for model in ModelId::DSR1 {
+        sweeps.push(rig.sweep_prefill(model, Precision::Fp16, &lengths));
+    }
+    for (k, &i) in lengths.iter().enumerate() {
+        fig4.row(&[
+            format!("{i}"),
+            format!("{:.1}", sweeps[0][k].1.avg_power_w),
+            format!("{:.1}", sweeps[1][k].1.avg_power_w),
+            format!("{:.1}", sweeps[2][k].1.avg_power_w),
+            format!("{:.4}", sweeps[0][k].1.energy_j / i as f64),
+            format!("{:.4}", sweeps[1][k].1.energy_j / i as f64),
+            format!("{:.4}", sweeps[2][k].1.energy_j / i as f64),
+        ]);
+    }
+    fig4.write_csv("fig04_prefill_power_energy");
+    println!("(Fig. 4 series written to outputs/fig04_prefill_power_energy.csv)");
+
+    // --- Fig. 5: decode power and energy/token vs output length (I=512). ---
+    let outputs: Vec<usize> = (1..=24).map(|k| k * 64).collect();
+    let mut fig5 = TableWriter::new(
+        "Fig. 5 — decode power (W) and energy/token (J) vs output length (I=512)",
+        &["output", "P 1.5B", "P 8B", "P 14B", "E/tok 1.5B", "E/tok 8B", "E/tok 14B"],
+    );
+    let mut dsweeps = Vec::new();
+    for model in ModelId::DSR1 {
+        dsweeps.push(rig.sweep_decode(model, Precision::Fp16, 512, &outputs));
+    }
+    for (k, &o) in outputs.iter().enumerate() {
+        fig5.row(&[
+            format!("{o}"),
+            format!("{:.1}", dsweeps[0][k].1.avg_power_w),
+            format!("{:.1}", dsweeps[1][k].1.avg_power_w),
+            format!("{:.1}", dsweeps[2][k].1.avg_power_w),
+            format!("{:.4}", dsweeps[0][k].1.energy_j / o as f64),
+            format!("{:.4}", dsweeps[1][k].1.energy_j / o as f64),
+            format!("{:.4}", dsweeps[2][k].1.energy_j / o as f64),
+        ]);
+    }
+    fig5.write_csv("fig05_decode_power_energy");
+    println!("(Fig. 5 series written to outputs/fig05_decode_power_energy.csv)\n");
+
+    // 1.5B vs 14B decode efficiency (paper: ~7x energy/token gap).
+    let last = outputs.len() - 1;
+    let e15 = dsweeps[0][last].1.energy_j / outputs[last] as f64;
+    let e14 = dsweeps[2][last].1.energy_j / outputs[last] as f64;
+    println!(
+        "Decode energy/token 14B vs 1.5B: {:.1}x (paper: ~7x)\n",
+        e14 / e15
+    );
+
+    // --- Tables XX/XXI analogue: fitted power & energy models. ---
+    let mut fits = TableWriter::new(
+        "Fitted phase models (Eqns. 4-6; paper Tables XX/XXI report the same forms)",
+        &["model", "phase", "power: u | v | w | z", "energy: A | lambda | C | alpha | beta"],
+    );
+    for model in ModelId::DSR1 {
+        let (p_pre, p_dec) = rig.characterize_power(model, Precision::Fp16);
+        let (e_pre, e_dec) = rig.characterize_energy(model, Precision::Fp16);
+        for (phase, p, e) in [("prefill", p_pre, e_pre), ("decode", p_dec, e_dec)] {
+            fits.row(&[
+                model.to_string(),
+                phase.to_owned(),
+                format!("{:.2} | {:.0} | {:.2} | {:.2}", p.u, p.v, p.w, p.z),
+                format!(
+                    "{:.4} | {:.4} | {:.4} | {:.4} | {:.4}",
+                    e.piecewise.a, e.piecewise.lambda, e.piecewise.c, e.piecewise.alpha,
+                    e.piecewise.beta
+                ),
+            ]);
+        }
+    }
+    fits.print();
+    fits.write_csv("tables_xx_xxi_fitted_power_energy");
+
+    // --- Table VIII: energy-model MAPE on held-out generations. ---
+    let paper_mape = [
+        (ModelId::Dsr1Qwen1_5b, 6.8, 6.0),
+        (ModelId::Dsr1Llama8b, 6.4, 5.7),
+        (ModelId::Dsr1Qwen14b, 6.6, 5.8),
+    ];
+    let mut t8 = TableWriter::new(
+        "Table VIII — energy-model MAPE (ours vs paper, %)",
+        &["model", "decode", "total"],
+    );
+    for (model, p_dec, p_tot) in paper_mape {
+        let latency = rig.characterize_latency(model, Precision::Fp16);
+        let (p_pre, p_dec_model) = rig.characterize_power(model, Precision::Fp16);
+        let (mut pred_d, mut act_d, mut pred_t, mut act_t) = (vec![], vec![], vec![], vec![]);
+        for k in 1..=20usize {
+            let (i, o) = (100 + k * 37, 50 + k * 53);
+            let outcome = rig.run_generation(model, Precision::Fp16, &GenerationRequest::new(i, o));
+            let dec_pred = p_dec_model.predict(o as f64) * latency.decode.predict(i, o);
+            let pre_pred = p_pre.predict(i as f64) * latency.prefill.predict(i);
+            pred_d.push(dec_pred);
+            act_d.push(outcome.decode.energy_j);
+            pred_t.push(dec_pred + pre_pred);
+            act_t.push(outcome.total_energy_j());
+        }
+        t8.row(&[
+            model.to_string(),
+            vs(p_dec, stats::mape(&pred_d, &act_d).expect("nonempty")),
+            vs(p_tot, stats::mape(&pred_t, &act_t).expect("nonempty")),
+        ]);
+    }
+    t8.print();
+    t8.write_csv("table08_energy_mape");
+    println!("Takeaway #3: power and energy grow logarithmically with sequence length.");
+}

@@ -1,0 +1,167 @@
+//! Figs. 6–8 + Tables X/XI: the paper's central evaluation — accuracy vs
+//! output length, latency and cost for every (model × prompting config)
+//! cell on the 3 000-question MMLU-Redux benchmark, plus the Pareto
+//! frontier and its operational regimes.
+
+use edgereasoning_bench::TableWriter;
+use edgereasoning_core::planner::{ConfigPoint, Planner};
+use edgereasoning_core::rig::{CellReport, Rig, RigConfig};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_models::anchors;
+use edgereasoning_models::evaluate::EvalOptions;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+
+fn cells() -> Vec<(ModelId, Precision, PromptConfig)> {
+    let mut out = Vec::new();
+    for model in ModelId::DSR1 {
+        for config in PromptConfig::REASONING_SWEEP {
+            out.push((model, Precision::Fp16, config));
+        }
+        out.push((model, Precision::W4A16, PromptConfig::Base));
+    }
+    for config in [
+        PromptConfig::Base,
+        PromptConfig::Soft(128),
+        PromptConfig::Soft(256),
+        PromptConfig::Hard(128),
+        PromptConfig::Hard(256),
+    ] {
+        out.push((ModelId::L1Max, Precision::Fp16, config));
+    }
+    for model in [
+        ModelId::Qwen25_7bIt,
+        ModelId::Gemma7bIt,
+        ModelId::Llama31_8bIt,
+        ModelId::Qwen25_1_5bIt,
+        ModelId::Qwen25_14bIt,
+    ] {
+        out.push((model, Precision::Fp16, PromptConfig::Direct));
+    }
+    out
+}
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+    let opts = EvalOptions::default();
+    let mut reports: Vec<CellReport> = Vec::new();
+    for (model, prec, config) in cells() {
+        reports.push(rig.cell_report(model, prec, Benchmark::MmluRedux, config, opts));
+    }
+
+    // --- Tables X/XI: ours vs paper, cell by cell. ---
+    let mut tx = TableWriter::new(
+        "Tables X/XI — MMLU-Redux cells (ours | paper; '-' = not reported)",
+        &["model", "prec", "config", "acc %", "toks/q", "latency s", "cost $/1M"],
+    );
+    for r in &reports {
+        let paper = anchors::find(r.model, r.bench, r.config, r.precision);
+        let p = |f: fn(&anchors::PaperRow) -> String| {
+            paper.as_ref().map_or("-".to_owned(), f)
+        };
+        tx.row(&[
+            r.model.to_string(),
+            r.precision.to_string(),
+            r.config.label(),
+            format!("{:.1} | {}", r.eval.accuracy_pct, p(|x| format!("{:.1}", x.acc_pct))),
+            format!("{:.0} | {}", r.eval.avg_tokens_per_seq, p(|x| format!("{:.0}", x.avg_tokens))),
+            format!(
+                "{:.2} | {}",
+                r.avg_latency_s,
+                p(|x| x.avg_latency_s.map_or("-".to_owned(), |v| format!("{v:.2}")))
+            ),
+            format!(
+                "{:.3} | {}",
+                r.cost.energy,
+                p(|x| x.cost_per_mtok.map_or("-".to_owned(), |v| format!("{v:.3}")))
+            ),
+        ]);
+    }
+    tx.print();
+    tx.write_csv("tables_x_xi_mmlu_redux_cells");
+
+    // --- Figs. 6/7/8 series (CSV) and Pareto analysis. ---
+    let mut fig = TableWriter::new(
+        "Figs. 6-8 — accuracy vs tokens / latency / cost (every cell)",
+        &["model", "prec", "config", "avg_tokens", "latency_s", "cost_energy", "accuracy_pct"],
+    );
+    let mut planner = Planner::default();
+    for r in &reports {
+        fig.row(&[
+            r.model.to_string(),
+            r.precision.to_string(),
+            r.config.label(),
+            format!("{:.1}", r.eval.avg_tokens_per_seq),
+            format!("{:.3}", r.avg_latency_s),
+            format!("{:.4}", r.cost.energy),
+            format!("{:.2}", r.eval.accuracy_pct),
+        ]);
+        planner.push(ConfigPoint {
+            model: r.model,
+            precision: r.precision,
+            config: r.config,
+            parallel: 1,
+            accuracy_pct: r.eval.accuracy_pct,
+            latency_s: r.avg_latency_s,
+            cost_per_mtok: r.cost.energy,
+            avg_tokens: r.eval.avg_tokens_per_seq,
+        });
+    }
+    fig.write_csv("fig06_07_08_cells");
+    println!("(Figs. 6-8 series written to outputs/fig06_07_08_cells.csv)\n");
+
+    let mut frontier = TableWriter::new(
+        "Fig. 7 — latency-accuracy Pareto frontier and operational regimes",
+        &["regime (s)", "model", "config", "latency s", "acc %"],
+    );
+    for (start, end, p) in planner.regimes() {
+        let span = if end.is_infinite() {
+            format!(">{start:.1}")
+        } else {
+            format!("{start:.1}-{end:.1}")
+        };
+        frontier.row(&[
+            span,
+            p.model.to_string(),
+            p.config.label(),
+            format!("{:.2}", p.latency_s),
+            format!("{:.1}", p.accuracy_pct),
+        ]);
+    }
+    frontier.print();
+    frontier.write_csv("fig07_pareto_regimes");
+
+    // --- Fig. 8: cost-accuracy frontier. ---
+    let mut costf = TableWriter::new(
+        "Fig. 8 — cost-accuracy Pareto frontier",
+        &["cost $/1M", "model", "config", "acc %"],
+    );
+    for p in planner.cost_frontier() {
+        costf.row(&[
+            format!("{:.4}", p.cost_per_mtok),
+            p.model.to_string(),
+            p.config.label(),
+            format!("{:.1}", p.accuracy_pct),
+        ]);
+    }
+    costf.print();
+    costf.write_csv("fig08_cost_frontier");
+
+    // Headline cross-checks from §V.
+    let get = |m: ModelId, c: PromptConfig| {
+        reports
+            .iter()
+            .find(|r| r.model == m && r.config == c && r.precision == Precision::Fp16)
+            .expect("cell present")
+    };
+    let base8 = get(ModelId::Dsr1Llama8b, PromptConfig::Base);
+    let direct8 = get(ModelId::Llama31_8bIt, PromptConfig::Direct);
+    println!(
+        "DSR1-Llama-8B Base vs Llama3.1-8B-it: +{:.1}% accuracy at {:.1}x latency (paper: +5.7% at 13x)",
+        base8.eval.accuracy_pct - direct8.eval.accuracy_pct,
+        base8.avg_latency_s / direct8.avg_latency_s,
+    );
+    println!("Takeaway #5: prompt-based control cuts reasoning tokens substantially.");
+    println!("Takeaway #8: non-reasoning models win at low token/latency budgets.");
+}

@@ -1,0 +1,97 @@
+//! Tables XIII–XV: Natural-Plan planning tasks — reasoning baselines,
+//! NR + hard-512 budgeting, and direct Qwen2.5 models.
+
+use edgereasoning_bench::TableWriter;
+use edgereasoning_core::rig::{Rig, RigConfig};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_models::anchors;
+use edgereasoning_models::evaluate::EvalOptions;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::{Benchmark, PlanTask};
+
+fn run_block(
+    rig: &mut Rig,
+    title: &str,
+    csv: &str,
+    models: &[ModelId],
+    config: PromptConfig,
+) {
+    let mut t = TableWriter::new(
+        title,
+        &["task", "model", "acc %", "avg out toks/q", "latency s"],
+    );
+    for &model in models {
+        for task in PlanTask::ALL {
+            let bench = Benchmark::NaturalPlan(task);
+            let r = rig.cell_report(
+                model,
+                Precision::Fp16,
+                bench,
+                config,
+                EvalOptions::default(),
+            );
+            let paper = anchors::find(model, bench, config, Precision::Fp16);
+            t.row(&[
+                task.to_string(),
+                model.to_string(),
+                format!(
+                    "{:.1} | {}",
+                    r.eval.accuracy_pct,
+                    paper.map_or("-".into(), |p| format!("{:.1}", p.acc_pct))
+                ),
+                format!(
+                    "{:.0} | {}",
+                    r.eval.avg_tokens_per_seq,
+                    paper.map_or("-".into(), |p| format!("{:.0}", p.avg_tokens))
+                ),
+                format!(
+                    "{:.1} | {}",
+                    r.avg_latency_s,
+                    paper
+                        .and_then(|p| p.avg_latency_s)
+                        .map_or("-".into(), |l| format!("{l:.1}"))
+                ),
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(csv);
+}
+
+fn main() {
+    // The paper's artifact runs Natural-Plan on a server GPU ("Server:
+    // make planner"), which is why its per-token latencies are ~7x faster
+    // than the Orin TBT; mirror that setup.
+    let server = RigConfig::default().with_engine(
+        edgereasoning_engine::engine::EngineConfig::vllm()
+            .with_gpu(edgereasoning_soc::spec::GpuSpec::h100_sxm()),
+    );
+    let mut rig = Rig::new(server);
+    run_block(
+        &mut rig,
+        "Table XIII — Natural-Plan baselines (reasoning models, ours | paper)",
+        "table13_planning_base",
+        &ModelId::DSR1,
+        PromptConfig::Base,
+    );
+    run_block(
+        &mut rig,
+        "Table XIV — Natural-Plan budgeting (hard limit 512, ours | paper)",
+        "table14_planning_budget",
+        &ModelId::DSR1,
+        PromptConfig::Hard(512),
+    );
+    run_block(
+        &mut rig,
+        "Table XV — Natural-Plan direct models (ours | paper)",
+        "table15_planning_direct",
+        &[ModelId::Qwen25_1_5bIt, ModelId::Qwen25_14bIt],
+        PromptConfig::Direct,
+    );
+    println!(
+        "Planning accuracy is nearly insensitive to reasoning length (budgeting to\n\
+         512 tokens keeps accuracy while cutting latency ~5-10x) and direct models\n\
+         beat the reasoning distills — the paper's Appendix B findings."
+    );
+}

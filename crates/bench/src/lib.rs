@@ -1,0 +1,180 @@
+//! # edgereasoning-bench
+//!
+//! The reproduction harness: one binary per table and figure of the paper
+//! (see `src/bin/`), each printing the same rows/series the paper reports
+//! — side by side with the published values where they exist — and writing
+//! CSV into `outputs/`.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table02` | Table II — reasoning vs non-reasoning on 150 MMLU-Redux |
+//! | `table03` | Table III — edge vs cloud cost (DeepScaleR-1.5B) |
+//! | `fig02_prefill` | Fig. 2 + Table IV — prefill latency & fitted a/b/c |
+//! | `fig03_decode` | Fig. 3 + Table V — decode latency, TBT & fitted m/n |
+//! | `table06` | Table VI — latency-model MAPE on held-out questions |
+//! | `table07` | Table VII — prefill:decode token & latency ratios |
+//! | `fig04_05_power` | Figs. 4/5 + Tables VIII/XX/XXI — power & energy |
+//! | `fig06_07_08` | Figs. 6–8 + Tables X/XI — accuracy vs tokens/latency/cost |
+//! | `fig09` | Fig. 9 — accuracy vs parallel scaling factor |
+//! | `fig10` | Fig. 10 — parallel-scaling latency / energy / power / util |
+//! | `fig11_14_quant` | Figs. 11–14 + Tables XVIII/XIX — quantization |
+//! | `table09` | Table IX — vLLM vs HFT vs TRT-LLM |
+//! | `table12` | Table XII — full MMLU (15k questions) |
+//! | `table13_15_planning` | Tables XIII–XV — Natural-Plan |
+//! | `table16_17_cpu` | Tables XVI/XVII — CPU vs GPU latency |
+//! | `ablation_power_modes` | Extension: 15 W/30 W/50 W/MAXN power modes |
+//!
+//! Run everything with `scripts` or individually:
+//! `cargo run --release -p edgereasoning-bench --bin fig06_07_08`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Formats one aligned text table and accumulates CSV lines.
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Starts a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Writes the table as CSV into `outputs/<name>.csv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output directory or file cannot be written.
+    pub fn write_csv(&self, name: &str) {
+        let path = output_path(name);
+        let mut f = fs::File::create(&path).expect("create CSV");
+        writeln!(f, "{}", self.header.join(",")).expect("write CSV header");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write CSV row");
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Resolves `outputs/<name>.csv` relative to the workspace root, creating
+/// the directory if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn output_path(name: &str) -> PathBuf {
+    let root = workspace_root();
+    let dir = root.join("outputs");
+    fs::create_dir_all(&dir).expect("create outputs dir");
+    dir.join(format!("{name}.csv"))
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Formats a paper-vs-measured pair with relative deviation.
+pub fn vs(paper: f64, measured: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.2} (paper 0)");
+    }
+    let dev = (measured / paper - 1.0) * 100.0;
+    format!("{measured:.2} ({dev:+.0}%)")
+}
+
+/// Formats an optional paper value.
+pub fn opt(v: Option<f64>) -> String {
+    v.map_or("-".to_owned(), |x| format!("{x:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableWriter::new("T", &["a", "bbbb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("  1     2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        TableWriter::new("T", &["a"]).row(&["1", "2"]);
+    }
+
+    #[test]
+    fn vs_formats_deviation() {
+        assert_eq!(vs(100.0, 110.0), "110.00 (+10%)");
+    }
+
+    #[test]
+    fn workspace_root_has_cargo_toml() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}

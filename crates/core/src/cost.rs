@@ -1,0 +1,135 @@
+//! The paper's edge-deployment cost model (§III-B, Table III).
+//!
+//! `$/1M tokens = (energy_kWh · electricity + wall_hours · amortized_hw)
+//!               / tokens · 10⁶`
+//!
+//! At the paper's rates ($0.15/kWh, $0.045/h for a Jetson AGX Orin
+//! amortized over 5 years) the hardware term dominates, which is why
+//! batching — more tokens per wall-second — cuts cost by >10×.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-model rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Electricity price, $ per kWh.
+    pub electricity_per_kwh: f64,
+    /// Amortized hardware cost, $ per hour.
+    pub hardware_per_hour: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            electricity_per_kwh: 0.15,
+            hardware_per_hour: 0.045,
+        }
+    }
+}
+
+/// A cost breakdown in $ per million tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Energy component, $/1M tokens.
+    pub energy: f64,
+    /// Hardware-amortization component, $/1M tokens.
+    pub hardware: f64,
+}
+
+impl CostBreakdown {
+    /// Total $/1M tokens.
+    pub fn total(&self) -> f64 {
+        self.energy + self.hardware
+    }
+}
+
+impl CostModel {
+    /// Cost of a workload that produced `tokens` tokens in `wall_s`
+    /// seconds using `energy_j` joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens <= 0`.
+    pub fn per_mtok(&self, energy_j: f64, wall_s: f64, tokens: f64) -> CostBreakdown {
+        assert!(tokens > 0.0, "token count must be positive");
+        let kwh = energy_j / 3.6e6;
+        let hours = wall_s / 3600.0;
+        CostBreakdown {
+            energy: kwh * self.electricity_per_kwh / tokens * 1e6,
+            hardware: hours * self.hardware_per_hour / tokens * 1e6,
+        }
+    }
+
+    /// Convenience: cost per million tokens for a single-stream generation
+    /// characterized by an average power and tokens/second rate.
+    pub fn per_mtok_from_rates(&self, avg_power_w: f64, tokens_per_s: f64) -> CostBreakdown {
+        assert!(tokens_per_s > 0.0, "throughput must be positive");
+        let seconds_per_mtok = 1e6 / tokens_per_s;
+        let energy_j = avg_power_w * seconds_per_mtok;
+        self.per_mtok(energy_j, seconds_per_mtok, 1e6)
+    }
+}
+
+/// Cloud pricing reference for the Table III comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudPricing {
+    /// $ per 1M input tokens.
+    pub input_per_mtok: f64,
+    /// $ per 1M output tokens.
+    pub output_per_mtok: f64,
+}
+
+impl CloudPricing {
+    /// OpenAI o1-preview list pricing (paper references 26 and 28).
+    pub fn o1_preview() -> Self {
+        Self {
+            input_per_mtok: 15.0,
+            output_per_mtok: 60.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the paper's §III-B arithmetic: 195,624 tokens in 4,358 s
+    /// using 0.0317 kWh → $0.302/1M tokens ($0.024 energy + $0.278 hw).
+    #[test]
+    fn paper_batch1_cost_arithmetic() {
+        let cm = CostModel::default();
+        let c = cm.per_mtok(0.0317 * 3.6e6, 4358.0, 195_624.0);
+        assert!((c.energy - 0.024).abs() < 0.001, "energy {}", c.energy);
+        assert!((c.hardware - 0.278).abs() < 0.003, "hardware {}", c.hardware);
+        assert!((c.total() - 0.302).abs() < 0.004, "total {}", c.total());
+    }
+
+    /// Batch 30: same tokens in 398 s / 0.003 kWh → $0.027/1M.
+    #[test]
+    fn paper_batch30_cost_arithmetic() {
+        let cm = CostModel::default();
+        let c = cm.per_mtok(0.003 * 3.6e6, 398.0, 195_624.0);
+        assert!((c.total() - 0.027).abs() < 0.002, "total {}", c.total());
+    }
+
+    #[test]
+    fn hardware_term_dominates_at_edge_rates() {
+        let cm = CostModel::default();
+        let c = cm.per_mtok_from_rates(25.0, 44.0);
+        assert!(c.hardware > c.energy * 5.0);
+    }
+
+    #[test]
+    fn cloud_is_two_orders_of_magnitude_pricier() {
+        let cm = CostModel::default();
+        let edge = cm.per_mtok(0.0317 * 3.6e6, 4358.0, 195_624.0).total();
+        let cloud = CloudPricing::o1_preview().output_per_mtok;
+        assert!(cloud / edge > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tokens_panics() {
+        CostModel::default().per_mtok(1.0, 1.0, 0.0);
+    }
+}

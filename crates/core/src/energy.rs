@@ -1,0 +1,198 @@
+//! The paper's analytical power and energy models (§IV-B, Eqns. 4–6 and
+//! Appendix E Tables XX–XXIII).
+//!
+//! Power follows a piecewise constant-then-logarithmic form in sequence
+//! length; energy-per-token follows exponential decay (overhead
+//! amortization) transitioning to logarithmic growth.
+
+use edgereasoning_kernels::arch::ModelId;
+use serde::{Deserialize, Serialize};
+
+use crate::fit::{fit_const_log, fit_exp_log, PiecewiseConstLog, PiecewiseExpLog};
+
+/// Fitted phase power model `P(x)` in watts vs sequence length (Eqn. 4/6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePowerModel {
+    /// Constant draw below the transition, watts.
+    pub u: f64,
+    /// Transition sequence length, tokens.
+    pub v: f64,
+    /// Log slope above the transition.
+    pub w: f64,
+    /// Log intercept above the transition.
+    pub z: f64,
+}
+
+impl PhasePowerModel {
+    /// Predicted average power at sequence length `x`, watts.
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= self.v {
+            self.u
+        } else {
+            self.w * x.ln() + self.z
+        }
+    }
+
+    /// Fits from `(sequence_length, watts)` samples.
+    pub fn fit(samples: &[(f64, f64)]) -> Option<Self> {
+        let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let PiecewiseConstLog { u, v, w, z } = fit_const_log(&xs, &ys)?;
+        Some(Self { u, v, w, z })
+    }
+
+    /// The paper's decode power reference (Table XXI, FP16 models):
+    /// `P = α·ln O + β`.
+    pub fn paper_decode_reference(model: ModelId) -> Option<Self> {
+        let (alpha, beta) = match model {
+            ModelId::Dsr1Qwen1_5b => (0.756_538, 3.213_711),
+            ModelId::Dsr1Llama8b => (8.806_744, 2.701_709),
+            ModelId::Dsr1Qwen14b => (16.886_830, 1.619_387),
+            _ => return None,
+        };
+        Some(Self {
+            u: 5.9,
+            v: 64.0,
+            w: alpha,
+            z: beta,
+        })
+    }
+}
+
+/// Fitted energy-per-token model (Eqn. 5): exponential decay then log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPerTokenModel {
+    /// Underlying piecewise fit.
+    pub piecewise: PiecewiseExpLog,
+}
+
+impl EnergyPerTokenModel {
+    /// Predicted energy per token at sequence length `x`, joules.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.piecewise.predict(x)
+    }
+
+    /// Fits from `(sequence_length, joules_per_token)` samples.
+    pub fn fit(samples: &[(f64, f64)]) -> Option<Self> {
+        let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        fit_exp_log(&xs, &ys).map(|piecewise| Self { piecewise })
+    }
+
+    /// The paper's prefill energy reference (Table XX, FP16 models).
+    pub fn paper_prefill_reference(model: ModelId) -> Option<Self> {
+        let piecewise = match model {
+            ModelId::Dsr1Qwen1_5b => PiecewiseExpLog {
+                a: 0.073_08,
+                lambda: 0.031_95,
+                c: 0.000_923,
+                v: f64::INFINITY,
+                alpha: 0.0,
+                beta: 0.000_923,
+            },
+            ModelId::Dsr1Llama8b => PiecewiseExpLog {
+                a: 0.158_71,
+                lambda: 0.032_40,
+                c: 0.005_53,
+                v: 640.0,
+                alpha: 0.012_33,
+                beta: -0.073_49,
+            },
+            ModelId::Dsr1Qwen14b => PiecewiseExpLog {
+                a: 0.293_27,
+                lambda: 0.030_58,
+                c: 0.009_234,
+                v: 384.0,
+                alpha: 0.016_05,
+                beta: -0.076_43,
+            },
+            _ => return None,
+        };
+        Some(Self { piecewise })
+    }
+}
+
+/// Total-energy estimate for one generation from phase power models and a
+/// latency model: `E = P_prefill·L_prefill + P_decode·L_decode` (the
+/// discrete form of the paper's `∫P dt`).
+pub fn total_energy_j(
+    prefill_power: &PhasePowerModel,
+    decode_power: &PhasePowerModel,
+    prefill_latency_s: f64,
+    decode_latency_s: f64,
+    input_tokens: usize,
+    output_tokens: usize,
+) -> f64 {
+    prefill_power.predict(input_tokens as f64) * prefill_latency_s
+        + decode_power.predict(output_tokens as f64) * decode_latency_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_fit_recovers_const_log() {
+        let truth = PhasePowerModel {
+            u: 5.9,
+            v: 200.0,
+            w: 3.2,
+            z: -1.0,
+        };
+        let samples: Vec<(f64, f64)> =
+            (1..=60).map(|k| (k as f64 * 32.0, truth.predict(k as f64 * 32.0))).collect();
+        let fitted = PhasePowerModel::fit(&samples).unwrap();
+        for x in [64.0, 128.0, 512.0, 1600.0] {
+            let rel = ((fitted.predict(x) - truth.predict(x)) / truth.predict(x)).abs();
+            assert!(rel < 0.05, "x={x}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn paper_decode_power_reference_values() {
+        let p = PhasePowerModel::paper_decode_reference(ModelId::Dsr1Qwen14b).unwrap();
+        // 16.9·ln(512) + 1.6 ≈ 107 W... the paper's table is in different
+        // units at face value; the model is exposed as published.
+        assert!(p.predict(32.0) == 5.9, "below-64 draw is the 5.9 W floor");
+        assert!(p.predict(128.0) > p.predict(65.0));
+    }
+
+    #[test]
+    fn energy_fit_round_trip() {
+        let truth = EnergyPerTokenModel::paper_prefill_reference(ModelId::Dsr1Llama8b).unwrap();
+        let samples: Vec<(f64, f64)> =
+            (1..=64).map(|k| (k as f64 * 64.0, truth.predict(k as f64 * 64.0))).collect();
+        let fitted = EnergyPerTokenModel::fit(&samples).unwrap();
+        let mape: f64 = samples
+            .iter()
+            .map(|&(x, y)| ((fitted.predict(x) - y) / y).abs())
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(mape < 0.10, "energy fit MAPE {mape}");
+    }
+
+    #[test]
+    fn prefill_energy_decays_then_grows() {
+        let m = EnergyPerTokenModel::paper_prefill_reference(ModelId::Dsr1Qwen14b).unwrap();
+        assert!(m.predict(32.0) > m.predict(300.0), "short inputs amortize");
+        assert!(m.predict(4000.0) > m.predict(400.0), "long inputs grow");
+    }
+
+    #[test]
+    fn total_energy_combines_phases() {
+        let p = PhasePowerModel {
+            u: 10.0,
+            v: 1e9,
+            w: 0.0,
+            z: 0.0,
+        };
+        let d = PhasePowerModel {
+            u: 20.0,
+            v: 1e9,
+            w: 0.0,
+            z: 0.0,
+        };
+        let e = total_energy_j(&p, &d, 2.0, 3.0, 100, 100);
+        assert_eq!(e, 10.0 * 2.0 + 20.0 * 3.0);
+    }
+}

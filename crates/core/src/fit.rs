@@ -1,0 +1,397 @@
+//! Curve-fitting machinery: least squares, log/exponential fits, piecewise
+//! models with transition search.
+//!
+//! Everything the paper's analytical modeling needs (Eqns. 1–6), built on
+//! normal equations + Gaussian elimination — no external numerics crates.
+
+/// Solves the linear system `A·x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` for singular systems.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            assert_eq!(row.len(), n, "matrix must be square");
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                for k in col..=n {
+                    m[row][k] -= f * m[col][k];
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²`.
+///
+/// Returns `None` when the normal equations are singular (e.g. collinear
+/// features or fewer points than parameters).
+///
+/// # Panics
+///
+/// Panics if `rows` and `y` lengths differ, or rows are ragged.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(rows.len(), y.len(), "design/target size mismatch");
+    let n = rows.first()?.len();
+    let mut xtx = vec![vec![0.0; n]; n];
+    let mut xty = vec![0.0; n];
+    for (row, &yi) in rows.iter().zip(y) {
+        assert_eq!(row.len(), n, "ragged design matrix");
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * yi;
+        }
+    }
+    solve_linear(&xtx, &xty)
+}
+
+/// Fits `y = c₀ + c₁x + … + c_d x^d`, returning coefficients lowest-order
+/// first. Returns `None` for degenerate inputs.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Option<Vec<f64>> {
+    polyfit_weighted(x, y, degree, |_, _| 1.0)
+}
+
+/// Weighted polynomial fit: minimizes `Σ wᵢ·(ŷᵢ − yᵢ)²` with
+/// `wᵢ = weight(xᵢ, yᵢ)`. Weighting by `1/y²` yields a relative
+/// (percentage-error) fit, which is what keeps the paper's prefill MAPE
+/// low across three orders of magnitude of latency.
+pub fn polyfit_weighted<W>(x: &[f64], y: &[f64], degree: usize, weight: W) -> Option<Vec<f64>>
+where
+    W: Fn(f64, f64) -> f64,
+{
+    if x.len() != y.len() || x.len() <= degree {
+        return None;
+    }
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(x.len());
+    let mut ys: Vec<f64> = Vec::with_capacity(x.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        let w = weight(xi, yi).max(0.0).sqrt();
+        rows.push((0..=degree).map(|p| w * xi.powi(p as i32)).collect());
+        ys.push(w * yi);
+    }
+    least_squares(&rows, &ys)
+}
+
+/// Fits `y = a·ln(x) + b`. Returns `(a, b)`, or `None` for degenerate
+/// input (fewer than 2 points or non-positive x).
+pub fn logfit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 || x.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let rows: Vec<Vec<f64>> = x.iter().map(|&xi| vec![xi.ln(), 1.0]).collect();
+    let beta = least_squares(&rows, y)?;
+    Some((beta[0], beta[1]))
+}
+
+/// Fits the exponential decay `y = A·e^(−λx) + C` by scanning λ and
+/// solving (A, C) linearly at each candidate — robust and derivative-free.
+/// Returns `(A, lambda, C)`.
+pub fn expfit(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+    if x.len() != y.len() || x.len() < 3 {
+        return None;
+    }
+    let x_span = x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        - x.iter().copied().fold(f64::INFINITY, f64::min);
+    if x_span <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(f64, (f64, f64, f64))> = None;
+    // λ spans decay lengths from ~100× the x range down to ~1/100th.
+    for i in 0..240 {
+        let lambda = (10.0f64.powf(-2.0 + 4.0 * i as f64 / 239.0)) / x_span;
+        let rows: Vec<Vec<f64>> = x.iter().map(|&xi| vec![(-lambda * xi).exp(), 1.0]).collect();
+        let Some(beta) = least_squares(&rows, y) else {
+            continue;
+        };
+        let sse: f64 = rows
+            .iter()
+            .zip(y)
+            .map(|(r, &yi)| (r[0] * beta[0] + beta[1] - yi).powi(2))
+            .sum();
+        if best.as_ref().is_none_or(|(e, _)| sse < *e) {
+            best = Some((sse, (beta[0], lambda, beta[1])));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// A fitted piecewise model: constant `u` for `x ≤ v`, logarithmic
+/// `w·ln(x) + z` beyond — the form of the paper's power models (Eqn. 4/6).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PiecewiseConstLog {
+    /// Constant level in the low regime.
+    pub u: f64,
+    /// Transition point.
+    pub v: f64,
+    /// Log slope in the high regime.
+    pub w: f64,
+    /// Log intercept in the high regime.
+    pub z: f64,
+}
+
+impl PiecewiseConstLog {
+    /// Evaluates the model.
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= self.v {
+            self.u
+        } else {
+            self.w * x.ln() + self.z
+        }
+    }
+}
+
+/// Fits [`PiecewiseConstLog`] by scanning candidate transitions over the
+/// sample's x values; each side is fitted optimally (mean / log LSQ).
+/// Needs ≥ 4 points; falls back to a pure log fit expressed with `v` below
+/// the data range when that is better.
+pub fn fit_const_log(x: &[f64], y: &[f64]) -> Option<PiecewiseConstLog> {
+    if x.len() != y.len() || x.len() < 4 || x.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
+    let xs: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+
+    let mut best: Option<(f64, PiecewiseConstLog)> = None;
+    // Split after k points (k = 0 means all-log).
+    for k in 0..xs.len() - 2 {
+        let (u, sse_lo) = if k == 0 {
+            (f64::NAN, 0.0)
+        } else {
+            let m = ys[..k].iter().sum::<f64>() / k as f64;
+            (m, ys[..k].iter().map(|&v| (v - m).powi(2)).sum())
+        };
+        let Some((w, z)) = logfit(&xs[k..], &ys[k..]) else {
+            continue;
+        };
+        let sse_hi: f64 = xs[k..]
+            .iter()
+            .zip(&ys[k..])
+            .map(|(&xi, &yi)| (w * xi.ln() + z - yi).powi(2))
+            .sum();
+        let v = if k == 0 { xs[0] * 0.5 } else { 0.5 * (xs[k - 1] + xs[k]) };
+        let u = if u.is_nan() { w * v.ln() + z } else { u };
+        let sse = sse_lo + sse_hi;
+        if best.as_ref().is_none_or(|(e, _)| sse < *e) {
+            best = Some((sse, PiecewiseConstLog { u, v, w, z }));
+        }
+    }
+    best.map(|(_, m)| m)
+}
+
+/// A fitted piecewise model: exponential decay for `x ≤ v`, logarithmic
+/// growth beyond — the paper's energy-per-token form (Eqn. 5).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PiecewiseExpLog {
+    /// Decay amplitude.
+    pub a: f64,
+    /// Decay rate.
+    pub lambda: f64,
+    /// Decay asymptote.
+    pub c: f64,
+    /// Transition point.
+    pub v: f64,
+    /// Log slope beyond the transition.
+    pub alpha: f64,
+    /// Log intercept beyond the transition.
+    pub beta: f64,
+}
+
+impl PiecewiseExpLog {
+    /// Evaluates the model.
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= self.v {
+            self.a * (-self.lambda * x).exp() + self.c
+        } else {
+            self.alpha * x.ln() + self.beta
+        }
+    }
+}
+
+/// Fits [`PiecewiseExpLog`] by scanning transition candidates. Needs ≥ 7
+/// points (≥ 4 below and ≥ 3 above the transition are fitted per side; if
+/// no valid split exists the whole range is fitted as exponential decay
+/// with the transition placed past the data).
+pub fn fit_exp_log(x: &[f64], y: &[f64]) -> Option<PiecewiseExpLog> {
+    if x.len() != y.len() || x.len() < 7 {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
+    let xs: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+
+    let mut best: Option<(f64, PiecewiseExpLog)> = None;
+    for k in 4..=xs.len() - 3 {
+        let Some((a, lambda, c)) = expfit(&xs[..k], &ys[..k]) else {
+            continue;
+        };
+        let Some((alpha, beta)) = logfit(&xs[k..], &ys[k..]) else {
+            continue;
+        };
+        let v = 0.5 * (xs[k - 1] + xs[k]);
+        let model = PiecewiseExpLog {
+            a,
+            lambda,
+            c,
+            v,
+            alpha,
+            beta,
+        };
+        let sse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&xi, &yi)| (model.predict(xi) - yi).powi(2))
+            .sum();
+        if best.as_ref().is_none_or(|(e, _)| sse < *e) {
+            best = Some((sse, model));
+        }
+    }
+    // Whole-range exponential fallback.
+    if let Some((a, lambda, c)) = expfit(&xs, &ys) {
+        let v = xs[xs.len() - 1] * 2.0;
+        let model = PiecewiseExpLog {
+            a,
+            lambda,
+            c,
+            v,
+            alpha: 0.0,
+            beta: c,
+        };
+        let sse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&xi, &yi)| (model.predict(xi) - yi).powi(2))
+            .sum();
+        if best.as_ref().is_none_or(|(e, _)| sse < *e) {
+            best = Some((sse, model));
+        }
+    }
+    best.map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_linear_2x2() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve_linear(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 50.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3e-7 * x * x + 2e-4 * x + 0.1).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 0.1).abs() < 1e-9);
+        assert!((c[1] - 2e-4).abs() < 1e-12);
+        assert!((c[2] - 3e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polyfit_rejects_underdetermined() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn logfit_recovers_parameters() {
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64 * 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 4.5 * x.ln() - 2.0).collect();
+        let (a, b) = logfit(&xs, &ys).unwrap();
+        assert!((a - 4.5).abs() < 1e-9);
+        assert!((b + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expfit_recovers_decay() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 25.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.16 * (-0.03 * x).exp() + 0.005).collect();
+        let (a, lambda, c) = expfit(&xs, &ys).unwrap();
+        assert!((a - 0.16).abs() < 0.02, "A={a}");
+        assert!((lambda - 0.03).abs() < 0.005, "lambda={lambda}");
+        assert!((c - 0.005).abs() < 0.002, "C={c}");
+    }
+
+    #[test]
+    fn const_log_finds_transition() {
+        let xs: Vec<f64> = (1..=60).map(|i| i as f64 * 50.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 800.0 { 6.0 } else { 1.2 * x.ln() - 2.0 })
+            .collect();
+        let m = fit_const_log(&xs, &ys).unwrap();
+        assert!((m.u - 6.0).abs() < 0.1, "u={}", m.u);
+        assert!((m.v - 800.0).abs() < 120.0, "v={}", m.v);
+        assert!((m.w - 1.2).abs() < 0.05, "w={}", m.w);
+    }
+
+    #[test]
+    fn exp_log_fits_both_regimes() {
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64 * 40.0).collect();
+        let true_model = |x: f64| {
+            if x <= 640.0 {
+                0.159 * (-0.0324f64 * x).exp() + 0.0055
+            } else {
+                0.0123 * x.ln() - 0.0735
+            }
+        };
+        let ys: Vec<f64> = xs.iter().map(|&x| true_model(x)).collect();
+        let m = fit_exp_log(&xs, &ys).unwrap();
+        let mape: f64 = xs
+            .iter()
+            .map(|&x| ((m.predict(x) - true_model(x)) / true_model(x)).abs())
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mape < 0.15, "piecewise exp/log MAPE {mape}");
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // y = 2a + 3b with noise-free data.
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let y = vec![2.0, 3.0, 5.0, 7.0];
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-12);
+        assert!((beta[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! The paper's analytical latency models (§IV-A, Eqns. 1–3).
+//!
+//! * Prefill: `L_prefill(I) = a·I_pad² + b·I_pad + c` with
+//!   `I_pad = ⌈I/128⌉·128` (tensor-core padding).
+//! * Decode: `L_decode(I, O) = n·O + m·(I·O + O(O−1)/2)` — the closed-form
+//!   sum of a per-token time that grows linearly with context.
+//! * Total: their sum; invertible to answer "how many tokens fit in a
+//!   latency budget?" (takeaway #6).
+
+use edgereasoning_kernels::arch::ModelId;
+use serde::{Deserialize, Serialize};
+
+use crate::fit::{least_squares, polyfit_weighted};
+
+/// Tensor-core padding quantum used by the paper (128 tokens).
+pub const PAD: usize = 128;
+
+/// Pads an input length to the model's 128-token quantum.
+pub fn pad_input(i: usize) -> f64 {
+    (i.div_ceil(PAD) * PAD) as f64
+}
+
+/// One latency measurement used for fitting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// Input (prompt) tokens.
+    pub input_tokens: usize,
+    /// Output (decoded) tokens.
+    pub output_tokens: usize,
+    /// Measured latency, seconds.
+    pub latency_s: f64,
+}
+
+/// Fitted prefill model `a·I_pad² + b·I_pad + c` (Eqn. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefillLatencyModel {
+    /// Quadratic coefficient (attention).
+    pub a: f64,
+    /// Linear coefficient (projections/FFN).
+    pub b: f64,
+    /// Constant (weight-read floor, launch overheads).
+    pub c: f64,
+}
+
+impl PrefillLatencyModel {
+    /// Predicted prefill latency for `i` input tokens, seconds.
+    pub fn predict(&self, i: usize) -> f64 {
+        let ip = pad_input(i);
+        self.a * ip * ip + self.b * ip + self.c
+    }
+
+    /// Fits the model from `(input_tokens, latency)` pairs. Following the
+    /// paper, only samples whose length is a multiple of 64 should be
+    /// passed (the caller controls the sweep). Returns `None` with fewer
+    /// than 3 distinct padded lengths.
+    pub fn fit(samples: &[(usize, f64)]) -> Option<Self> {
+        let xs: Vec<f64> = samples.iter().map(|&(i, _)| pad_input(i)).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, l)| l).collect();
+        // Relative (1/y²) weighting: absolute least squares would let the
+        // multi-second 4k-token points swamp the fit and leave double-digit
+        // percentage errors at the short prompts real questions use.
+        let coef = polyfit_weighted(&xs, &ys, 2, |_, y| 1.0 / (y * y).max(1e-12))?;
+        Some(Self {
+            a: coef[2],
+            b: coef[1],
+            c: coef[0],
+        })
+    }
+
+    /// The paper's fitted coefficients (Table IV) for reference.
+    pub fn paper_reference(model: ModelId) -> Option<Self> {
+        match model {
+            ModelId::Dsr1Qwen1_5b => Some(Self {
+                a: 1.56e-7,
+                b: 2.31e-6,
+                c: 0.046,
+            }),
+            ModelId::Dsr1Llama8b => Some(Self {
+                a: 6.65e-7,
+                b: 2.90e-4,
+                c: 0.104,
+            }),
+            ModelId::Dsr1Qwen14b => Some(Self {
+                a: 1.23e-6,
+                b: 5.3e-4,
+                c: 0.189,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Fitted decode model `n·O + m·(I·O + O(O−1)/2)` (Eqn. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodeLatencyModel {
+    /// Per-context-token TBT slope (KV-cache growth), seconds.
+    pub m: f64,
+    /// Context-independent time between tokens, seconds.
+    pub n: f64,
+}
+
+impl DecodeLatencyModel {
+    /// Predicted decode latency for `o` output tokens after `i` input
+    /// tokens, seconds.
+    pub fn predict(&self, i: usize, o: usize) -> f64 {
+        let (i, o) = (i as f64, o as f64);
+        self.n * o + self.m * (i * o + o * (o - 1.0) / 2.0)
+    }
+
+    /// Time between tokens at a given context length.
+    pub fn tbt(&self, ctx: usize) -> f64 {
+        self.n + self.m * ctx as f64
+    }
+
+    /// Fits `(m, n)` by least squares over measured generations (the model
+    /// is linear in both parameters). Returns `None` with fewer than 2
+    /// samples or degenerate features.
+    pub fn fit(samples: &[LatencySample]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| {
+                let i = s.input_tokens as f64;
+                let o = s.output_tokens as f64;
+                vec![i * o + o * (o - 1.0) / 2.0, o]
+            })
+            .collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
+        let beta = least_squares(&rows, &ys)?;
+        Some(Self {
+            m: beta[0],
+            n: beta[1],
+        })
+    }
+
+    /// The paper's fitted coefficients (Table V) for reference.
+    pub fn paper_reference(model: ModelId) -> Option<Self> {
+        match model {
+            ModelId::Dsr1Qwen1_5b => Some(Self {
+                m: -1.50e-7,
+                n: 0.024,
+            }),
+            ModelId::Dsr1Llama8b => Some(Self {
+                m: 6.92e-7,
+                n: 0.092,
+            }),
+            ModelId::Dsr1Qwen14b => Some(Self {
+                m: 1.13e-6,
+                n: 0.187,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Total latency model (Eqn. 3): prefill + decode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TotalLatencyModel {
+    /// Prefill component.
+    pub prefill: PrefillLatencyModel,
+    /// Decode component.
+    pub decode: DecodeLatencyModel,
+}
+
+impl TotalLatencyModel {
+    /// Predicted end-to-end latency, seconds.
+    pub fn predict(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        self.prefill.predict(input_tokens) + self.decode.predict(input_tokens, output_tokens)
+    }
+
+    /// The largest output-token budget that fits a latency target with the
+    /// given prompt length (inverts the decode quadratic; 0 when even the
+    /// prefill alone exceeds the budget). This is the hardware-aware
+    /// budget→tokens mapping of takeaway #6.
+    pub fn max_output_tokens(&self, input_tokens: usize, latency_budget_s: f64) -> usize {
+        let remaining = latency_budget_s - self.prefill.predict(input_tokens);
+        if remaining <= 0.0 {
+            return 0;
+        }
+        // Solve m/2·O² + (n + m·I − m/2)·O − remaining = 0 for O.
+        let i = input_tokens as f64;
+        let a = self.decode.m / 2.0;
+        let b = self.decode.n + self.decode.m * i - self.decode.m / 2.0;
+        let c = -remaining;
+        let o = if a.abs() < 1e-15 {
+            if b <= 0.0 {
+                return 0;
+            }
+            -c / b
+        } else {
+            let disc = b * b - 4.0 * a * c;
+            if disc < 0.0 {
+                return 0;
+            }
+            (-b + disc.sqrt()) / (2.0 * a)
+        };
+        o.max(0.0).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TotalLatencyModel {
+        TotalLatencyModel {
+            prefill: PrefillLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+            decode: DecodeLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+        }
+    }
+
+    #[test]
+    fn padding_matches_paper_definition() {
+        assert_eq!(pad_input(1), 128.0);
+        assert_eq!(pad_input(128), 128.0);
+        assert_eq!(pad_input(129), 256.0);
+    }
+
+    #[test]
+    fn prefill_steps_are_flat_within_a_tile() {
+        let m = model().prefill;
+        assert_eq!(m.predict(129), m.predict(256));
+        assert!(m.predict(129) > m.predict(128));
+    }
+
+    #[test]
+    fn decode_closed_form_matches_tbt_sum() {
+        let d = model().decode;
+        let (i, o) = (512usize, 300usize);
+        let sum: f64 = (0..o).map(|k| d.tbt(i + k)).sum();
+        assert!((d.predict(i, o) - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefill_fit_recovers_known_coefficients() {
+        let truth = PrefillLatencyModel {
+            a: 6.65e-7,
+            b: 2.9e-4,
+            c: 0.104,
+        };
+        let samples: Vec<(usize, f64)> =
+            (1..=32).map(|k| (k * 128, truth.predict(k * 128))).collect();
+        let fitted = PrefillLatencyModel::fit(&samples).unwrap();
+        assert!((fitted.a - truth.a).abs() / truth.a < 1e-6);
+        assert!((fitted.b - truth.b).abs() / truth.b < 1e-6);
+        assert!((fitted.c - truth.c).abs() / truth.c < 1e-6);
+    }
+
+    #[test]
+    fn decode_fit_recovers_known_coefficients() {
+        let truth = DecodeLatencyModel { m: 6.92e-7, n: 0.092 };
+        let samples: Vec<LatencySample> = (1..=40)
+            .map(|k| {
+                let i = 64 * k;
+                let o = 32 * k;
+                LatencySample {
+                    input_tokens: i,
+                    output_tokens: o,
+                    latency_s: truth.predict(i, o),
+                }
+            })
+            .collect();
+        let fitted = DecodeLatencyModel::fit(&samples).unwrap();
+        assert!((fitted.m - truth.m).abs() / truth.m < 1e-6);
+        assert!((fitted.n - truth.n).abs() / truth.n < 1e-6);
+    }
+
+    #[test]
+    fn budget_inversion_round_trips() {
+        let m = model();
+        for budget in [5.0, 10.0, 30.0, 120.0] {
+            let o = m.max_output_tokens(512, budget);
+            assert!(o > 0, "budget {budget}s must admit tokens");
+            assert!(m.predict(512, o) <= budget + 1e-9);
+            assert!(
+                m.predict(512, o + 1) > budget,
+                "budget {budget}: O={o} is not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_smaller_than_prefill_admits_zero() {
+        let m = model();
+        assert_eq!(m.max_output_tokens(4096, 0.01), 0);
+    }
+
+    #[test]
+    fn negative_m_inversion_still_works() {
+        // The 1.5B model's fitted m is slightly negative (Table V).
+        let m = TotalLatencyModel {
+            prefill: PrefillLatencyModel::paper_reference(ModelId::Dsr1Qwen1_5b).unwrap(),
+            decode: DecodeLatencyModel::paper_reference(ModelId::Dsr1Qwen1_5b).unwrap(),
+        };
+        let o = m.max_output_tokens(512, 10.0);
+        assert!(o > 300 && o < 500, "~417 tokens fit in 10 s, got {o}");
+    }
+
+    #[test]
+    fn paper_reference_only_for_dsr1() {
+        assert!(PrefillLatencyModel::paper_reference(ModelId::Gemma7bIt).is_none());
+        assert!(DecodeLatencyModel::paper_reference(ModelId::L1Max).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! # edgereasoning-core
+//!
+//! The paper's primary contribution, implemented as a library:
+//!
+//! * [`fit`] — from-scratch least squares, log/exponential and piecewise
+//!   fitting (normal equations + transition search).
+//! * [`latency`] — the analytical latency models of §IV-A: quadratic
+//!   128-padded prefill (Eqn. 1), closed-form decode (Eqn. 2), their sum
+//!   (Eqn. 3) and its inversion into token budgets.
+//! * [`energy`] — the §IV-B power/energy models: piecewise const+log
+//!   power (Eqns. 4/6) and exp-decay+log energy-per-token (Eqn. 5), with
+//!   the paper's published coefficients embedded for comparison.
+//! * [`cost`] — the §III-B edge-deployment cost model ($/1M tokens from
+//!   electricity + amortized hardware; Table III).
+//! * [`rig`] — the characterization rig that sweeps the simulated Orin,
+//!   fits the models, validates MAPE (Table VI) and produces full
+//!   accuracy/latency/energy/cost cell reports (Tables X/XI).
+//! * [`planner`] — Pareto frontiers, latency-regime analysis, and
+//!   budget-aware planning with token-adherent models (takeaway #6).
+//!
+//! # Example
+//!
+//! ```
+//! use edgereasoning_core::rig::{Rig, RigConfig};
+//! use edgereasoning_kernels::arch::ModelId;
+//! use edgereasoning_kernels::dtype::Precision;
+//!
+//! let mut rig = Rig::new(RigConfig::default());
+//! let fitted = rig.characterize_latency(ModelId::Dsr1Llama8b, Precision::Fp16);
+//! // Fitted TBT ≈ the paper's 0.092 s (Table V).
+//! assert!((fitted.decode.n / 0.092 - 1.0).abs() < 0.2);
+//! // Invert: how many tokens fit in 10 s after a 512-token prompt?
+//! let budget = fitted.max_output_tokens(512, 10.0);
+//! assert!(budget > 50 && budget < 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod energy;
+pub mod fit;
+pub mod latency;
+pub mod offload;
+pub mod planner;
+pub mod rig;
+pub mod speculative;
+
+pub use cost::{CloudPricing, CostBreakdown, CostModel};
+pub use energy::{EnergyPerTokenModel, PhasePowerModel};
+pub use latency::{DecodeLatencyModel, LatencySample, PrefillLatencyModel, TotalLatencyModel};
+pub use planner::{pareto_frontier, ConfigPoint, Planner};
+pub use rig::{CellReport, MapeReport, Rig, RigConfig};
+pub use speculative::SpeculativeConfig;

@@ -1,0 +1,126 @@
+//! Heterogeneous CPU-offload what-if analysis (paper §V-E / §VI).
+//!
+//! The paper observes that during GPU decode the Orin's 12 Cortex-A78AE
+//! cores sit ≤20 % utilized, and proposes offloading lightweight kernels —
+//! tokenization, layer-norm, softmax, embedding lookups — to the host and
+//! overlapping them with GPU matmuls (cheap on a shared-memory SoC). This
+//! module bounds the achievable gain from the kernel-level breakdown.
+
+use edgereasoning_kernels::arch::ModelArch;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_kernels::phases::decode_step_kernels;
+use edgereasoning_soc::cpu::Cpu;
+use edgereasoning_soc::gpu::{ExecCalib, Gpu};
+use edgereasoning_soc::kernel::KernelClass;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the offload analysis for one decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadReport {
+    /// Baseline GPU-only step latency, seconds.
+    pub baseline_s: f64,
+    /// GPU time of the offloadable (elementwise/reduction/memcopy)
+    /// kernels, seconds.
+    pub offloadable_gpu_s: f64,
+    /// CPU time those kernels would take on the A78AE cluster, seconds.
+    pub offloaded_cpu_s: f64,
+    /// Step latency with perfect overlap of the offloaded work, seconds.
+    pub overlapped_s: f64,
+}
+
+impl OffloadReport {
+    /// Relative speedup from offloading (≥ 1 when profitable).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.overlapped_s
+    }
+
+    /// Whether offloading helps at all (CPU keeps up with the overlap
+    /// window).
+    pub fn is_profitable(&self) -> bool {
+        self.overlapped_s < self.baseline_s * 0.999
+    }
+}
+
+/// Analyzes one decode step: moves every elementwise/reduction/embedding
+/// kernel to the CPU and overlaps it with the GPU matmul stream. The
+/// overlapped latency is `max(gpu_matmul_time, cpu_time)` — perfect
+/// pipelining, i.e. an upper bound on the §VI opportunity.
+pub fn analyze_decode_offload(
+    gpu: &mut Gpu,
+    cpu: &mut Cpu,
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+    ctx: usize,
+) -> OffloadReport {
+    let kernels = decode_step_kernels(arch, prec, batch, ctx);
+    let offloadable = |class: KernelClass| {
+        matches!(
+            class,
+            KernelClass::Elementwise | KernelClass::Reduction | KernelClass::MemCopy
+        )
+    };
+
+    let mut gpu_matmul_s = 0.0;
+    let mut offloadable_gpu_s = 0.0;
+    let mut offloaded_cpu_s = 0.0;
+    for k in &kernels {
+        let g = gpu.execute_calibrated(k, &ExecCalib::default());
+        if offloadable(k.class) {
+            offloadable_gpu_s += g.latency_s;
+            offloaded_cpu_s += cpu.execute(k).latency_s;
+        } else {
+            gpu_matmul_s += g.latency_s;
+        }
+    }
+    let baseline_s = gpu_matmul_s + offloadable_gpu_s;
+    OffloadReport {
+        baseline_s,
+        offloadable_gpu_s,
+        offloaded_cpu_s,
+        overlapped_s: gpu_matmul_s.max(offloaded_cpu_s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgereasoning_kernels::arch::ModelId;
+    use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+
+    fn rig() -> (Gpu, Cpu) {
+        let soc = OrinSpec::agx_orin_64gb();
+        (Gpu::new(soc.gpu, PowerMode::MaxN, 1), Cpu::new(soc.cpu, 1))
+    }
+
+    #[test]
+    fn offload_gain_is_bounded_by_elementwise_share() {
+        let (mut gpu, mut cpu) = rig();
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let r = analyze_decode_offload(&mut gpu, &mut cpu, &arch, Precision::Fp16, 1, 512);
+        assert!(r.baseline_s > 0.0);
+        // Elementwise work is a few percent of a bandwidth-bound step.
+        let share = r.offloadable_gpu_s / r.baseline_s;
+        assert!((0.005..0.2).contains(&share), "share {share}");
+        assert!(r.speedup() >= 1.0);
+        assert!(r.speedup() < 1.25, "offload cannot beat the matmul floor");
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let (mut gpu, mut cpu) = rig();
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let r = analyze_decode_offload(&mut gpu, &mut cpu, &arch, Precision::Fp16, 1, 256);
+        assert!(r.overlapped_s <= r.baseline_s);
+        assert!(r.overlapped_s >= r.baseline_s - r.offloadable_gpu_s - 1e-12);
+    }
+
+    #[test]
+    fn batch_raises_cpu_side_cost() {
+        let (mut gpu, mut cpu) = rig();
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let r1 = analyze_decode_offload(&mut gpu, &mut cpu, &arch, Precision::Fp16, 1, 512);
+        let r32 = analyze_decode_offload(&mut gpu, &mut cpu, &arch, Precision::Fp16, 32, 512);
+        assert!(r32.offloaded_cpu_s > r1.offloaded_cpu_s);
+    }
+}

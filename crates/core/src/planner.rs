@@ -1,0 +1,242 @@
+//! Deployment planning: Pareto frontiers over (latency, accuracy, cost)
+//! and latency-constrained configuration selection — the paper's synthesis
+//! (Figs. 1 and 6–8, takeaways #4/#6/#8).
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_models::predict::expected_accuracy;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::latency::TotalLatencyModel;
+
+/// One evaluated deployment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Model.
+    pub model: ModelId,
+    /// Weight precision.
+    pub precision: Precision,
+    /// Prompting configuration.
+    pub config: PromptConfig,
+    /// Parallel scaling factor.
+    pub parallel: usize,
+    /// Accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Average latency per question, seconds.
+    pub latency_s: f64,
+    /// Cost, $ per million tokens.
+    pub cost_per_mtok: f64,
+    /// Average generated tokens per question (per sequence).
+    pub avg_tokens: f64,
+}
+
+/// Extracts the Pareto-optimal subset minimizing `x` while maximizing `y`.
+/// Returned in increasing `x`. Ties on `x` keep only the best `y`.
+pub fn pareto_frontier<T, FX, FY>(points: &[T], x: FX, y: FY) -> Vec<usize>
+where
+    FX: Fn(&T) -> f64,
+    FY: Fn(&T) -> f64,
+{
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&i, &j| {
+        x(&points[i])
+            .total_cmp(&x(&points[j]))
+            .then(y(&points[j]).total_cmp(&y(&points[i])))
+    });
+    let mut frontier = Vec::new();
+    let mut best_y = f64::NEG_INFINITY;
+    for i in idx {
+        let yi = y(&points[i]);
+        if yi > best_y {
+            frontier.push(i);
+            best_y = yi;
+        }
+    }
+    frontier
+}
+
+/// A deployment planner over a set of evaluated configurations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Planner {
+    points: Vec<ConfigPoint>,
+}
+
+impl Planner {
+    /// Creates a planner from evaluated configuration points.
+    pub fn new(points: Vec<ConfigPoint>) -> Self {
+        Self { points }
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[ConfigPoint] {
+        &self.points
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, p: ConfigPoint) {
+        self.points.push(p);
+    }
+
+    /// The latency–accuracy Pareto frontier, in increasing latency.
+    pub fn latency_frontier(&self) -> Vec<&ConfigPoint> {
+        pareto_frontier(&self.points, |p| p.latency_s, |p| p.accuracy_pct)
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+
+    /// The cost–accuracy Pareto frontier, in increasing cost.
+    pub fn cost_frontier(&self) -> Vec<&ConfigPoint> {
+        pareto_frontier(&self.points, |p| p.cost_per_mtok, |p| p.accuracy_pct)
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+
+    /// The most accurate configuration meeting a latency budget.
+    pub fn best_under_latency(&self, budget_s: f64) -> Option<&ConfigPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.latency_s <= budget_s)
+            .max_by(|a, b| a.accuracy_pct.total_cmp(&b.accuracy_pct))
+    }
+
+    /// The most accurate configuration meeting a cost budget ($/1M tok).
+    pub fn best_under_cost(&self, budget: f64) -> Option<&ConfigPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.cost_per_mtok <= budget)
+            .max_by(|a, b| a.accuracy_pct.total_cmp(&b.accuracy_pct))
+    }
+
+    /// Describes the operational regimes along the latency frontier: for
+    /// each frontier point, the latency span over which its model family
+    /// is optimal (the paper's sub-5 s / 15–30 s / >30 s regime analysis).
+    pub fn regimes(&self) -> Vec<(f64, f64, ConfigPoint)> {
+        let frontier = self.latency_frontier();
+        let mut out = Vec::new();
+        for (k, p) in frontier.iter().enumerate() {
+            let start = p.latency_s;
+            let end = frontier
+                .get(k + 1)
+                .map_or(f64::INFINITY, |next| next.latency_s);
+            out.push((start, end, **p));
+        }
+        out
+    }
+}
+
+/// Budget-aware planning with a token-budget-adherent model (takeaway #6):
+/// given a latency target and prompt length, compute the token budget the
+/// latency model admits and the accuracy the budget-aware model is
+/// predicted to reach with it.
+pub fn plan_token_budget(
+    latency: &TotalLatencyModel,
+    model: ModelId,
+    precision: Precision,
+    bench: Benchmark,
+    input_tokens: usize,
+    latency_target_s: f64,
+) -> Option<(u32, f64)> {
+    let budget = latency.max_output_tokens(input_tokens, latency_target_s);
+    if budget == 0 {
+        return None;
+    }
+    let budget = u32::try_from(budget).ok()?;
+    let acc = 100.0 * expected_accuracy(model, precision, bench, PromptConfig::Hard(budget));
+    Some((budget, acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(latency: f64, acc: f64, cost: f64) -> ConfigPoint {
+        ConfigPoint {
+            model: ModelId::Dsr1Qwen1_5b,
+            precision: Precision::Fp16,
+            config: PromptConfig::Base,
+            parallel: 1,
+            accuracy_pct: acc,
+            latency_s: latency,
+            cost_per_mtok: cost,
+            avg_tokens: 100.0,
+        }
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points() {
+        let pts = vec![
+            pt(1.0, 30.0, 0.01),
+            pt(2.0, 25.0, 0.02), // dominated: slower and less accurate
+            pt(3.0, 50.0, 0.05),
+            pt(10.0, 80.0, 0.2),
+            pt(9.0, 80.0, 0.3), // same accuracy, faster -> keeps this one
+        ];
+        let f = Planner::new(pts).latency_frontier().len();
+        assert_eq!(f, 3);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts: Vec<ConfigPoint> = (0..50)
+            .map(|i| pt((i % 10) as f64 + 1.0, (i * 7 % 90) as f64, 0.01 * i as f64))
+            .collect();
+        let planner = Planner::new(pts);
+        let f = planner.latency_frontier();
+        for w in f.windows(2) {
+            assert!(w[1].latency_s > w[0].latency_s);
+            assert!(w[1].accuracy_pct > w[0].accuracy_pct);
+        }
+    }
+
+    #[test]
+    fn best_under_budget_selection() {
+        let planner = Planner::new(vec![pt(1.0, 30.0, 0.01), pt(5.0, 60.0, 0.1), pt(50.0, 80.0, 0.2)]);
+        assert_eq!(planner.best_under_latency(10.0).unwrap().accuracy_pct, 60.0);
+        assert!(planner.best_under_latency(0.5).is_none());
+        assert_eq!(planner.best_under_cost(0.05).unwrap().accuracy_pct, 30.0);
+    }
+
+    #[test]
+    fn regimes_cover_the_axis() {
+        let planner = Planner::new(vec![pt(1.0, 30.0, 0.01), pt(5.0, 60.0, 0.1), pt(50.0, 80.0, 0.2)]);
+        let regimes = planner.regimes();
+        assert_eq!(regimes.len(), 3);
+        assert_eq!(regimes[0].1, regimes[1].0);
+        assert!(regimes[2].1.is_infinite());
+    }
+
+    #[test]
+    fn token_budget_planning_round_trip() {
+        use crate::latency::{DecodeLatencyModel, PrefillLatencyModel};
+        let latency = TotalLatencyModel {
+            prefill: PrefillLatencyModel::paper_reference(ModelId::Dsr1Qwen1_5b).unwrap(),
+            decode: DecodeLatencyModel::paper_reference(ModelId::Dsr1Qwen1_5b).unwrap(),
+        };
+        let (budget, acc) = plan_token_budget(
+            &latency,
+            ModelId::L1Max,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            256,
+            5.0,
+        )
+        .expect("5 s admits a budget");
+        assert!(budget > 100, "5 s admits >100 tokens on the 1.5B: {budget}");
+        assert!(acc > 10.0 && acc < 60.0, "predicted accuracy {acc}");
+        // Tighter budgets shrink.
+        let (b2, _) = plan_token_budget(
+            &latency,
+            ModelId::L1Max,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            256,
+            1.0,
+        )
+        .unwrap();
+        assert!(b2 < budget);
+    }
+}

@@ -1,0 +1,148 @@
+//! Speculative-decoding what-if analysis (paper §VI).
+//!
+//! The paper identifies speculative decoding as a way to raise the
+//! arithmetic intensity of the bandwidth-bound decode phase: a small draft
+//! model proposes `k` tokens which the target model verifies in one
+//! batched forward pass. This module provides the standard analytical
+//! model (Leviathan et al.) instantiated with the simulator's measured
+//! step times, so the ablation bench can report expected speedups on the
+//! Orin for every draft/target pairing.
+
+use edgereasoning_kernels::arch::ModelId;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a speculative-decoding deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeculativeConfig {
+    /// Draft model proposing tokens.
+    pub draft: ModelId,
+    /// Target model verifying them.
+    pub target: ModelId,
+    /// Tokens drafted per verification step.
+    pub draft_len: usize,
+    /// Probability the target accepts one drafted token (token-level
+    /// agreement; ≈0.6–0.9 for same-family pairs in practice).
+    pub acceptance: f64,
+}
+
+impl SpeculativeConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draft_len == 0` or `acceptance` is outside `(0, 1]`.
+    pub fn new(draft: ModelId, target: ModelId, draft_len: usize, acceptance: f64) -> Self {
+        assert!(draft_len > 0, "draft_len must be positive");
+        assert!(
+            acceptance > 0.0 && acceptance <= 1.0,
+            "acceptance must be in (0, 1]"
+        );
+        Self {
+            draft,
+            target,
+            draft_len,
+            acceptance,
+        }
+    }
+
+    /// Expected tokens emitted per verification cycle: the standard
+    /// geometric-acceptance result `(1 − α^(k+1)) / (1 − α)` (Leviathan et
+    /// al.), counting the bonus token the verifier always contributes.
+    pub fn expected_tokens_per_cycle(&self) -> f64 {
+        let a = self.acceptance;
+        let k = self.draft_len as f64;
+        if (a - 1.0).abs() < 1e-12 {
+            k + 1.0
+        } else {
+            (1.0 - a.powf(k + 1.0)) / (1.0 - a)
+        }
+    }
+
+    /// Expected wall-clock speedup over plain autoregressive decoding,
+    /// given the measured per-step times of the two models.
+    ///
+    /// `verify_overhead` is the relative extra cost of the target's
+    /// (k+1)-token verification step versus its 1-token step. On the
+    /// bandwidth-bound Orin this is small — the weights are read either
+    /// way — which is exactly why the paper flags speculation as
+    /// promising there.
+    pub fn speedup(&self, draft_step_s: f64, target_step_s: f64, verify_overhead: f64) -> f64 {
+        assert!(draft_step_s > 0.0 && target_step_s > 0.0, "step times must be positive");
+        let cycle_s =
+            self.draft_len as f64 * draft_step_s + target_step_s * (1.0 + verify_overhead);
+        let tokens = self.expected_tokens_per_cycle();
+        (tokens * target_step_s) / cycle_s
+    }
+
+    /// The draft length maximizing speedup for the given step times,
+    /// scanned over `1..=max_k`.
+    pub fn best_draft_len(
+        &self,
+        draft_step_s: f64,
+        target_step_s: f64,
+        verify_overhead: f64,
+        max_k: usize,
+    ) -> (usize, f64) {
+        (1..=max_k.max(1))
+            .map(|k| {
+                let cfg = Self {
+                    draft_len: k,
+                    ..*self
+                };
+                (k, cfg.speedup(draft_step_s, target_step_s, verify_overhead))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: usize, a: f64) -> SpeculativeConfig {
+        SpeculativeConfig::new(ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b, k, a)
+    }
+
+    #[test]
+    fn expected_tokens_formula() {
+        // α = 0.5, k = 2: (1 - 0.125) / 0.5 = 1.75.
+        assert!((cfg(2, 0.5).expected_tokens_per_cycle() - 1.75).abs() < 1e-12);
+        // Perfect acceptance: k + 1 tokens.
+        assert!((cfg(4, 1.0).expected_tokens_per_cycle() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_exceeds_one_for_fast_draft_and_high_acceptance() {
+        // 1.5B draft (24 ms) for 14B target (187 ms) at 80% acceptance.
+        let s = cfg(4, 0.8).speedup(0.024, 0.187, 0.05);
+        assert!(s > 1.5, "expected solid speedup, got {s}");
+    }
+
+    #[test]
+    fn speedup_collapses_with_slow_draft() {
+        // Draft as slow as the target never helps.
+        let s = cfg(4, 0.8).speedup(0.187, 0.187, 0.05);
+        assert!(s < 1.0, "slow draft must lose, got {s}");
+    }
+
+    #[test]
+    fn low_acceptance_hurts() {
+        let high = cfg(4, 0.9).speedup(0.024, 0.187, 0.05);
+        let low = cfg(4, 0.3).speedup(0.024, 0.187, 0.05);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn best_draft_len_is_interior_for_moderate_acceptance() {
+        let (k, s) = cfg(1, 0.7).best_draft_len(0.024, 0.187, 0.05, 16);
+        assert!((2..=10).contains(&k), "optimal k should be moderate: {k}");
+        assert!(s > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptance")]
+    fn invalid_acceptance_panics() {
+        let _ = SpeculativeConfig::new(ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b, 4, 1.5);
+    }
+}

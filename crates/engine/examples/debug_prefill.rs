@@ -1,0 +1,16 @@
+use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+
+fn main() {
+    let mut e = InferenceEngine::new(EngineConfig::vllm(), 1);
+    for model in ModelId::DSR1 {
+        for i in [128usize, 512, 1024, 4096] {
+            let p = e.run_prefill(model, Precision::Fp16, i);
+            println!(
+                "{model:16} I={i:5}  L={:8.3} s  P={:5.1} W  E/tok={:7.4} J",
+                p.latency_s, p.avg_power_w, p.energy_j / i as f64
+            );
+        }
+    }
+}

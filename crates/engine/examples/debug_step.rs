@@ -1,0 +1,35 @@
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_kernels::phases::decode_step_kernels;
+use edgereasoning_soc::gpu::{ExecCalib, Gpu};
+use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+
+fn main() {
+    let mut gpu = Gpu::new(OrinSpec::agx_orin_64gb().gpu, PowerMode::MaxN, 1);
+    for (model, batch, ctx) in [
+        (ModelId::Dsr1Qwen1_5b, 1usize, 512usize),
+        (ModelId::Dsr1Llama8b, 1, 512),
+        (ModelId::Dsr1Qwen14b, 1, 512),
+        (ModelId::Dsr1Qwen1_5b, 64, 640),
+        (ModelId::Dsr1Llama8b, 64, 640),
+    ] {
+        let arch = model.arch();
+        let ks = decode_step_kernels(&arch, Precision::Fp16, batch, ctx);
+        let mut by_class: std::collections::BTreeMap<String, (f64, usize, f64)> = Default::default();
+        let mut total = 0.0;
+        let mut total_p = 0.0;
+        for k in &ks {
+            let e = gpu.execute_calibrated(k, &ExecCalib::default());
+            let entry = by_class.entry(format!("{:?}", k.class)).or_default();
+            entry.0 += e.latency_s;
+            entry.1 += 1;
+            entry.2 += e.energy_j;
+            total += e.latency_s;
+            total_p += e.energy_j;
+        }
+        println!("== {model} batch={batch} ctx={ctx}: total {:.2} ms, avg power {:.1} W", total*1e3, total_p/total);
+        for (c, (t, n, _e)) in &by_class {
+            println!("   {c:12} n={n:4} t={:.3} ms", t*1e3);
+        }
+    }
+}

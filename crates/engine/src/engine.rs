@@ -1,0 +1,498 @@
+//! The simulated inference engine.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
+use edgereasoning_soc::gpu::{Gpu, PhaseStats};
+use edgereasoning_soc::rng::Rng;
+use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
+use serde::{Deserialize, Serialize};
+
+use crate::kv_cache::KvCacheManager;
+use crate::outcome::{InferenceOutcome, TbtSample};
+use crate::request::GenerationRequest;
+use crate::EngineError;
+
+/// The serving stacks compared in the paper's Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// vLLM v0.8.6 — paged attention, efficient scheduler (the default
+    /// stack used for every other experiment in the paper).
+    #[default]
+    Vllm,
+    /// Hugging Face Transformers v4.46.2 — Python generation loop, no
+    /// paged attention; ≈1.12× slower end-to-end.
+    Hft,
+    /// TensorRT-LLM v0.12 — compiled engine, performance ≈ vLLM.
+    TrtLlm,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Vllm => write!(f, "vLLM"),
+            EngineKind::Hft => write!(f, "HFT"),
+            EngineKind::TrtLlm => write!(f, "TRT-LLM"),
+        }
+    }
+}
+
+/// Engine configuration: serving stack, device, power mode and host-side
+/// overhead profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Which serving stack's overhead profile to use.
+    pub kind: EngineKind,
+    /// The SoC to run on.
+    pub soc: OrinSpec,
+    /// GPU power mode.
+    pub mode: PowerMode,
+    /// Host (CPU) time per decode step not overlapped with GPU work, s.
+    pub host_per_step_s: f64,
+    /// Additional host time per sequence per decode step (sampling,
+    /// detokenization), s.
+    pub host_per_seq_step_s: f64,
+    /// Fixed per-request overhead (tokenization, scheduling, API), s.
+    pub request_overhead_s: f64,
+    /// Tokens per KV-cache block.
+    pub kv_block_tokens: usize,
+    /// Fraction of device memory usable for weights + KV cache.
+    pub memory_budget_frac: f64,
+    /// Decode steps simulated per representative kernel build (context
+    /// granularity of the decode simulation).
+    pub decode_chunk: usize,
+    /// Relative std-dev of run-to-run wall-clock variability (OS jitter,
+    /// background daemons) applied per generation.
+    pub run_noise: f64,
+    /// DVFS power-ramp time constant, seconds (0 disables). Short runs
+    /// draw near-idle power until clocks ramp; see
+    /// [`edgereasoning_soc::power::ramp_avg_factor`].
+    pub power_ramp_tau_s: f64,
+}
+
+impl EngineConfig {
+    fn base(kind: EngineKind) -> Self {
+        Self {
+            kind,
+            soc: OrinSpec::agx_orin_64gb(),
+            mode: PowerMode::MaxN,
+            host_per_step_s: 1.2e-3,
+            host_per_seq_step_s: 0.28e-3,
+            request_overhead_s: 0.35,
+            kv_block_tokens: 16,
+            memory_budget_frac: 0.92,
+            decode_chunk: 48,
+            run_noise: 0.005,
+            power_ramp_tau_s: 10.0,
+        }
+    }
+
+    /// vLLM profile (the paper's default engine).
+    pub fn vllm() -> Self {
+        Self::base(EngineKind::Vllm)
+    }
+
+    /// Hugging Face Transformers profile: a Python-loop decode adds ≈11 ms
+    /// of un-overlapped host time per step (calibrated to Table IX's
+    /// 1.12–1.13× vLLM speedup on DSR1-Llama-8B).
+    pub fn hft() -> Self {
+        Self {
+            host_per_step_s: 12.2e-3,
+            request_overhead_s: 0.50,
+            ..Self::base(EngineKind::Hft)
+        }
+    }
+
+    /// TRT-LLM profile (≈ vLLM performance).
+    pub fn trt_llm() -> Self {
+        Self {
+            host_per_step_s: 1.05e-3,
+            request_overhead_s: 0.42,
+            ..Self::base(EngineKind::TrtLlm)
+        }
+    }
+
+    /// Returns the profile for a given engine kind.
+    pub fn for_kind(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Vllm => Self::vllm(),
+            EngineKind::Hft => Self::hft(),
+            EngineKind::TrtLlm => Self::trt_llm(),
+        }
+    }
+
+    /// Sets the power mode, builder-style.
+    pub fn with_mode(mut self, mode: PowerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Swaps in a different GPU (e.g. [`GpuSpec::h100_sxm`] for the
+    /// server-side runs of the paper's artifact), builder-style.
+    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
+        self.soc.gpu = gpu;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::vllm()
+    }
+}
+
+/// A simulated inference engine bound to one simulated device.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    config: EngineConfig,
+    gpu: Gpu,
+    run_rng: Rng,
+}
+
+impl InferenceEngine {
+    /// Creates an engine with a deterministic measurement-noise seed.
+    pub fn new(config: EngineConfig, seed: u64) -> Self {
+        let gpu = Gpu::new(config.soc.gpu.clone(), config.mode, seed);
+        Self {
+            config,
+            gpu,
+            run_rng: Rng::seed_from_u64(seed ^ 0x72756e),
+        }
+    }
+
+    /// Returns the engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Gives mutable access to the simulated GPU (e.g. to switch power
+    /// modes mid-experiment).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// Bytes available for KV cache after loading `model` at `prec`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] if the weights alone exceed the budget.
+    pub fn kv_budget_bytes(&self, model: ModelId, prec: Precision) -> Result<u64, EngineError> {
+        let arch = model.arch();
+        let budget =
+            (self.config.soc.gpu.dram_capacity as f64 * self.config.memory_budget_frac) as u64;
+        let weights = arch.weight_bytes(prec);
+        budget.checked_sub(weights).ok_or(EngineError::OutOfMemory {
+            needed: weights,
+            available: budget,
+        })
+    }
+
+    /// Runs a full generation.
+    ///
+    /// Prefill executes once (batch 1, shared prompt — the paper's parallel
+    /// scaling setup, §V-E); decode runs at `req.batch`. Decode steps are
+    /// simulated at chunk-granularity representative contexts, which is
+    /// exact for the linear-in-context KV traffic and keeps dataset-scale
+    /// studies tractable — mirroring the paper's own use of fitted models
+    /// for full-dataset latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidRequest`] for zero-sized fields and
+    /// [`EngineError::OutOfMemory`] when weights + KV cache do not fit.
+    pub fn run(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        req: &GenerationRequest,
+    ) -> Result<InferenceOutcome, EngineError> {
+        req.validate().map_err(EngineError::InvalidRequest)?;
+        let arch = model.arch();
+        let cache_bytes = self.kv_budget_bytes(model, prec)?;
+        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens);
+
+        // Reserve the whole request up front (vLLM would admit and preempt;
+        // for a single request the effect is the same).
+        if !kv.would_fit(req.batch, req.prompt_tokens + req.max_new_tokens) {
+            return Err(EngineError::OutOfMemory {
+                needed: kv.bytes_per_token()
+                    * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
+                available: kv.free_tokens() * kv.bytes_per_token(),
+            });
+        }
+        let seqs: Vec<_> = (0..req.batch)
+            .map(|_| kv.allocate(req.prompt_tokens).expect("checked fit"))
+            .collect();
+
+        // --- Prefill (batch 1, shared prompt). ---
+        let prefill_ks = prefill_kernels(&arch, prec, 1, req.prompt_tokens);
+        let prefill = self.gpu.run_phase(prefill_ks.iter(), &arch.calib.prefill);
+
+        // --- Decode, chunked over growing context. ---
+        let idle_w = self.gpu.power_model().idle_w;
+        let host_per_step =
+            self.config.host_per_step_s + self.config.host_per_seq_step_s * req.batch as f64;
+        let mut decode = PhaseStats::default();
+        let mut trace = Vec::new();
+        let mut produced = 0usize;
+        while produced < req.max_new_tokens {
+            let chunk = self.config.decode_chunk.min(req.max_new_tokens - produced);
+            let ctx = req.prompt_tokens + produced + chunk / 2;
+            for &s in &seqs {
+                let ok = kv.grow(s, req.prompt_tokens + produced + chunk);
+                debug_assert!(ok, "reservation checked up front");
+            }
+            let step_ks = decode_step_kernels(&arch, prec, req.batch, ctx);
+            let gpu_step = self.gpu.run_phase(step_ks.iter(), &arch.calib.decode);
+            // Un-overlapped host time shows up as idle-power gaps between
+            // steps; fold it into the phase so TBT and power averages match
+            // what an external power meter would see.
+            let host_gap = PhaseStats {
+                latency_s: host_per_step,
+                energy_j: host_per_step * idle_w,
+                avg_power_w: idle_w,
+                ..PhaseStats::default()
+            };
+            let mut step = gpu_step;
+            step.merge(&host_gap);
+            trace.push(TbtSample {
+                ctx,
+                tbt_s: step.latency_s,
+            });
+            decode.merge(&step.repeated(chunk));
+            produced += chunk;
+        }
+        for s in seqs {
+            kv.release(s);
+        }
+
+        // Run-level wall-clock variability (scheduling, thermals) that
+        // per-kernel noise averages away over hundreds of launches.
+        let jitter = self.run_rng.jitter(self.config.run_noise);
+        let scale_phase = |p: &PhaseStats| PhaseStats {
+            latency_s: p.latency_s * jitter,
+            energy_j: p.energy_j * jitter,
+            ..*p
+        };
+        let prefill = scale_phase(&prefill);
+        let decode = scale_phase(&decode);
+
+        // DVFS power ramp: dynamic power rises toward steady state over
+        // ~10 s, so short generations consume far less energy per token.
+        let idle_w = self.gpu.power_model().idle_w;
+        let tau = self.config.power_ramp_tau_s;
+        let prefill = apply_ramp(&prefill, 0.0, idle_w, tau);
+        let decode = apply_ramp(&decode, prefill.latency_s, idle_w, tau);
+
+        Ok(InferenceOutcome {
+            model,
+            precision: prec,
+            batch: req.batch,
+            prompt_tokens: req.prompt_tokens,
+            generated_tokens: req.max_new_tokens,
+            prefill,
+            decode,
+            host_s: self.config.request_overhead_s,
+            tbt_trace: trace,
+        })
+    }
+
+    /// Runs only a prefill pass (used by the §IV characterization sweeps).
+    pub fn run_prefill(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        prompt_tokens: usize,
+    ) -> PhaseStats {
+        let arch = model.arch();
+        let ks = prefill_kernels(&arch, prec, 1, prompt_tokens);
+        let phase = self.gpu.run_phase(ks.iter(), &arch.calib.prefill);
+        let idle_w = self.gpu.power_model().idle_w;
+        apply_ramp(&phase, 0.0, idle_w, self.config.power_ramp_tau_s)
+    }
+
+    /// Measures the time-between-tokens of one decode step at a given
+    /// context and batch (Fig. 3b / Fig. 10a style probes). Includes host
+    /// per-step overhead.
+    pub fn probe_tbt(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        batch: usize,
+        ctx: usize,
+    ) -> PhaseStats {
+        let arch = model.arch();
+        let ks = decode_step_kernels(&arch, prec, batch, ctx);
+        let mut step = self.gpu.run_phase(ks.iter(), &arch.calib.decode);
+        let idle_w = self.gpu.power_model().idle_w;
+        let host = self.config.host_per_step_s + self.config.host_per_seq_step_s * batch as f64;
+        step.merge(&PhaseStats {
+            latency_s: host,
+            energy_j: host * idle_w,
+            avg_power_w: idle_w,
+            ..PhaseStats::default()
+        });
+        step
+    }
+}
+
+/// Rescales a phase's energy/average power for the DVFS ramp over the
+/// window starting at `start_s` into the run.
+fn apply_ramp(phase: &PhaseStats, start_s: f64, idle_w: f64, tau_s: f64) -> PhaseStats {
+    use edgereasoning_soc::power::ramp_avg_factor;
+    if tau_s == 0.0 || phase.latency_s <= 0.0 {
+        return *phase;
+    }
+    let factor = ramp_avg_factor(start_s, start_s + phase.latency_s, tau_s);
+    let dynamic = (phase.avg_power_w - idle_w).max(0.0);
+    let avg_power_w = idle_w + dynamic * factor;
+    PhaseStats {
+        avg_power_w,
+        energy_j: avg_power_w * phase.latency_s,
+        ..*phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> InferenceEngine {
+        InferenceEngine::new(EngineConfig::vllm(), 7)
+    }
+
+    /// Calibration anchor: FP16 TBT ≈ 24 / 92 / 187 ms for the three DSR1
+    /// models (paper §IV-A), within 15 %.
+    #[test]
+    fn tbt_matches_paper_anchors() {
+        let mut e = engine();
+        let cases = [
+            (ModelId::Dsr1Qwen1_5b, 0.024),
+            (ModelId::Dsr1Llama8b, 0.092),
+            (ModelId::Dsr1Qwen14b, 0.187),
+        ];
+        for (model, expected) in cases {
+            let step = e.probe_tbt(model, Precision::Fp16, 1, 512);
+            let rel = (step.latency_s / expected - 1.0).abs();
+            assert!(
+                rel < 0.15,
+                "{model}: TBT {:.4} s vs paper {expected} s ({:.0}% off)",
+                step.latency_s,
+                rel * 100.0
+            );
+        }
+    }
+
+    /// Calibration anchor: W4A16 decode speedup vs FP16 grows with model
+    /// size (paper takeaway #11: ~2× for 1.5B up to ~3× for 14B).
+    #[test]
+    fn quantized_decode_speedup_grows_with_size() {
+        let mut e = engine();
+        let mut speedup = |m: ModelId| {
+            let fp = e.probe_tbt(m, Precision::Fp16, 1, 512).latency_s;
+            let w4 = e.probe_tbt(m, Precision::W4A16, 1, 512).latency_s;
+            fp / w4
+        };
+        let s15 = speedup(ModelId::Dsr1Qwen1_5b);
+        let s8 = speedup(ModelId::Dsr1Llama8b);
+        let s14 = speedup(ModelId::Dsr1Qwen14b);
+        assert!((1.4..2.6).contains(&s15), "1.5B speedup {s15}");
+        assert!((2.0..3.4).contains(&s8), "8B speedup {s8}");
+        assert!(s8 >= s15 * 0.95 && s14 > 1.9, "gains grow with size: {s15} {s8} {s14}");
+    }
+
+    #[test]
+    fn decode_dominates_total_latency() {
+        let mut e = engine();
+        let o = e
+            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(128, 512))
+            .expect("fits");
+        assert!(o.decode.latency_s > 50.0 * o.prefill.latency_s);
+    }
+
+    #[test]
+    fn decode_latency_linear_in_output_length() {
+        let mut e = engine();
+        let mut run = |o: usize| {
+            e.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(512, o))
+                .expect("fits")
+                .decode
+                .latency_s
+        };
+        let t256 = run(256);
+        let t1024 = run(1024);
+        let ratio = t1024 / t256;
+        assert!((3.7..4.4).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn parallel_scaling_latency_overhead_is_modest() {
+        let mut e = engine();
+        let mut tbt = |b: usize| e.probe_tbt(ModelId::Dsr1Llama8b, Precision::Fp16, b, 640).latency_s;
+        let t1 = tbt(1);
+        let t4 = tbt(4);
+        let t64 = tbt(64);
+        assert!(t4 / t1 < 1.25, "SF=4 nearly free: {}", t4 / t1);
+        let r64 = t64 / t1;
+        assert!((1.4..2.9).contains(&r64), "SF=64 ≈2x: got {r64}");
+    }
+
+    #[test]
+    fn oom_on_impossible_batch() {
+        let mut e = engine();
+        // 14B FP16 weights ≈ 29.5 GB; 64-seq × 40k-token KV cache needs
+        // ~100 GB more -> must fail.
+        let req = GenerationRequest::new(4096, 36_000).with_batch(64);
+        let err = e.run(ModelId::Dsr1Qwen14b, Precision::Fp16, &req).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_request_is_rejected() {
+        let mut e = engine();
+        let err = e
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(0, 8))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn hft_is_slower_than_vllm_by_about_12_percent() {
+        let req = GenerationRequest::new(64, 128);
+        let mut vllm = InferenceEngine::new(EngineConfig::vllm(), 3);
+        let mut hft = InferenceEngine::new(EngineConfig::hft(), 3);
+        let tv = vllm
+            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
+            .expect("fits")
+            .total_latency_s();
+        let th = hft
+            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
+            .expect("fits")
+            .total_latency_s();
+        let speedup = th / tv;
+        assert!((1.05..1.25).contains(&speedup), "HFT/vLLM = {speedup}");
+    }
+
+    #[test]
+    fn tbt_trace_contexts_grow() {
+        let mut e = engine();
+        let o = e
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(256, 200))
+            .expect("fits");
+        assert!(o.tbt_trace.len() >= 3);
+        for w in o.tbt_trace.windows(2) {
+            assert!(w[1].ctx > w[0].ctx);
+        }
+    }
+
+    #[test]
+    fn decode_power_exceeds_prefill_power_for_small_models() {
+        // Bandwidth-bound decode draws more than the short prefill on the
+        // 1.5B model (Tables XVIII/XIX).
+        let mut e = engine();
+        let o = e
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(512, 512))
+            .expect("fits");
+        assert!(o.decode.avg_power_w > o.prefill.avg_power_w);
+    }
+}

@@ -1,0 +1,80 @@
+//! # edgereasoning-engine
+//!
+//! A simulated LLM inference engine in the mold of vLLM — the serving stack
+//! the paper uses on the Jetson AGX Orin — plus overhead profiles for the
+//! Hugging Face Transformers and TRT-LLM alternatives it compares against
+//! in Table IX.
+//!
+//! The engine composes the kernel sequences from `edgereasoning-kernels`
+//! into complete generations on the simulated SoC:
+//!
+//! * [`request::GenerationRequest`] — prompt length, output budget, batch.
+//! * [`kv_cache::KvCacheManager`] — a paged KV-cache allocator with
+//!   real memory accounting against the Orin's 64 GB (requests that do not
+//!   fit fail with [`EngineError::OutOfMemory`]).
+//! * [`engine::InferenceEngine`] — runs prefill (one GEMM-shaped pass) and
+//!   decode (chunked autoregressive steps whose context grows token by
+//!   token), returning per-phase latency/energy/power/utilization
+//!   telemetry ([`outcome::InferenceOutcome`]).
+//! * Parallel test-time scaling (§V-E): prefill once at batch 1, decode at
+//!   batch = scaling factor, with per-sequence host-side sampling overhead
+//!   — reproducing the paper's Fig. 10 latency/power/energy behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
+//! use edgereasoning_engine::request::GenerationRequest;
+//! use edgereasoning_kernels::arch::ModelId;
+//! use edgereasoning_kernels::dtype::Precision;
+//!
+//! let mut engine = InferenceEngine::new(EngineConfig::vllm(), 42);
+//! let outcome = engine
+//!     .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(512, 128))?;
+//! // Decode dominates (paper takeaway #2).
+//! assert!(outcome.decode.latency_s > 10.0 * outcome.prefill.latency_s);
+//! # Ok::<(), edgereasoning_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod kv_cache;
+pub mod outcome;
+pub mod request;
+pub mod serving;
+
+pub use engine::{EngineConfig, EngineKind, InferenceEngine};
+pub use kv_cache::KvCacheManager;
+pub use outcome::{InferenceOutcome, TbtSample};
+pub use request::GenerationRequest;
+pub use serving::{simulate_serving, ServingConfig, ServingReport};
+
+/// Errors returned by the simulated engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The model weights plus KV cache exceed device memory.
+    OutOfMemory {
+        /// Bytes the request needs.
+        needed: u64,
+        /// Bytes available after weights.
+        available: u64,
+    },
+    /// A request parameter was invalid (e.g. zero-length prompt).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfMemory { needed, available } => write!(
+                f,
+                "out of device memory: need {needed} B of KV cache, {available} B available"
+            ),
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

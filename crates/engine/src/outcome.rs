@@ -1,0 +1,164 @@
+//! Inference outcome telemetry.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::gpu::PhaseStats;
+use serde::{Deserialize, Serialize};
+
+/// One sampled time-between-tokens measurement at a given context length
+/// (what the paper plots in Fig. 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TbtSample {
+    /// Context length at which the step ran.
+    pub ctx: usize,
+    /// Seconds per decoded token at that context.
+    pub tbt_s: f64,
+}
+
+/// Full telemetry of one simulated generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceOutcome {
+    /// Model that ran.
+    pub model: ModelId,
+    /// Weight precision.
+    pub precision: Precision,
+    /// Decode batch (parallel scaling factor).
+    pub batch: usize,
+    /// Prompt tokens processed.
+    pub prompt_tokens: usize,
+    /// Tokens decoded per sequence.
+    pub generated_tokens: usize,
+    /// Prefill-phase telemetry.
+    pub prefill: PhaseStats,
+    /// Decode-phase telemetry (all steps, all sequences).
+    pub decode: PhaseStats,
+    /// Host-side (CPU) time not overlapped with GPU work, seconds.
+    pub host_s: f64,
+    /// TBT samples across the decode (sparse checkpoints).
+    pub tbt_trace: Vec<TbtSample>,
+}
+
+impl InferenceOutcome {
+    /// End-to-end latency, seconds.
+    pub fn total_latency_s(&self) -> f64 {
+        self.prefill.latency_s + self.decode.latency_s + self.host_s
+    }
+
+    /// Total energy, joules (host energy is folded into phase energy via
+    /// the idle floor; the paper measures module power the same way).
+    pub fn total_energy_j(&self) -> f64 {
+        self.prefill.energy_j + self.decode.energy_j
+    }
+
+    /// Time-averaged power over the whole generation, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        let t = self.total_latency_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / t
+        }
+    }
+
+    /// Decoded tokens per second per sequence (the paper's "user TPS").
+    /// Per-step host gaps are already folded into the decode phase.
+    pub fn decode_tps(&self) -> f64 {
+        if self.decode.latency_s == 0.0 {
+            0.0
+        } else {
+            self.generated_tokens as f64 / self.decode.latency_s
+        }
+    }
+
+    /// Aggregate decoded tokens per second across the batch.
+    pub fn system_tps(&self) -> f64 {
+        self.decode_tps() * self.batch as f64
+    }
+
+    /// Mean time between tokens, seconds.
+    pub fn mean_tbt_s(&self) -> f64 {
+        if self.generated_tokens == 0 {
+            0.0
+        } else {
+            self.decode.latency_s / self.generated_tokens as f64
+        }
+    }
+
+    /// Total tokens decoded across all parallel sequences.
+    pub fn total_generated_tokens(&self) -> usize {
+        self.generated_tokens * self.batch
+    }
+
+    /// Energy per decoded token, joules (decode phase only, per sequence
+    /// batch-aggregated — the paper's Fig. 5b metric).
+    pub fn decode_energy_per_token_j(&self) -> f64 {
+        let toks = self.total_generated_tokens();
+        if toks == 0 {
+            0.0
+        } else {
+            self.decode.energy_j / toks as f64
+        }
+    }
+
+    /// Energy per prefill token, joules (Fig. 4b metric).
+    pub fn prefill_energy_per_token_j(&self) -> f64 {
+        if self.prompt_tokens == 0 {
+            0.0
+        } else {
+            self.prefill.energy_j / self.prompt_tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> InferenceOutcome {
+        InferenceOutcome {
+            model: ModelId::Dsr1Qwen1_5b,
+            precision: Precision::Fp16,
+            batch: 2,
+            prompt_tokens: 100,
+            generated_tokens: 50,
+            prefill: PhaseStats {
+                latency_s: 0.1,
+                energy_j: 1.0,
+                avg_power_w: 10.0,
+                ..PhaseStats::default()
+            },
+            decode: PhaseStats {
+                latency_s: 1.0,
+                energy_j: 20.0,
+                avg_power_w: 20.0,
+                ..PhaseStats::default()
+            },
+            host_s: 0.1,
+            tbt_trace: vec![],
+        }
+    }
+
+    #[test]
+    fn latency_and_energy_compose() {
+        let o = outcome();
+        assert!((o.total_latency_s() - 1.2).abs() < 1e-12);
+        assert!((o.total_energy_j() - 21.0).abs() < 1e-12);
+        assert!((o.avg_power_w() - 21.0 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tps_and_tbt() {
+        let o = outcome();
+        assert!((o.decode_tps() - 50.0).abs() < 1e-9);
+        assert!((o.system_tps() - 100.0).abs() < 1e-9);
+        assert!((o.mean_tbt_s() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_token_energy() {
+        let o = outcome();
+        assert_eq!(o.total_generated_tokens(), 100);
+        assert!((o.decode_energy_per_token_j() - 0.2).abs() < 1e-12);
+        assert!((o.prefill_energy_per_token_j() - 0.01).abs() < 1e-12);
+    }
+}

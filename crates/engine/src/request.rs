@@ -1,0 +1,75 @@
+//! Generation requests.
+
+use serde::{Deserialize, Serialize};
+
+/// A generation request: process `prompt_tokens` of input, then decode up
+/// to `max_new_tokens`. `batch` > 1 models parallel test-time scaling
+/// (identical prompt, independent samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationRequest {
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Number of tokens to decode.
+    pub max_new_tokens: usize,
+    /// Concurrent sequences in the decode phase (parallel scaling factor).
+    pub batch: usize,
+}
+
+impl GenerationRequest {
+    /// Single-sequence request.
+    pub fn new(prompt_tokens: usize, max_new_tokens: usize) -> Self {
+        Self {
+            prompt_tokens,
+            max_new_tokens,
+            batch: 1,
+        }
+    }
+
+    /// Sets the decode batch (parallel scaling factor), builder-style.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Total KV-cache tokens the request will hold at completion.
+    pub fn peak_kv_tokens(&self) -> usize {
+        self.batch * (self.prompt_tokens + self.max_new_tokens)
+    }
+
+    /// Validates the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prompt_tokens == 0 {
+            return Err("prompt_tokens must be > 0".to_owned());
+        }
+        if self.max_new_tokens == 0 {
+            return Err("max_new_tokens must be > 0".to_owned());
+        }
+        if self.batch == 0 {
+            return Err("batch must be > 0".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_peak_tokens() {
+        let r = GenerationRequest::new(512, 128).with_batch(4);
+        assert_eq!(r.peak_kv_tokens(), 4 * 640);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zeros() {
+        assert!(GenerationRequest::new(0, 1).validate().is_err());
+        assert!(GenerationRequest::new(1, 0).validate().is_err());
+        assert!(GenerationRequest::new(1, 1).with_batch(0).validate().is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-query serving simulation (§III-B: "edge deployment costs also
+//! benefit from batching and increased queries per second").
+//!
+//! A single-device, single-queue discrete-event simulation: queries arrive
+//! as a Poisson stream, the engine admits up to `max_batch` of them per
+//! batched generation, and the report captures throughput, queueing
+//! latency percentiles, and energy per query — quantifying how request
+//! rate turns into the batch-30 cost advantage of Table III.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::rng::Rng;
+use edgereasoning_soc::stats;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::InferenceEngine;
+use crate::request::GenerationRequest;
+use crate::EngineError;
+
+/// Serving-load configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Mean arrival rate, queries per second.
+    pub arrival_qps: f64,
+    /// Maximum decode batch admitted per generation.
+    pub max_batch: usize,
+    /// Queries to simulate.
+    pub queries: usize,
+    /// Prompt tokens per query.
+    pub prompt_tokens: usize,
+    /// Output tokens per query.
+    pub output_tokens: usize,
+}
+
+impl ServingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arrival_qps <= 0.0 {
+            return Err("arrival_qps must be positive".into());
+        }
+        if self.max_batch == 0 || self.queries == 0 {
+            return Err("max_batch and queries must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate serving metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Queries completed.
+    pub completed: usize,
+    /// Achieved throughput, queries/s.
+    pub achieved_qps: f64,
+    /// Mean end-to-end (queue + service) latency, seconds.
+    pub avg_latency_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_s: f64,
+    /// Mean admitted batch size.
+    pub avg_batch: f64,
+    /// Mean energy per query, joules.
+    pub energy_per_query_j: f64,
+    /// Total wall time, seconds.
+    pub wall_s: f64,
+    /// Total tokens generated.
+    pub total_tokens: f64,
+}
+
+/// Runs the serving simulation.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] (e.g. a batch that cannot fit in memory) and
+/// reports invalid configurations as [`EngineError::InvalidRequest`].
+pub fn simulate_serving(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    seed: u64,
+) -> Result<ServingReport, EngineError> {
+    cfg.validate().map_err(EngineError::InvalidRequest)?;
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5e52_56);
+
+    // Poisson arrivals.
+    let mut arrivals = Vec::with_capacity(cfg.queries);
+    let mut t = 0.0;
+    for _ in 0..cfg.queries {
+        t += -rng.next_f64().max(1e-12).ln() / cfg.arrival_qps;
+        arrivals.push(t);
+    }
+
+    let mut now = 0.0f64;
+    let mut next = 0usize; // first unserved query
+    let mut latencies = Vec::with_capacity(cfg.queries);
+    let mut energy = 0.0;
+    let mut tokens = 0.0;
+    let mut batches = Vec::new();
+
+    while next < arrivals.len() {
+        // Wait for work if idle.
+        if now < arrivals[next] {
+            now = arrivals[next];
+        }
+        // Admit everything that has arrived, up to max_batch.
+        let mut batch = 0usize;
+        while next + batch < arrivals.len()
+            && arrivals[next + batch] <= now
+            && batch < cfg.max_batch
+        {
+            batch += 1;
+        }
+        let batch = batch.max(1);
+        let outcome = engine.run(
+            model,
+            prec,
+            &GenerationRequest::new(cfg.prompt_tokens, cfg.output_tokens).with_batch(batch),
+        )?;
+        let service = outcome.total_latency_s();
+        now += service;
+        for k in 0..batch {
+            latencies.push(now - arrivals[next + k]);
+        }
+        energy += outcome.total_energy_j();
+        tokens += outcome.total_generated_tokens() as f64;
+        batches.push(batch as f64);
+        next += batch;
+    }
+
+    Ok(ServingReport {
+        completed: latencies.len(),
+        achieved_qps: latencies.len() as f64 / now,
+        avg_latency_s: stats::mean(&latencies).expect("non-empty"),
+        p95_latency_s: stats::percentile(&latencies, 95.0).expect("non-empty"),
+        avg_batch: stats::mean(&batches).expect("non-empty"),
+        energy_per_query_j: energy / latencies.len() as f64,
+        wall_s: now,
+        total_tokens: tokens,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> InferenceEngine {
+        InferenceEngine::new(EngineConfig::vllm(), 3)
+    }
+
+    fn cfg(qps: f64, max_batch: usize) -> ServingConfig {
+        ServingConfig {
+            arrival_qps: qps,
+            max_batch,
+            queries: 60,
+            prompt_tokens: 128,
+            output_tokens: 128,
+        }
+    }
+
+    #[test]
+    fn low_load_is_unqueued() {
+        let mut e = engine();
+        // Service time ~3.5 s; one query per 100 s never queues.
+        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(0.01, 8), 1)
+            .expect("runs");
+        assert_eq!(r.completed, 60);
+        assert!(r.avg_batch < 1.05, "no batching at low load: {}", r.avg_batch);
+        assert!(r.avg_latency_s < 6.0, "latency ~ service time: {}", r.avg_latency_s);
+    }
+
+    #[test]
+    fn high_load_batches_up_and_raises_throughput() {
+        let mut e = engine();
+        let slow = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(2.0, 1), 1)
+            .expect("runs");
+        let mut e = engine();
+        let batched =
+            simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(2.0, 30), 1)
+                .expect("runs");
+        assert!(batched.avg_batch > 3.0, "load must batch: {}", batched.avg_batch);
+        assert!(batched.achieved_qps > 2.0 * slow.achieved_qps);
+        assert!(batched.avg_latency_s < slow.avg_latency_s);
+        // Energy per query drops with batching (Table III's mechanism).
+        assert!(batched.energy_per_query_j < slow.energy_per_query_j);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut e = engine();
+        let bad = ServingConfig {
+            arrival_qps: 0.0,
+            ..cfg(1.0, 8)
+        };
+        assert!(matches!(
+            simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &bad, 1),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = engine();
+        let mut b = engine();
+        let ra = simulate_serving(&mut a, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(1.0, 8), 9)
+            .expect("runs");
+        let rb = simulate_serving(&mut b, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(1.0, 8), 9)
+            .expect("runs");
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,87 @@
+//! Weight precisions evaluated in the paper.
+
+use edgereasoning_soc::kernel::ComputeKind;
+use serde::{Deserialize, Serialize};
+
+/// Model weight precision.
+///
+/// The paper evaluates FP16 baselines and W4A16 AWQ quantization produced
+/// with LLM Compressor (§V-F). On Orin's Ampere GPU there are no INT4
+/// tensor cores, so W4A16 math falls back to INT8 tensor-core kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// 16-bit floating-point weights and activations.
+    #[default]
+    Fp16,
+    /// 4-bit AWQ weights with 16-bit activations (LLMC-AWQ-W4).
+    W4A16,
+}
+
+impl Precision {
+    /// Both precisions, FP16 first.
+    pub const ALL: [Precision; 2] = [Precision::Fp16, Precision::W4A16];
+
+    /// Bytes of storage per weight parameter.
+    ///
+    /// W4A16 stores 4-bit weights plus per-group (128) FP16 scales and
+    /// zeros, ≈0.5625 B/param.
+    pub fn bytes_per_param(self) -> f64 {
+        match self {
+            Precision::Fp16 => 2.0,
+            Precision::W4A16 => 0.5 + 2.0 * 2.0 / 128.0 * 2.0,
+        }
+    }
+
+    /// Bytes per activation element (always FP16 in this study).
+    pub fn activation_bytes(self) -> f64 {
+        2.0
+    }
+
+    /// The tensor-core unit executing matrix math at this precision.
+    pub fn compute_kind(self) -> ComputeKind {
+        match self {
+            Precision::Fp16 => ComputeKind::TensorFp16,
+            // Ampere INT8 fallback for W4 (no INT4 tensor cores on Orin).
+            Precision::W4A16 => ComputeKind::TensorInt8,
+        }
+    }
+
+    /// Whether weights must be dequantized on the fly (adds elementwise
+    /// work proportional to the weight volume).
+    pub fn needs_dequant(self) -> bool {
+        matches!(self, Precision::W4A16)
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Fp16 => write!(f, "FP16"),
+            Precision::W4A16 => write!(f, "W4A16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w4_is_about_3_5x_smaller() {
+        let ratio = Precision::Fp16.bytes_per_param() / Precision::W4A16.bytes_per_param();
+        assert!((3.4..3.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn w4_uses_int8_tensor_cores() {
+        assert_eq!(Precision::W4A16.compute_kind(), ComputeKind::TensorInt8);
+        assert!(Precision::W4A16.needs_dequant());
+        assert!(!Precision::Fp16.needs_dequant());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+        assert_eq!(Precision::W4A16.to_string(), "W4A16");
+    }
+}

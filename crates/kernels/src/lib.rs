@@ -1,0 +1,47 @@
+//! # edgereasoning-kernels
+//!
+//! Transformer kernel cost model for the EdgeReasoning study.
+//!
+//! This crate knows *what work* an LLM forward pass performs:
+//!
+//! * [`arch`] — the architecture catalog: every model evaluated in the
+//!   paper (DeepSeek-R1 distills at 1.5B/8B/14B, L1, DeepScaleR, the
+//!   Qwen2.5 / Llama3.1 / Gemma instruction-tuned baselines) with true
+//!   layer counts, hidden sizes, GQA head configs, FFN widths and vocab
+//!   sizes, from which parameter counts and weight/KV byte footprints are
+//!   derived arithmetically.
+//! * [`dtype`] — weight precisions: FP16 and the paper's W4A16 AWQ
+//!   quantization (which falls back to INT8 tensor-core math on Orin's
+//!   Ampere GPU, §V-F).
+//! * [`phases`] — lowers a prefill pass or a decode step into the kernel
+//!   sequence ([`edgereasoning_soc::kernel::KernelDesc`]) executed by the
+//!   simulated GPU: QKV/output projections, causal attention, gated FFN,
+//!   RMSNorm, KV-cache traffic, LM head and sampling.
+//!
+//! # Example
+//!
+//! ```
+//! use edgereasoning_kernels::arch::ModelId;
+//! use edgereasoning_kernels::dtype::Precision;
+//! use edgereasoning_kernels::phases::decode_step_kernels;
+//!
+//! let arch = ModelId::Dsr1Llama8b.arch();
+//! // ~8.03B parameters derived from the architecture itself.
+//! assert!((arch.param_count() as f64 / 8.03e9 - 1.0).abs() < 0.01);
+//!
+//! let step = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
+//! // One decode step must read roughly all weight bytes once.
+//! let read: f64 = step.iter().map(|k| k.bytes_read).sum();
+//! assert!(read > 0.9 * arch.weight_bytes(Precision::Fp16) as f64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod dtype;
+pub mod phases;
+
+pub use arch::{ArchCalib, ModelArch, ModelFamily, ModelId};
+pub use dtype::Precision;
+pub use phases::{decode_step_kernels, prefill_kernels};

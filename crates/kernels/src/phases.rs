@@ -1,0 +1,356 @@
+//! Lowering of transformer forward passes into device kernel sequences.
+//!
+//! [`prefill_kernels`] emits the kernels of one full prompt-processing pass
+//! (all tokens in parallel — GEMM-shaped, tensor-core tiled); one call to
+//! [`decode_step_kernels`] emits a single autoregressive step (GEMV-shaped,
+//! DRAM-bandwidth bound). The simulated engine composes these into complete
+//! generations.
+
+use edgereasoning_soc::kernel::{ComputeKind, KernelClass, KernelDesc};
+
+use crate::arch::ModelArch;
+use crate::dtype::Precision;
+
+/// Activation byte width (FP16 everywhere in this study).
+const ACT: f64 = 2.0;
+
+fn linear(
+    class: KernelClass,
+    prec: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+    weight_bytes_per_param: f64,
+) -> KernelDesc {
+    let weights = n as f64 * k as f64 * weight_bytes_per_param;
+    let act_in = m as f64 * k as f64 * ACT;
+    let act_out = m as f64 * n as f64 * ACT;
+    KernelDesc::gemm(class, prec.compute_kind(), m, n, k)
+        .with_bytes_f64(weights + act_in, act_out)
+}
+
+/// On-the-fly dequantization work for W4 weights (scales/zeros applied per
+/// group in the GEMM prologue); modeled as CUDA-core elementwise math over
+/// the weight volume, with no extra DRAM traffic (bytes already counted by
+/// the GEMM itself).
+fn dequant(n: usize, k: usize) -> KernelDesc {
+    KernelDesc::raw(
+        KernelClass::Elementwise,
+        ComputeKind::CudaFp32,
+        n as f64 * k as f64,
+        0.0,
+        0.0,
+    )
+}
+
+fn rms_norm(m: usize, d: usize) -> KernelDesc {
+    KernelDesc::raw(
+        KernelClass::Elementwise,
+        ComputeKind::CudaFp32,
+        8.0 * m as f64 * d as f64,
+        2.0 * m as f64 * d as f64 * ACT,
+        m as f64 * d as f64 * ACT,
+    )
+}
+
+fn push_linear(
+    out: &mut Vec<KernelDesc>,
+    class: KernelClass,
+    prec: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    out.push(linear(class, prec, m, n, k, prec.bytes_per_param()));
+    if prec.needs_dequant() {
+        out.push(dequant(n, k));
+    }
+}
+
+/// Kernels of one prefill pass over `seq` prompt tokens (per sequence) at
+/// the given batch size. Matches the paper's measurement setup where the
+/// prompt is processed in a single forward pass.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `seq == 0`.
+pub fn prefill_kernels(
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+    seq: usize,
+) -> Vec<KernelDesc> {
+    assert!(batch > 0 && seq > 0, "batch and seq must be positive");
+    let m = batch * seq;
+    let d = arch.d_model;
+    let da = arch.d_attn();
+    let dkv = arch.d_kv();
+    let mut out = Vec::with_capacity(arch.layers * 12 + 6);
+
+    // Embedding gather.
+    out.push(KernelDesc::raw(
+        KernelClass::MemCopy,
+        ComputeKind::CudaFp32,
+        0.0,
+        m as f64 * d as f64 * ACT,
+        m as f64 * d as f64 * ACT,
+    ));
+
+    for _ in 0..arch.layers {
+        out.push(rms_norm(m, d));
+        // Fused QKV projection.
+        push_linear(&mut out, KernelClass::Gemm, prec, m, da + 2 * dkv, d);
+        // RoPE.
+        out.push(KernelDesc::raw(
+            KernelClass::Elementwise,
+            ComputeKind::CudaFp32,
+            6.0 * m as f64 * (da + dkv) as f64,
+            m as f64 * (da + dkv) as f64 * ACT,
+            m as f64 * (da + dkv) as f64 * ACT,
+        ));
+        // KV-cache write for all prompt tokens.
+        out.push(KernelDesc::raw(
+            KernelClass::MemCopy,
+            ComputeKind::CudaFp32,
+            0.0,
+            0.0,
+            m as f64 * 2.0 * dkv as f64 * ACT,
+        ));
+        // Fused causal attention (score + softmax + value product). FLOPs
+        // follow the 4·seq²·d_attn convention the efficiency curve was
+        // calibrated against.
+        let occupancy = ((da as f64 / 4096.0).powi(2)).clamp(0.05, 1.0);
+        out.push(
+            KernelDesc::gemm(KernelClass::Attention, prec.compute_kind(), seq, seq, arch.head_dim)
+                .with_bytes_f64(
+                    m as f64 * (da + 2 * dkv) as f64 * ACT,
+                    m as f64 * da as f64 * ACT,
+                )
+                .with_occupancy(occupancy),
+        );
+        let attn = out.last_mut().expect("just pushed");
+        attn.flops = 4.0 * batch as f64 * (seq as f64).powi(2) * da as f64;
+        // Output projection.
+        push_linear(&mut out, KernelClass::Gemm, prec, m, d, da);
+        out.push(rms_norm(m, d));
+        // Gated FFN: fused gate+up, then down.
+        push_linear(&mut out, KernelClass::Gemm, prec, m, 2 * arch.d_ff, d);
+        out.push(KernelDesc::raw(
+            KernelClass::Elementwise,
+            ComputeKind::CudaFp32,
+            4.0 * m as f64 * arch.d_ff as f64,
+            2.0 * m as f64 * arch.d_ff as f64 * ACT,
+            m as f64 * arch.d_ff as f64 * ACT,
+        ));
+        push_linear(&mut out, KernelClass::Gemm, prec, m, d, arch.d_ff);
+    }
+
+    // Final norm + LM head on the last token of each sequence only (vLLM
+    // computes logits lazily), then sampling.
+    out.push(rms_norm(batch, d));
+    out.push(linear(KernelClass::Gemv, prec, batch, arch.vocab, d, ACT));
+    out.push(KernelDesc::raw(
+        KernelClass::Reduction,
+        ComputeKind::CudaFp32,
+        4.0 * batch as f64 * arch.vocab as f64,
+        batch as f64 * arch.vocab as f64 * 4.0,
+        batch as f64 * 16.0,
+    ));
+    out
+}
+
+/// Kernels of a single decode step for `batch` concurrent sequences, each
+/// attending over `ctx` tokens of context.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `ctx == 0`.
+pub fn decode_step_kernels(
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+    ctx: usize,
+) -> Vec<KernelDesc> {
+    assert!(batch > 0 && ctx > 0, "batch and ctx must be positive");
+    let m = batch;
+    let d = arch.d_model;
+    let da = arch.d_attn();
+    let dkv = arch.d_kv();
+    let mut out = Vec::with_capacity(arch.layers * 12 + 6);
+
+    // Embedding row gather for the new token(s).
+    out.push(KernelDesc::raw(
+        KernelClass::MemCopy,
+        ComputeKind::CudaFp32,
+        0.0,
+        m as f64 * d as f64 * ACT,
+        m as f64 * d as f64 * ACT,
+    ));
+
+    for _ in 0..arch.layers {
+        out.push(rms_norm(m, d));
+        push_linear(&mut out, KernelClass::Gemv, prec, m, da + 2 * dkv, d);
+        // RoPE on the new token.
+        out.push(KernelDesc::raw(
+            KernelClass::Elementwise,
+            ComputeKind::CudaFp32,
+            6.0 * m as f64 * (da + dkv) as f64,
+            m as f64 * (da + dkv) as f64 * ACT,
+            m as f64 * (da + dkv) as f64 * ACT,
+        ));
+        // KV append.
+        out.push(KernelDesc::raw(
+            KernelClass::MemCopy,
+            ComputeKind::CudaFp32,
+            0.0,
+            0.0,
+            m as f64 * 2.0 * dkv as f64 * ACT,
+        ));
+        // Streaming flash-decode attention over the KV cache: each sequence
+        // reads its own `ctx` K/V rows — this is the per-context-token
+        // decode slope (the paper's coefficient `m`). Unlike prefill
+        // attention it is a GEMV-shaped, bandwidth-bound kernel.
+        out.push(
+            KernelDesc::gemm(KernelClass::Gemv, prec.compute_kind(), m, ctx, arch.head_dim)
+                .with_bytes_f64(
+                    m as f64 * ctx as f64 * 2.0 * dkv as f64 * ACT
+                        + m as f64 * da as f64 * ACT,
+                    m as f64 * da as f64 * ACT,
+                ),
+        );
+        let attn = out.last_mut().expect("just pushed");
+        attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
+        push_linear(&mut out, KernelClass::Gemv, prec, m, d, da);
+        out.push(rms_norm(m, d));
+        push_linear(&mut out, KernelClass::Gemv, prec, m, 2 * arch.d_ff, d);
+        out.push(KernelDesc::raw(
+            KernelClass::Elementwise,
+            ComputeKind::CudaFp32,
+            4.0 * m as f64 * arch.d_ff as f64,
+            2.0 * m as f64 * arch.d_ff as f64 * ACT,
+            m as f64 * arch.d_ff as f64 * ACT,
+        ));
+        push_linear(&mut out, KernelClass::Gemv, prec, m, d, arch.d_ff);
+    }
+
+    out.push(rms_norm(m, d));
+    // LM head stays FP16 (AWQ leaves it unquantized).
+    out.push(linear(KernelClass::Gemv, prec, m, arch.vocab, d, ACT));
+    out.push(KernelDesc::raw(
+        KernelClass::Reduction,
+        ComputeKind::CudaFp32,
+        4.0 * m as f64 * arch.vocab as f64,
+        m as f64 * arch.vocab as f64 * 4.0,
+        m as f64 * 16.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ModelId;
+
+    #[test]
+    fn decode_step_reads_all_weights_once() {
+        for id in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Llama8b, ModelId::Dsr1Qwen14b] {
+            let arch = id.arch();
+            let step = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
+            let read: f64 = step.iter().map(|k| k.bytes_read).sum();
+            let weights = arch.weight_bytes(Precision::Fp16) as f64;
+            // Weights dominate the read traffic at short context; tied
+            // embeddings are read only as one row + the LM head.
+            assert!(
+                read > 0.85 * weights && read < 1.3 * weights,
+                "{id}: read {read:.3e} vs weights {weights:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_kv_traffic_scales_with_context() {
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let short = decode_step_kernels(&arch, Precision::Fp16, 1, 128);
+        let long = decode_step_kernels(&arch, Precision::Fp16, 1, 4096);
+        let rd = |ks: &[KernelDesc]| ks.iter().map(|k| k.bytes_read).sum::<f64>();
+        let delta = rd(&long) - rd(&short);
+        // (4096-128) ctx tokens × 131072 B/ctx-token of KV.
+        let expected = (4096.0 - 128.0) * arch.kv_bytes_per_token() as f64;
+        assert!(
+            (delta / expected - 1.0).abs() < 0.05,
+            "KV delta {delta:.3e} vs expected {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn prefill_flops_scale_quadratically_in_attention() {
+        let arch = ModelId::Dsr1Qwen14b.arch();
+        let attn_flops = |seq: usize| -> f64 {
+            prefill_kernels(&arch, Precision::Fp16, 1, seq)
+                .iter()
+                .filter(|k| matches!(k.class, KernelClass::Attention))
+                .map(|k| k.flops)
+                .sum()
+        };
+        let f1 = attn_flops(1024);
+        let f2 = attn_flops(2048);
+        assert!((f2 / f1 - 4.0).abs() < 0.01, "attention must be quadratic");
+    }
+
+    #[test]
+    fn prefill_linear_flops_scale_linearly() {
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let lin_flops = |seq: usize| -> f64 {
+            prefill_kernels(&arch, Precision::Fp16, 1, seq)
+                .iter()
+                .filter(|k| matches!(k.class, KernelClass::Gemm))
+                .map(|k| k.flops)
+                .sum()
+        };
+        let f1 = lin_flops(512);
+        let f2 = lin_flops(1024);
+        assert!((f2 / f1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn w4_adds_dequant_kernels_and_cuts_reads() {
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let fp16 = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
+        let w4 = decode_step_kernels(&arch, Precision::W4A16, 1, 512);
+        assert!(w4.len() > fp16.len(), "dequant kernels must appear");
+        let rd = |ks: &[KernelDesc]| ks.iter().map(|k| k.bytes_read).sum::<f64>();
+        let ratio = rd(&fp16) / rd(&w4);
+        assert!(ratio > 2.2, "W4 must cut weight reads substantially: {ratio}");
+    }
+
+    #[test]
+    fn batch_scales_activations_not_weights() {
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let b1 = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
+        let b32 = decode_step_kernels(&arch, Precision::Fp16, 32, 512);
+        let rd = |ks: &[KernelDesc]| ks.iter().map(|k| k.bytes_read).sum::<f64>();
+        // Weight reads amortize across the batch: total reads grow far less
+        // than 32× (KV + activations scale, weights do not).
+        let growth = rd(&b32) / rd(&b1);
+        assert!(growth < 3.0, "weight reads must amortize, grew {growth}x");
+        let fl = |ks: &[KernelDesc]| ks.iter().map(|k| k.flops).sum::<f64>();
+        let fgrowth = fl(&b32) / fl(&b1);
+        assert!((fgrowth - 32.0).abs() < 1.0, "flops grow with batch: {fgrowth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_seq_panics() {
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let _ = prefill_kernels(&arch, Precision::Fp16, 1, 0);
+    }
+
+    #[test]
+    fn kernel_counts_scale_with_layers() {
+        let small = ModelId::Dsr1Qwen1_5b.arch(); // 28 layers
+        let large = ModelId::Dsr1Qwen14b.arch(); // 48 layers
+        let a = decode_step_kernels(&small, Precision::Fp16, 1, 64).len();
+        let b = decode_step_kernels(&large, Precision::Fp16, 1, 64).len();
+        assert!(b > a);
+    }
+}

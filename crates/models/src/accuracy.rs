@@ -1,0 +1,224 @@
+//! Accuracy laws: how correctness depends on model, reasoning length,
+//! truncation and quantization.
+//!
+//! The law is a logistic item-response model with a sequential
+//! test-time-scaling term:
+//!
+//! ```text
+//! skill(t)  = skill₀ + scale·ln(1 + t/τ) − derail·(t/1000)
+//! P(solve)  = σ(skill(t) − difficulty)
+//! ```
+//!
+//! * `scale·ln(1+t/τ)` is the paper's sequential scaling law (§V-C):
+//!   accuracy rises with reasoning tokens and saturates past ≈300–400.
+//! * `derail` models the small-model pathology the paper observes on
+//!   DSR1-Qwen-1.5B, where very long chains *lose* accuracy and NR beats
+//!   Base (§V-B, takeaway discussion of Fig. 6a).
+//! * Hard truncation destroys the final answer: a cut-off generation is
+//!   graded wrong unless salvaged (probability `salvage`), which is why
+//!   128T configurations score far below the guess floor.
+//! * W4A16 quantization shifts `skill₀` by a per-model delta calibrated to
+//!   the paper's −1.04 % / −6.16 % / −0.62 % relative losses (Fig. 14).
+//!
+//! Constants are calibrated against the published MMLU-Redux tables (see
+//! `crates/models/examples/fit_laws.rs`); per-(model, benchmark) skill
+//! offsets absorb domain differences (math RL fine-tuning, planning).
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_workloads::suite::{Benchmark, Domain};
+use serde::{Deserialize, Serialize};
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-model accuracy-law constants (general domain, FP16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyLaw {
+    /// Skill intercept on the logit scale.
+    pub skill: f64,
+    /// Sequential-scaling coefficient (per ln token).
+    pub scale: f64,
+    /// Token scale of the log term.
+    pub tau: f64,
+    /// Long-chain derailment penalty per 1 000 tokens.
+    pub derail_per_k: f64,
+    /// Probability a hard-truncated generation still yields a parseable
+    /// answer.
+    pub salvage: f64,
+}
+
+impl AccuracyLaw {
+    /// Effective skill after `tokens` of reasoning.
+    pub fn skill_at(&self, tokens: f64) -> f64 {
+        self.skill + self.scale * (1.0 + tokens / self.tau).ln()
+            - self.derail_per_k * tokens / 1000.0
+    }
+
+    /// Solve probability against a question of the given difficulty.
+    pub fn solve_prob(&self, tokens: f64, difficulty: f64) -> f64 {
+        sigmoid(self.skill_at(tokens) - difficulty)
+    }
+}
+
+/// The calibrated law for each model (fitted with `fit_laws`, tolerances
+/// verified by the crate's calibration tests).
+pub fn law(model: ModelId) -> AccuracyLaw {
+    let (skill, scale, derail_per_k) = match model {
+        ModelId::Dsr1Qwen1_5b => (-3.924, 2.285, 2.894),
+        ModelId::Dsr1Llama8b => (-1.445, 0.814, 0.0),
+        ModelId::Dsr1Qwen14b => (-0.637, 1.020, 0.0),
+        ModelId::L1Max => (-6.139, 3.492, 0.0),
+        ModelId::DeepScaleR1_5b => (-3.30, 1.20, 0.50),
+        ModelId::Qwen25_1_5bIt => (-0.40, 0.35, 0.0),
+        ModelId::Qwen25_7bIt => (0.06, 0.35, 0.0),
+        ModelId::Qwen25_14bIt => (0.80, 0.35, 0.0),
+        ModelId::Llama31_8bIt => (-0.13, 0.35, 0.0),
+        ModelId::Gemma7bIt => (-1.89, 0.35, 0.0),
+    };
+    AccuracyLaw {
+        skill,
+        scale,
+        tau: 90.0,
+        derail_per_k,
+        salvage: 0.10,
+    }
+}
+
+/// Skill offset for a benchmark relative to the MMLU-Redux calibration
+/// (per-domain model capability: RL math fine-tuning, planning weakness).
+pub fn bench_skill_offset(model: ModelId, bench: Benchmark) -> f64 {
+    match bench.params().domain {
+        Domain::General => match bench {
+            // Full MMLU runs slightly easier than MMLU-Redux (Table XII).
+            Benchmark::Mmlu => match model {
+                ModelId::Dsr1Qwen1_5b => 0.26,
+                ModelId::Dsr1Llama8b => 0.28,
+                ModelId::Dsr1Qwen14b => 0.26,
+                _ => 0.0,
+            },
+            _ => 0.0,
+        },
+        Domain::Math => match model {
+            // DeepScaleR's RL fine-tuning lifts math skill dramatically
+            // (beats o1-preview on AIME/MATH500, Table III); fitted 4.14
+            // on MATH500 and 4.06 on AIME independently.
+            ModelId::DeepScaleR1_5b => 4.10,
+            ModelId::Dsr1Qwen14b => 1.2,
+            ModelId::Dsr1Llama8b => 0.4,
+            ModelId::Qwen25_14bIt | ModelId::Qwen25_7bIt => -0.6,
+            _ => -0.5,
+        },
+        Domain::Planning => match model {
+            // Calibrated to Tables XIII–XV (base + hard-512 rows).
+            ModelId::Dsr1Qwen1_5b => 2.26,
+            ModelId::Dsr1Llama8b => 1.96,
+            ModelId::Dsr1Qwen14b => 1.84,
+            ModelId::Qwen25_1_5bIt => 0.88,
+            ModelId::Qwen25_14bIt => 1.72,
+            _ => 0.0,
+        },
+    }
+}
+
+/// Sequential-scaling attenuation per domain: on Natural-Plan, accuracy is
+/// nearly insensitive to reasoning length (Table XIV: hard-capping outputs
+/// 10× barely moves accuracy), so the log-token term and the derailment
+/// term are damped for planning tasks.
+pub fn bench_scale_factor(bench: Benchmark) -> f64 {
+    match bench.params().domain {
+        Domain::Planning => 0.25,
+        _ => 1.0,
+    }
+}
+
+/// The fully adjusted law for a (model, benchmark, precision) cell:
+/// benchmark skill offset and quantization delta folded into the
+/// intercept, domain attenuation folded into the scaling terms.
+pub fn effective_law(model: ModelId, bench: Benchmark, prec: Precision) -> AccuracyLaw {
+    let mut l = law(model);
+    l.skill += bench_skill_offset(model, bench) + quant_skill_delta(model, prec);
+    let f = bench_scale_factor(bench);
+    l.scale *= f;
+    l.derail_per_k *= f;
+    l
+}
+
+/// Skill delta applied under W4A16 AWQ quantization, calibrated to the
+/// paper's relative accuracy losses (−1.04 % for 1.5B, −6.16 % for 8B,
+/// −0.62 % for 14B). The fitted deltas are near zero: the quantized
+/// models' *shorter reasoning chains* (Table X: 549 vs 811 tokens for the
+/// 8B) already explain nearly all of the measured loss through the
+/// sequential-scaling law — matching the paper's own observation that
+/// quantized models generate fewer decoding tokens (Fig. 14a) and its
+/// near-parity MMLU results (Table XII).
+pub fn quant_skill_delta(model: ModelId, prec: Precision) -> f64 {
+    if prec != Precision::W4A16 {
+        return 0.0;
+    }
+    match model {
+        ModelId::Dsr1Qwen1_5b | ModelId::L1Max | ModelId::DeepScaleR1_5b
+        | ModelId::Qwen25_1_5bIt => -0.04,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn skill_grows_then_saturates() {
+        let l = law(ModelId::Dsr1Llama8b);
+        let s100 = l.skill_at(100.0);
+        let s400 = l.skill_at(400.0);
+        let s800 = l.skill_at(800.0);
+        assert!(s400 > s100);
+        assert!(s800 > s400);
+        // Diminishing returns: the second doubling gains less.
+        assert!(s800 - s400 < s400 - s100);
+    }
+
+    #[test]
+    fn small_model_derails_on_long_chains() {
+        let l = law(ModelId::Dsr1Qwen1_5b);
+        assert!(
+            l.skill_at(235.0) > l.skill_at(2500.0),
+            "NR-length output must beat runaway 2.5k-token chains"
+        );
+        // At 1.5k tokens the gains have fully flattened out.
+        assert!(l.skill_at(1474.0) < l.skill_at(235.0) + 0.05);
+    }
+
+    #[test]
+    fn larger_models_are_stronger() {
+        let at_base = |m: ModelId, t: f64| law(m).skill_at(t);
+        assert!(at_base(ModelId::Dsr1Qwen14b, 1318.0) > at_base(ModelId::Dsr1Llama8b, 811.0));
+        assert!(at_base(ModelId::Dsr1Llama8b, 811.0) > at_base(ModelId::Dsr1Qwen1_5b, 740.0));
+    }
+
+    #[test]
+    fn quant_deltas_only_apply_to_w4() {
+        assert_eq!(quant_skill_delta(ModelId::Dsr1Llama8b, Precision::Fp16), 0.0);
+        // 1.5B-class models carry a small residual delta; the larger
+        // models' losses are fully explained by shorter outputs.
+        assert!(quant_skill_delta(ModelId::Dsr1Qwen1_5b, Precision::W4A16) < 0.0);
+        assert_eq!(quant_skill_delta(ModelId::Dsr1Qwen14b, Precision::W4A16), 0.0);
+    }
+
+    #[test]
+    fn deepscaler_shines_on_math() {
+        let math = bench_skill_offset(ModelId::DeepScaleR1_5b, Benchmark::Aime2024);
+        let gen = bench_skill_offset(ModelId::DeepScaleR1_5b, Benchmark::MmluRedux);
+        assert!(math - gen > 2.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dataset-level evaluation: accuracy and token statistics for a cell.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::rng::Rng;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::generate::{majority_vote, AnswerKey, EvalContext};
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Parallel scaling factor (samples per question, majority voted).
+    pub parallel: usize,
+    /// Seed for question sampling and model stochasticity.
+    pub seed: u64,
+    /// Evaluate only the first `n` questions (paper Tables II/VI use 150-
+    /// and 50-question subsets).
+    pub subset: Option<usize>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            parallel: 1,
+            seed: 0xeda6e,
+            subset: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Sets the parallel scaling factor, builder-style.
+    pub fn with_parallel(mut self, k: usize) -> Self {
+        self.parallel = k;
+        self
+    }
+
+    /// Sets the seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts to a prefix subset, builder-style.
+    pub fn with_subset(mut self, n: usize) -> Self {
+        self.subset = Some(n);
+        self
+    }
+}
+
+/// Aggregate result of evaluating one cell over a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Questions evaluated.
+    pub n_questions: usize,
+    /// Voted accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Mean emitted tokens per sequence per question.
+    pub avg_tokens_per_seq: f64,
+    /// Mean (over questions) of the *longest* sample per question — the
+    /// length that bounds wall-clock latency under parallel decoding.
+    pub avg_max_tokens: f64,
+    /// Mean prompt tokens (question + config overhead).
+    pub avg_prompt_tokens: f64,
+    /// Fraction of samples that truncated without an answer.
+    pub unanswered_frac: f64,
+}
+
+/// Evaluates one (model, precision, benchmark, config) cell.
+///
+/// # Panics
+///
+/// Panics if `opts.parallel == 0`.
+pub fn evaluate(
+    model: ModelId,
+    precision: Precision,
+    bench: Benchmark,
+    config: PromptConfig,
+    opts: EvalOptions,
+) -> EvalResult {
+    assert!(opts.parallel > 0, "parallel factor must be >= 1");
+    let ctx = EvalContext::new(model, precision, bench, config);
+    let mut questions = bench.generate(opts.seed);
+    if let Some(n) = opts.subset {
+        questions.truncate(n);
+    }
+    let mut rng = Rng::seed_from_u64(opts.seed ^ 0x6d6f_6465);
+
+    let mut correct = 0usize;
+    let mut tok_sum = 0.0;
+    let mut max_tok_sum = 0.0;
+    let mut prompt_sum = 0.0;
+    let mut unanswered = 0usize;
+    let mut samples_total = 0usize;
+
+    for q in &questions {
+        let samples: Vec<_> = (0..opts.parallel).map(|_| ctx.sample(&mut rng, q)).collect();
+        if majority_vote(&samples) == AnswerKey::Correct {
+            correct += 1;
+        }
+        let mut max_t: f64 = 0.0;
+        for s in &samples {
+            tok_sum += s.tokens;
+            max_t = max_t.max(s.tokens);
+            if s.answer == AnswerKey::None {
+                unanswered += 1;
+            }
+            samples_total += 1;
+        }
+        max_tok_sum += max_t;
+        prompt_sum += (q.prompt_tokens + config.prompt_overhead_tokens()) as f64;
+    }
+
+    let n = questions.len();
+    EvalResult {
+        n_questions: n,
+        accuracy_pct: 100.0 * correct as f64 / n as f64,
+        avg_tokens_per_seq: tok_sum / samples_total as f64,
+        avg_max_tokens: max_tok_sum / n as f64,
+        avg_prompt_tokens: prompt_sum / n as f64,
+        unanswered_frac: unanswered as f64 / samples_total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let opts = EvalOptions::default().with_subset(300);
+        let a = evaluate(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            opts,
+        );
+        let b = evaluate(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            opts,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_max_exceeds_mean_tokens() {
+        let r = evaluate(
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            EvalOptions::default().with_parallel(8).with_subset(200),
+        );
+        assert!(r.avg_max_tokens > r.avg_tokens_per_seq * 1.3);
+    }
+
+    #[test]
+    fn hard_budget_has_unanswered_fraction() {
+        let r = evaluate(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Hard(128),
+            EvalOptions::default().with_subset(500),
+        );
+        assert!(r.unanswered_frac > 0.08, "got {}", r.unanswered_frac);
+        let base = evaluate(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            EvalOptions::default().with_subset(500),
+        );
+        assert_eq!(base.unanswered_frac, 0.0);
+        assert!(base.accuracy_pct > r.accuracy_pct + 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn zero_parallel_panics() {
+        let _ = evaluate(
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            EvalOptions {
+                parallel: 0,
+                ..EvalOptions::default()
+            },
+        );
+    }
+}

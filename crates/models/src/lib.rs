@@ -1,0 +1,57 @@
+//! # edgereasoning-models
+//!
+//! The model zoo's *behavioural* layer: everything about the paper's
+//! models that is not raw FLOPs.
+//!
+//! * [`anchors`] — the paper's published result tables (II, III, X–XV)
+//!   embedded as reference data; the calibration target and the
+//!   "paper vs measured" source for every reproduction binary.
+//! * [`profile`] — per-(model, benchmark, config, precision) output-length
+//!   distributions. Observed means come straight from the published
+//!   tables; hard-budget cells invert `E[min(L,T)]` to recover the natural
+//!   length distribution, which is what determines how often truncation
+//!   destroys the answer.
+//! * [`accuracy`] — logistic accuracy laws with the paper's sequential
+//!   scaling (log-token gains saturating past ≈300–400 tokens), the small-
+//!   model derailment pathology, truncation answer loss, and per-model
+//!   W4A16 quantization deltas.
+//! * [`generate`] / [`mod@evaluate`] — Monte Carlo question answering with
+//!   majority voting (parallel test-time scaling), dataset-level accuracy
+//!   and token statistics.
+//! * [`predict`] — fast analytic accuracy expectations for the planner.
+//!
+//! # Example
+//!
+//! ```
+//! use edgereasoning_models::evaluate::{evaluate, EvalOptions};
+//! use edgereasoning_kernels::arch::ModelId;
+//! use edgereasoning_kernels::dtype::Precision;
+//! use edgereasoning_workloads::prompt::PromptConfig;
+//! use edgereasoning_workloads::suite::Benchmark;
+//!
+//! let r = evaluate(
+//!     ModelId::Dsr1Qwen14b,
+//!     Precision::Fp16,
+//!     Benchmark::MmluRedux,
+//!     PromptConfig::Base,
+//!     EvalOptions::default().with_subset(500),
+//! );
+//! // The 14B reasoning model scores ~80% on MMLU-Redux (Table X: 80.6%).
+//! assert!((r.accuracy_pct - 80.6).abs() < 6.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod anchors;
+pub mod evaluate;
+pub mod generate;
+pub mod predict;
+pub mod profile;
+pub mod scaling;
+
+pub use accuracy::AccuracyLaw;
+pub use evaluate::{evaluate, EvalOptions, EvalResult};
+pub use generate::{majority_vote, AnswerKey, AnswerSample, EvalContext};
+pub use profile::{output_profile, OutputLenProfile};

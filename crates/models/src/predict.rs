@@ -1,0 +1,188 @@
+//! Analytic accuracy prediction (no Monte Carlo).
+//!
+//! Integrates the accuracy law over the benchmark's difficulty
+//! distribution and the cell's output-length distribution on fixed
+//! quadrature grids. Used by the law-fitting harness and by the deployment
+//! planner, which needs thousands of accuracy lookups per optimization.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::stats::normal_cdf;
+use edgereasoning_workloads::prompt::PromptConfig;
+use edgereasoning_workloads::suite::Benchmark;
+
+use crate::accuracy::AccuracyLaw;
+use crate::generate::EvalContext;
+use crate::profile::{lognormal_params, OutputLenProfile};
+
+/// Mean attractor-trap mass of the synthetic question populations
+/// (`E[0.15 + 0.55 u²] = 0.15 + 0.55/3`).
+pub const MEAN_TRAP: f64 = 0.15 + 0.55 / 3.0;
+
+const DIFF_GRID: usize = 41;
+const LEN_GRID: usize = 33;
+
+/// Expected single-sample accuracy (fraction, not percent) of a cell.
+pub fn expected_accuracy(
+    model: ModelId,
+    precision: Precision,
+    bench: Benchmark,
+    config: PromptConfig,
+) -> f64 {
+    let ctx = EvalContext::new(model, precision, bench, config);
+    expected_accuracy_for(&ctx.law, &ctx.profile, bench)
+}
+
+/// Expected accuracy for explicit law + profile (used by the fitter).
+pub fn expected_accuracy_for(
+    law: &AccuracyLaw,
+    profile: &OutputLenProfile,
+    bench: Benchmark,
+) -> f64 {
+    let p = bench.params();
+    let guess_floor = match p.choices {
+        Some(n) => (1.0 - MEAN_TRAP) / n as f64,
+        None => 0.0,
+    };
+
+    // Difficulty quadrature: equal-probability strata midpoints of the
+    // normal distribution.
+    let mut acc = 0.0;
+    for i in 0..DIFF_GRID {
+        let u = (i as f64 + 0.5) / DIFF_GRID as f64;
+        let d = p.difficulty_mean + p.difficulty_std * probit(u);
+        acc += expected_given_difficulty(law, profile, d, guess_floor);
+    }
+    acc / DIFF_GRID as f64
+}
+
+fn expected_given_difficulty(
+    law: &AccuracyLaw,
+    profile: &OutputLenProfile,
+    difficulty: f64,
+    guess_floor: f64,
+) -> f64 {
+    let (mu, sigma) = lognormal_params(profile.natural_mean, profile.cv);
+    let mut total = 0.0;
+    for i in 0..LEN_GRID {
+        let u = (i as f64 + 0.5) / LEN_GRID as f64;
+        let natural = (mu + sigma * probit(u)).exp().max(4.0);
+        let (tokens, answered_p) = match profile.hard_cap {
+            Some(cap) if natural > cap as f64 => (cap as f64, law.salvage),
+            _ => (natural, 1.0),
+        };
+        let p_solve = law.solve_prob(tokens, difficulty);
+        total += answered_p * (p_solve + (1.0 - p_solve) * guess_floor);
+    }
+    total / LEN_GRID as f64
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Newton step against [`normal_cdf`]).
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    let x = if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Newton refinement.
+    let e = normal_cdf(x) - p;
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    x - e / pdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_inverts_cdf() {
+        for p in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = probit(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}: x={x}");
+        }
+        assert!(probit(0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        use crate::evaluate::{evaluate, EvalOptions};
+        let pred = 100.0
+            * expected_accuracy(
+                ModelId::Dsr1Llama8b,
+                Precision::Fp16,
+                Benchmark::MmluRedux,
+                PromptConfig::Base,
+            );
+        let mc = evaluate(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            EvalOptions::default(),
+        )
+        .accuracy_pct;
+        assert!(
+            (pred - mc).abs() < 2.5,
+            "analytic {pred:.1}% vs MC {mc:.1}%"
+        );
+    }
+
+    #[test]
+    fn accuracy_decreases_with_difficulty_shift() {
+        let a = expected_accuracy(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+        );
+        let b = expected_accuracy(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            Benchmark::Aime2024,
+            PromptConfig::Base,
+        );
+        assert!(a > b, "MMLU should be easier than AIME: {a} vs {b}");
+    }
+}

@@ -1,0 +1,191 @@
+//! The Cortex-A78AE CPU cluster model (paper Appendix C).
+//!
+//! The CPU path matters for two results: Tables XVI/XVII (CPU-vs-GPU
+//! prefill/decode latency, showing the CPU is 5–160× slower) and the §V-E
+//! observation that CPU utilization stays ≤20 % during GPU inference,
+//! motivating heterogeneous offload. Calibration follows the same
+//! back-derivation as the GPU: the published CPU prefill latencies imply
+//! ≈45 GFLOP/s sustained GEMM throughput (≈11 % of NEON peak across 12
+//! cores) and decode implies ≈32 GB/s of effective memory bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelDesc;
+use crate::power::EnergyMeter;
+use crate::rng::Rng;
+use crate::spec::CpuSpec;
+
+/// Efficiency parameters of the CPU executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuEff {
+    /// Sustained fraction of NEON peak for GEMM-like loops.
+    pub compute_frac: f64,
+    /// Sustained fraction of the CPU cluster's memory bandwidth.
+    pub bw_frac: f64,
+    /// Per-kernel dispatch overhead, seconds.
+    pub dispatch_overhead_s: f64,
+    /// Relative run-to-run noise.
+    pub measurement_noise: f64,
+}
+
+impl Default for CpuEff {
+    fn default() -> Self {
+        Self {
+            compute_frac: 0.107,
+            bw_frac: 0.85,
+            dispatch_overhead_s: 2.0e-6,
+            measurement_noise: 0.015,
+        }
+    }
+}
+
+/// Result of running one kernel on the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuExec {
+    /// Wall-clock latency, seconds.
+    pub latency_s: f64,
+    /// Energy consumed, joules.
+    pub energy_j: f64,
+    /// Average power, watts.
+    pub power_w: f64,
+}
+
+/// The simulated 12-core Cortex-A78AE cluster.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    spec: CpuSpec,
+    eff: CpuEff,
+    rng: Rng,
+}
+
+impl Cpu {
+    /// Creates a CPU model with a deterministic noise seed.
+    pub fn new(spec: CpuSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            eff: CpuEff::default(),
+            rng: Rng::seed_from_u64(seed ^ 0x6137_3861),
+        }
+    }
+
+    /// Returns the CPU specification.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Returns the efficiency parameters.
+    pub fn eff(&self) -> &CpuEff {
+        &self.eff
+    }
+
+    /// Overrides the efficiency parameters.
+    pub fn set_eff(&mut self, eff: CpuEff) {
+        self.eff = eff;
+    }
+
+    /// Executes one kernel (roofline over NEON compute and LPDDR5 reach).
+    pub fn execute(&mut self, k: &KernelDesc) -> CpuExec {
+        let t_compute = k.flops / (self.spec.neon_flops * self.eff.compute_frac);
+        let t_memory = k.total_bytes() / (self.spec.mem_bw * self.eff.bw_frac);
+        let noise = self.rng.jitter(self.eff.measurement_noise);
+        let latency = t_compute.max(t_memory) * noise + self.eff.dispatch_overhead_s;
+
+        // Busy fraction: compute-bound loops load all cores; memory-bound
+        // loops leave them stalled at lower dynamic power.
+        let busy = if t_compute >= t_memory { 1.0 } else { 0.55 };
+        let power_w = self.spec.idle_power_w + self.spec.max_dynamic_power_w * busy;
+        CpuExec {
+            latency_s: latency,
+            energy_j: latency * power_w,
+            power_w,
+        }
+    }
+
+    /// Executes a sequence of kernels, returning total latency/energy.
+    pub fn run_phase<'a, I>(&mut self, kernels: I) -> CpuExec
+    where
+        I: IntoIterator<Item = &'a KernelDesc>,
+    {
+        let mut meter = EnergyMeter::new();
+        for k in kernels {
+            let e = self.execute(k);
+            meter.record(e.latency_s, e.power_w);
+        }
+        CpuExec {
+            latency_s: meter.elapsed_s(),
+            energy_j: meter.energy_j(),
+            power_w: meter.avg_power_w(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ComputeKind, KernelClass};
+    use crate::spec::OrinSpec;
+
+    fn cpu() -> Cpu {
+        Cpu::new(OrinSpec::agx_orin_64gb().cpu, 3)
+    }
+
+    /// 1.5B prefill at 128 tokens ≈ 384 GFLOP should take ≈8.4 s on the CPU
+    /// (Table XVI).
+    #[test]
+    fn prefill_1_5b_128_matches_table_xvi() {
+        let mut c = cpu();
+        let k = KernelDesc::raw(
+            KernelClass::Gemm,
+            ComputeKind::TensorFp16,
+            2.0 * 1.5e9 * 128.0,
+            3.0e9,
+            0.0,
+        );
+        let e = c.execute(&k);
+        assert!(
+            (6.5..11.0).contains(&e.latency_s),
+            "expected ~8.4 s, got {}",
+            e.latency_s
+        );
+    }
+
+    /// An 8B decode step reads ≈16 GB; at ≈32 GB/s that is ≈0.5 s/token
+    /// (Table XVII: 63.8 s for 128 tokens).
+    #[test]
+    fn decode_8b_step_matches_table_xvii() {
+        let mut c = cpu();
+        let k = KernelDesc::raw(
+            KernelClass::Gemv,
+            ComputeKind::TensorFp16,
+            2.0 * 8.0e9,
+            16.0e9,
+            1.0e6,
+        );
+        let e = c.execute(&k);
+        assert!(
+            (0.4..0.62).contains(&e.latency_s),
+            "expected ~0.5 s/token, got {}",
+            e.latency_s
+        );
+    }
+
+    #[test]
+    fn power_between_idle_and_max() {
+        let mut c = cpu();
+        let k = KernelDesc::raw(KernelClass::Gemm, ComputeKind::CudaFp32, 1e9, 1e6, 0.0);
+        let e = c.execute(&k);
+        let spec = OrinSpec::agx_orin_64gb().cpu;
+        assert!(e.power_w >= spec.idle_power_w);
+        assert!(e.power_w <= spec.idle_power_w + spec.max_dynamic_power_w);
+    }
+
+    #[test]
+    fn phase_accumulates() {
+        let mut c = cpu();
+        let k = KernelDesc::raw(KernelClass::Gemv, ComputeKind::TensorFp16, 1e9, 1e9, 0.0);
+        let ks = vec![k; 4];
+        let total = c.run_phase(ks.iter());
+        assert!(total.latency_s > 0.1);
+        assert!(total.energy_j > 0.0);
+    }
+}

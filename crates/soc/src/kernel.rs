@@ -1,0 +1,185 @@
+//! Kernel work descriptors consumed by the roofline executor.
+//!
+//! The inference-engine simulation (crate `edgereasoning-engine`) lowers a
+//! transformer forward pass into a sequence of [`KernelDesc`]s — GEMMs,
+//! GEMVs, attention score/value products, normalizations — exactly the
+//! decomposition whose cost the paper characterizes on the Orin.
+
+use serde::{Deserialize, Serialize};
+
+/// Which functional unit executes the kernel's math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// Dense FP16 tensor-core math (FP16 weights and activations).
+    TensorFp16,
+    /// Dense INT8 tensor-core math — the Ampere fallback used for W4A16
+    /// AWQ-quantized models (Orin has no INT4 tensor cores, §V-F).
+    TensorInt8,
+    /// CUDA-core FP32 math (normalizations, softmax, sampling).
+    CudaFp32,
+}
+
+/// Broad kernel families with distinct efficiency characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Large matrix-matrix multiply (prefill projections/FFN).
+    Gemm,
+    /// Matrix-vector multiply (batch-1 decode projections/FFN) — strongly
+    /// memory-bandwidth bound.
+    Gemv,
+    /// Attention score (`QKᵀ`) and value (`PV`) products.
+    Attention,
+    /// Elementwise ops: RMSNorm, activation, residual adds, RoPE.
+    Elementwise,
+    /// Reductions: softmax, argmax/sampling.
+    Reduction,
+    /// Pure memory traffic: KV-cache reads/writes, embedding gathers.
+    MemCopy,
+}
+
+/// A single device kernel described by its arithmetic and memory footprint.
+///
+/// `m`, `n`, `k` carry the logical GEMM shape so the executor can apply
+/// tensor-core tile padding; non-GEMM kernels leave them at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel family.
+    pub class: KernelClass,
+    /// Functional unit used for the math.
+    pub compute: ComputeKind,
+    /// Useful floating-point (or integer) operations, before padding.
+    pub flops: f64,
+    /// Bytes read from DRAM (weights, activations, KV cache).
+    pub bytes_read: f64,
+    /// Bytes written to DRAM.
+    pub bytes_written: f64,
+    /// GEMM M dimension (rows of output; the token dimension in prefill).
+    pub m: usize,
+    /// GEMM N dimension (columns of output).
+    pub n: usize,
+    /// GEMM K dimension (reduction).
+    pub k: usize,
+    /// Fraction of the device the kernel can occupy (`(0, 1]`): narrow
+    /// models' attention kernels leave most SMs idle, which is why the
+    /// paper measures ≈6 W prefill power on the 1.5B model vs >20 W on the
+    /// 8B/14B models (Fig. 4a). Affects power draw, not latency.
+    pub occupancy: f64,
+}
+
+impl KernelDesc {
+    /// Creates a GEMM-shaped kernel (`m×k · k×n`), deriving the FLOP count
+    /// as `2·m·n·k`. Memory traffic must be supplied with
+    /// [`KernelDesc::with_bytes`] since weight residency and activation
+    /// reuse are model-dependent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn gemm(class: KernelClass, compute: ComputeKind, m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dims must be positive");
+        Self {
+            class,
+            compute,
+            flops: 2.0 * m as f64 * n as f64 * k as f64,
+            bytes_read: 0.0,
+            bytes_written: 0.0,
+            m,
+            n,
+            k,
+            occupancy: 1.0,
+        }
+    }
+
+    /// Creates a non-GEMM kernel from raw FLOPs and byte counts.
+    pub fn raw(
+        class: KernelClass,
+        compute: ComputeKind,
+        flops: f64,
+        bytes_read: f64,
+        bytes_written: f64,
+    ) -> Self {
+        Self {
+            class,
+            compute,
+            flops,
+            bytes_read,
+            bytes_written,
+            m: 1,
+            n: 1,
+            k: 1,
+            occupancy: 1.0,
+        }
+    }
+
+    /// Sets the device-occupancy fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is not in `(0, 1]`.
+    pub fn with_occupancy(mut self, occupancy: f64) -> Self {
+        assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy must be in (0, 1]");
+        self.occupancy = occupancy;
+        self
+    }
+
+    /// Sets the DRAM traffic of the kernel (builder style).
+    pub fn with_bytes(mut self, read: u64, written: u64) -> Self {
+        self.bytes_read = read as f64;
+        self.bytes_written = written as f64;
+        self
+    }
+
+    /// Sets the DRAM traffic from float byte counts (builder style).
+    pub fn with_bytes_f64(mut self, read: f64, written: f64) -> Self {
+        self.bytes_read = read;
+        self.bytes_written = written;
+        self
+    }
+
+    /// Total DRAM bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in FLOP per DRAM byte (infinite if no traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flop_count() {
+        let k = KernelDesc::gemm(KernelClass::Gemm, ComputeKind::TensorFp16, 128, 4096, 4096);
+        assert_eq!(k.flops, 2.0 * 128.0 * 4096.0 * 4096.0);
+        assert_eq!(k.m, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gemm_zero_dim_panics() {
+        let _ = KernelDesc::gemm(KernelClass::Gemm, ComputeKind::TensorFp16, 0, 1, 1);
+    }
+
+    #[test]
+    fn bytes_builder_and_intensity() {
+        let k = KernelDesc::gemm(KernelClass::Gemv, ComputeKind::TensorFp16, 1, 1024, 1024)
+            .with_bytes(2 * 1024 * 1024, 2 * 1024);
+        assert_eq!(k.total_bytes(), (2 * 1024 * 1024 + 2 * 1024) as f64);
+        assert!(k.arithmetic_intensity() < 2.0);
+    }
+
+    #[test]
+    fn zero_traffic_means_infinite_intensity() {
+        let k = KernelDesc::raw(KernelClass::Elementwise, ComputeKind::CudaFp32, 100.0, 0.0, 0.0);
+        assert!(k.arithmetic_intensity().is_infinite());
+    }
+}

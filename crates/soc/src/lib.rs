@@ -1,0 +1,61 @@
+//! # edgereasoning-soc
+//!
+//! A simulator for the NVIDIA Jetson AGX Orin system-on-chip, the edge
+//! platform used throughout the EdgeReasoning study (IISWC 2025).
+//!
+//! The crate models the pieces of the SoC that determine LLM inference
+//! behaviour on the real device:
+//!
+//! * [`spec::GpuSpec`] — the Ampere GPU: 2048 CUDA cores across 16 SMs,
+//!   64 tensor cores, 204.8 GB/s of LPDDR5 bandwidth shared with the CPU,
+//!   and the CUTLASS-style tensor-core tile quantization that produces the
+//!   stepped 128-token prefill latency pattern reported in the paper.
+//! * [`gpu::Gpu`] — a roofline kernel executor: each kernel is described by
+//!   its FLOPs, bytes moved and GEMM shape ([`kernel::KernelDesc`]); latency
+//!   is the max of compute and memory time divided by shape- and
+//!   size-dependent efficiency curves, plus launch overhead and
+//!   deterministic measurement jitter.
+//! * [`power`] — utilization-driven power draw with the discrete DVFS-like
+//!   power states visible in the paper's Fig. 10c, and an energy meter that
+//!   integrates P·dt per inference phase.
+//! * [`cpu::Cpu`] — the 12-core Arm Cortex-A78AE, used for the paper's
+//!   Appendix C CPU-vs-GPU comparison.
+//! * [`rng`] / [`stats`] — from-scratch deterministic xoshiro256++ RNG with
+//!   Box–Muller normal/lognormal sampling, and the summary statistics used
+//!   by the characterization harness (no external numerics dependencies).
+//!
+//! # Example
+//!
+//! Run a single memory-bound GEMV (one decode-step weight read of an
+//! 8B-parameter model) on a simulated Orin in MAXN mode:
+//!
+//! ```
+//! use edgereasoning_soc::gpu::Gpu;
+//! use edgereasoning_soc::kernel::{ComputeKind, KernelClass, KernelDesc};
+//! use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+//!
+//! let mut gpu = Gpu::new(OrinSpec::agx_orin_64gb().gpu, PowerMode::MaxN, 42);
+//! let kernel = KernelDesc::gemm(KernelClass::Gemv, ComputeKind::TensorFp16, 1, 4096, 4096)
+//!     .with_bytes(2 * 4096 * 4096, 2 * 4096);
+//! let exec = gpu.execute(&kernel);
+//! assert!(exec.latency_s > 0.0);
+//! assert!(exec.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod kernel;
+pub mod power;
+pub mod rng;
+pub mod spec;
+pub mod stats;
+
+pub use cpu::Cpu;
+pub use gpu::{Gpu, KernelExec, PhaseStats};
+pub use kernel::{ComputeKind, KernelClass, KernelDesc};
+pub use power::{EnergyMeter, PowerGovernor, PowerModel};
+pub use rng::Rng;
+pub use spec::{CpuSpec, GpuSpec, OrinSpec, PowerMode};

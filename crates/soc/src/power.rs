@@ -1,0 +1,265 @@
+//! Power draw and energy accounting.
+//!
+//! The model is physical rather than curve-fitted: instantaneous power is an
+//! idle floor plus energy-per-achieved-FLOP and energy-per-DRAM-byte terms.
+//! On LPDDR5 the per-byte energy dominates (≈0.11 nJ/B ⇒ ≈22 W at the full
+//! 204.8 GB/s), which is why the paper measures *higher* power during the
+//! bandwidth-bound decode phase than during compute-bound prefill
+//! (Tables XVIII/XIX). A [`PowerGovernor`] quantizes average draw to the
+//! discrete DVFS-like states visible in the paper's Fig. 10c.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients for the instantaneous power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle floor attributable to GPU + DRAM rails, watts.
+    pub idle_w: f64,
+    /// DRAM access energy, joules per byte moved.
+    pub energy_per_byte: f64,
+    /// Tensor-core FP16 energy, joules per achieved FLOP.
+    pub energy_per_flop_fp16: f64,
+    /// Tensor-core INT8 energy, joules per achieved OP.
+    pub energy_per_flop_int8: f64,
+    /// CUDA-core FP32 energy, joules per achieved FLOP.
+    pub energy_per_flop_fp32: f64,
+    /// Dynamic power of a fully occupied but FLOP-inefficient kernel
+    /// (causal-attention prefill): the SMs spin on masked/low-ILP work, so
+    /// draw is set by occupancy rather than useful FLOPs, watts.
+    pub attention_active_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            idle_w: 4.3,
+            energy_per_byte: 0.110e-9,
+            energy_per_flop_fp16: 0.18e-12,
+            energy_per_flop_int8: 0.09e-12,
+            energy_per_flop_fp32: 0.60e-12,
+            attention_active_w: 22.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Instantaneous power for a kernel achieving `flops_per_s` on the given
+    /// functional unit while moving `bytes_per_s` of DRAM traffic.
+    /// `scale` is a per-model calibration multiplier on the dynamic part;
+    /// the result is clamped to `cap_w`.
+    pub fn instantaneous_w(
+        &self,
+        flops_per_s: f64,
+        e_per_flop: f64,
+        bytes_per_s: f64,
+        scale: f64,
+        cap_w: f64,
+    ) -> f64 {
+        let dynamic = flops_per_s * e_per_flop + bytes_per_s * self.energy_per_byte;
+        (self.idle_w + dynamic * scale).min(cap_w)
+    }
+}
+
+/// Accumulates energy as the time integral of instantaneous power across a
+/// sequence of kernels or phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    total_time_s: f64,
+    total_energy_j: f64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a segment of `dt` seconds at `power_w` watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt < 0` or `power_w < 0`.
+    pub fn record(&mut self, dt: f64, power_w: f64) {
+        assert!(dt >= 0.0, "negative duration");
+        assert!(power_w >= 0.0, "negative power");
+        self.total_time_s += dt;
+        self.total_energy_j += dt * power_w;
+    }
+
+    /// Total elapsed time, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Total energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Time-averaged power, watts (0 when nothing recorded).
+    pub fn avg_power_w(&self) -> f64 {
+        if self.total_time_s == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j / self.total_time_s
+        }
+    }
+
+    /// Folds another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.total_time_s += other.total_time_s;
+        self.total_energy_j += other.total_energy_j;
+    }
+}
+
+/// Average of the DVFS ramp factor `1 − e^(−t/τ)` over a time window
+/// `[a_s, b_s]`. Real Jetson boards ramp clocks and rails toward their
+/// steady state over several seconds, so short bursts draw near-idle
+/// power — the paper's Eqn. 6 floor of 5.9 W below 64 decoded tokens, the
+/// rising power curves of Figs. 4a/5a, and the very low per-token costs of
+/// its hard-budget configurations all follow from this.
+///
+/// # Panics
+///
+/// Panics if `b_s < a_s` or `tau_s < 0`.
+pub fn ramp_avg_factor(a_s: f64, b_s: f64, tau_s: f64) -> f64 {
+    assert!(b_s >= a_s && a_s >= 0.0, "invalid window");
+    assert!(tau_s >= 0.0, "negative time constant");
+    if tau_s == 0.0 {
+        return 1.0;
+    }
+    let t = b_s - a_s;
+    if t <= 0.0 {
+        return 1.0 - (-a_s / tau_s).exp();
+    }
+    1.0 - tau_s * ((-a_s / tau_s).exp() - (-b_s / tau_s).exp()) / t
+}
+
+/// Discrete power states. Real Jetson boards step through DVFS operating
+/// points rather than drawing continuously varying power; Fig. 10c of the
+/// paper shows average power snapping between such plateaus as the parallel
+/// scaling factor grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGovernor {
+    states_w: Vec<f64>,
+}
+
+impl Default for PowerGovernor {
+    fn default() -> Self {
+        Self {
+            states_w: vec![
+                4.3, 6.0, 8.0, 10.5, 14.0, 19.0, 25.0, 30.0, 35.0, 42.0, 50.0, 60.0,
+            ],
+        }
+    }
+}
+
+impl PowerGovernor {
+    /// Creates a governor with custom states (sorted ascending internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states_w` is empty or contains non-finite values.
+    pub fn new(mut states_w: Vec<f64>) -> Self {
+        assert!(!states_w.is_empty(), "governor needs at least one state");
+        assert!(states_w.iter().all(|p| p.is_finite()), "non-finite state");
+        states_w.sort_by(|a, b| a.total_cmp(b));
+        Self { states_w }
+    }
+
+    /// The available states, ascending.
+    pub fn states_w(&self) -> &[f64] {
+        &self.states_w
+    }
+
+    /// Snaps a continuous power draw to the smallest state that covers it
+    /// (the highest state if the draw exceeds them all).
+    pub fn quantize(&self, power_w: f64) -> f64 {
+        for &s in &self.states_w {
+            if power_w <= s {
+                return s;
+            }
+        }
+        *self.states_w.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bandwidth_draws_about_22w() {
+        let pm = PowerModel::default();
+        let p = pm.instantaneous_w(0.0, pm.energy_per_flop_fp16, 204.8e9, 1.0, 60.0);
+        assert!((p - (4.3 + 204.8e9 * 0.110e-9)).abs() < 1e-9);
+        assert!(p > 25.0 && p < 29.0, "decode-like draw should be ~27 W, got {p}");
+    }
+
+    #[test]
+    fn power_cap_applies() {
+        let pm = PowerModel::default();
+        let p = pm.instantaneous_w(1e15, pm.energy_per_flop_fp16, 1e12, 1.0, 15.0);
+        assert_eq!(p, 15.0);
+    }
+
+    #[test]
+    fn meter_integrates() {
+        let mut m = EnergyMeter::new();
+        m.record(2.0, 10.0);
+        m.record(3.0, 20.0);
+        assert_eq!(m.elapsed_s(), 5.0);
+        assert_eq!(m.energy_j(), 80.0);
+        assert_eq!(m.avg_power_w(), 16.0);
+    }
+
+    #[test]
+    fn meter_merge() {
+        let mut a = EnergyMeter::new();
+        a.record(1.0, 5.0);
+        let mut b = EnergyMeter::new();
+        b.record(1.0, 15.0);
+        a.merge(&b);
+        assert_eq!(a.avg_power_w(), 10.0);
+    }
+
+    #[test]
+    fn empty_meter_avg_power_is_zero() {
+        assert_eq!(EnergyMeter::new().avg_power_w(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn meter_rejects_negative_duration() {
+        EnergyMeter::new().record(-1.0, 5.0);
+    }
+
+    #[test]
+    fn ramp_factor_limits() {
+        // Long windows approach steady state.
+        assert!(ramp_avg_factor(0.0, 1000.0, 10.0) > 0.98);
+        // Short bursts stay near idle.
+        assert!(ramp_avg_factor(0.0, 1.0, 10.0) < 0.1);
+        // A window starting late is already warm.
+        assert!(ramp_avg_factor(100.0, 110.0, 10.0) > 0.99);
+        // tau = 0 disables the ramp.
+        assert_eq!(ramp_avg_factor(0.0, 1.0, 0.0), 1.0);
+        // Monotone in window end.
+        assert!(ramp_avg_factor(0.0, 20.0, 10.0) > ramp_avg_factor(0.0, 5.0, 10.0));
+    }
+
+    #[test]
+    fn governor_quantizes_up() {
+        let g = PowerGovernor::default();
+        assert_eq!(g.quantize(4.0), 4.3);
+        assert_eq!(g.quantize(15.0), 19.0);
+        assert_eq!(g.quantize(100.0), 60.0);
+    }
+
+    #[test]
+    fn governor_custom_states_sorted() {
+        let g = PowerGovernor::new(vec![30.0, 10.0, 20.0]);
+        assert_eq!(g.states_w(), &[10.0, 20.0, 30.0]);
+        assert_eq!(g.quantize(12.0), 20.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Hardware specifications for the simulated Jetson AGX Orin platform.
+//!
+//! Numbers follow Table I of the paper and NVIDIA's published Orin
+//! datasheet: 2048 CUDA cores (5.3 FP32 TFLOPs), 64 tensor cores (275
+//! sparse INT8 TOPS → 137.5 dense INT8 / 68.75 dense FP16), 64 GB of
+//! LPDDR5 at 204.8 GB/s, 4 MB GPU L2, 192 KB L1 per SM across 16 SMs, a
+//! configurable 15–60 W power envelope, and a 12-core Cortex-A78AE CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// The Orin power modes described in §IV-B of the paper. All headline
+/// experiments run in `MaxN`; the other modes cap clock frequencies and are
+/// exposed for the power-mode ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PowerMode {
+    /// 15 W envelope.
+    W15,
+    /// 30 W envelope.
+    W30,
+    /// 50 W envelope.
+    W50,
+    /// Unconstrained (MAXN), up to ~60 W.
+    #[default]
+    MaxN,
+}
+
+impl PowerMode {
+    /// All modes, in increasing power order.
+    pub const ALL: [PowerMode; 4] = [
+        PowerMode::W15,
+        PowerMode::W30,
+        PowerMode::W50,
+        PowerMode::MaxN,
+    ];
+
+    /// Relative GPU/memory clock scaling versus MAXN. Derived from the
+    /// published per-mode GPU frequencies of the AGX Orin 64 GB (306 MHz –
+    /// 1.3 GHz GPU clock range, with memory clocks stepping similarly).
+    pub fn freq_scale(self) -> f64 {
+        match self {
+            PowerMode::W15 => 0.32,
+            PowerMode::W30 => 0.61,
+            PowerMode::W50 => 0.84,
+            PowerMode::MaxN => 1.0,
+        }
+    }
+
+    /// Module-level power cap in watts.
+    pub fn power_cap_w(self) -> f64 {
+        match self {
+            PowerMode::W15 => 15.0,
+            PowerMode::W30 => 30.0,
+            PowerMode::W50 => 50.0,
+            PowerMode::MaxN => 60.0,
+        }
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerMode::W15 => write!(f, "15W"),
+            PowerMode::W30 => write!(f, "30W"),
+            PowerMode::W50 => write!(f, "50W"),
+            PowerMode::MaxN => write!(f, "MAXN"),
+        }
+    }
+}
+
+/// Tensor-core tile granularity. CUTLASS GEMM kernels on Ampere process the
+/// M dimension in 128-row macro-tiles and the N/K dimensions in multiples of
+/// the MMA shape; workloads are padded up to these multiples, which produces
+/// the stepped prefill-latency pattern of the paper's Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileQuant {
+    /// M-dimension macro-tile (token dimension in prefill): 128.
+    pub m: usize,
+    /// N-dimension tile multiple: 64.
+    pub n: usize,
+    /// K-dimension tile multiple: 32.
+    pub k: usize,
+}
+
+impl Default for TileQuant {
+    fn default() -> Self {
+        Self { m: 128, n: 64, k: 32 }
+    }
+}
+
+/// Static description of the simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Total CUDA cores.
+    pub cuda_cores: usize,
+    /// Peak FP32 throughput on CUDA cores, FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak dense FP16 tensor-core throughput, FLOP/s.
+    pub tensor_fp16_flops: f64,
+    /// Peak dense INT8 tensor-core throughput, OP/s.
+    pub tensor_int8_ops: f64,
+    /// DRAM bandwidth in bytes/s (shared LPDDR5).
+    pub dram_bw: f64,
+    /// DRAM capacity in bytes.
+    pub dram_capacity: u64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// L1 cache size per SM in bytes.
+    pub l1_bytes_per_sm: u64,
+    /// Tensor-core tile quantization.
+    pub tile: TileQuant,
+    /// Fixed kernel launch + runtime overhead per kernel, seconds.
+    pub launch_overhead_s: f64,
+    /// Idle (rail) power attributable to the GPU + DRAM subsystem, watts.
+    pub idle_power_w: f64,
+    /// Maximum dynamic power above idle at full utilization, watts.
+    pub max_dynamic_power_w: f64,
+}
+
+impl GpuSpec {
+    /// FLOPs-to-bytes ratio of the device for FP16 tensor math — the paper's
+    /// §VI quotes ≈1375 for Orin; with 68.75 TFLOPs over 204.8 GB/s the
+    /// arithmetic gives ≈336 FLOP/B for dense math (the paper's figure
+    /// counts sparse INT8 ops). Exposed for roofline diagnostics.
+    pub fn flops_per_byte_fp16(&self) -> f64 {
+        self.tensor_fp16_flops / self.dram_bw
+    }
+}
+
+/// Static description of the simulated CPU complex (Cortex-A78AE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Core count (12 on AGX Orin 64 GB).
+    pub cores: usize,
+    /// Sustained clock in Hz.
+    pub clock_hz: f64,
+    /// Peak aggregate FP16/FP32 NEON throughput, FLOP/s.
+    pub neon_flops: f64,
+    /// Effective memory bandwidth available to the CPU cluster, bytes/s.
+    /// Far below the 204.8 GB/s LPDDR5 peak: the A78AE cluster cannot
+    /// saturate the fabric.
+    pub mem_bw: f64,
+    /// Idle power, watts.
+    pub idle_power_w: f64,
+    /// Max dynamic power, watts.
+    pub max_dynamic_power_w: f64,
+}
+
+/// The full SoC: GPU + CPU + shared-memory parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrinSpec {
+    /// GPU subsystem.
+    pub gpu: GpuSpec,
+    /// CPU subsystem.
+    pub cpu: CpuSpec,
+}
+
+impl OrinSpec {
+    /// The NVIDIA Jetson AGX Orin 64 GB developer kit used in the paper.
+    pub fn agx_orin_64gb() -> Self {
+        Self {
+            gpu: GpuSpec {
+                name: "Jetson AGX Orin 64GB (Ampere GPU)".to_owned(),
+                sm_count: 16,
+                cuda_cores: 2048,
+                fp32_flops: 5.3e12,
+                tensor_fp16_flops: 68.75e12,
+                tensor_int8_ops: 137.5e12,
+                dram_bw: 204.8e9,
+                dram_capacity: 64 * (1 << 30),
+                l2_bytes: 4 * (1 << 20),
+                l1_bytes_per_sm: 192 * (1 << 10),
+                tile: TileQuant::default(),
+                launch_overhead_s: 6.0e-6,
+                idle_power_w: 4.3,
+                max_dynamic_power_w: 45.0,
+            },
+            cpu: CpuSpec {
+                name: "Arm Cortex-A78AE x12".to_owned(),
+                cores: 12,
+                clock_hz: 2.2e9,
+                // 12 cores x 2.2 GHz x 2 NEON pipes x 8 fp16 lanes ≈ 422 GFLOP/s
+                // peak; sustained GEMM efficiency is folded into the executor.
+                neon_flops: 422.0e9,
+                mem_bw: 38.0e9,
+                idle_power_w: 1.5,
+                max_dynamic_power_w: 14.0,
+            },
+        }
+    }
+}
+
+impl Default for OrinSpec {
+    fn default() -> Self {
+        Self::agx_orin_64gb()
+    }
+}
+
+impl GpuSpec {
+    /// An H100-SXM-class server GPU (the paper's artifact runs the
+    /// accuracy benchmarks and the Natural-Plan evaluation on x86 servers
+    /// with H100 / RTX A6000 GPUs — their Tables XIII–XV latencies are
+    /// ~7× faster than the Orin's own time-between-tokens).
+    pub fn h100_sxm() -> Self {
+        Self {
+            name: "H100 SXM (server)".to_owned(),
+            sm_count: 132,
+            cuda_cores: 16_896,
+            fp32_flops: 67.0e12,
+            tensor_fp16_flops: 989.0e12,
+            tensor_int8_ops: 1978.0e12,
+            dram_bw: 3.35e12,
+            dram_capacity: 80 * (1 << 30),
+            l2_bytes: 50 * (1 << 20),
+            l1_bytes_per_sm: 256 * (1 << 10),
+            tile: TileQuant::default(),
+            launch_overhead_s: 3.0e-6,
+            idle_power_w: 75.0,
+            max_dynamic_power_w: 625.0,
+        }
+    }
+}
+
+/// Rounds `x` up to the next multiple of `quantum` (identity when already
+/// aligned). Used for tensor-core tile padding: `I_pad = ceil(I/128)*128`.
+///
+/// # Panics
+///
+/// Panics if `quantum == 0`.
+pub fn pad_to(x: usize, quantum: usize) -> usize {
+    assert!(quantum > 0, "quantum must be positive");
+    x.div_ceil(quantum) * quantum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orin_matches_table_i() {
+        let soc = OrinSpec::agx_orin_64gb();
+        assert_eq!(soc.gpu.cuda_cores, 2048);
+        assert_eq!(soc.gpu.sm_count, 16);
+        assert!((soc.gpu.fp32_flops - 5.3e12).abs() < 1e9);
+        assert!((soc.gpu.dram_bw - 204.8e9).abs() < 1e6);
+        assert_eq!(soc.gpu.dram_capacity, 64 * (1 << 30));
+        assert_eq!(soc.cpu.cores, 12);
+    }
+
+    #[test]
+    fn power_modes_monotonic() {
+        let mut prev_scale = 0.0;
+        let mut prev_cap = 0.0;
+        for mode in PowerMode::ALL {
+            assert!(mode.freq_scale() > prev_scale);
+            assert!(mode.power_cap_w() > prev_cap);
+            prev_scale = mode.freq_scale();
+            prev_cap = mode.power_cap_w();
+        }
+        assert_eq!(PowerMode::MaxN.freq_scale(), 1.0);
+    }
+
+    #[test]
+    fn pad_to_works() {
+        assert_eq!(pad_to(1, 128), 128);
+        assert_eq!(pad_to(128, 128), 128);
+        assert_eq!(pad_to(129, 128), 256);
+        assert_eq!(pad_to(300, 128), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn pad_to_zero_quantum_panics() {
+        pad_to(5, 0);
+    }
+
+    #[test]
+    fn display_power_modes() {
+        assert_eq!(PowerMode::MaxN.to_string(), "MAXN");
+        assert_eq!(PowerMode::W15.to_string(), "15W");
+    }
+
+    #[test]
+    fn spec_debug_is_nonempty() {
+        let spec = OrinSpec::default();
+        let s = format!("{spec:?}");
+        assert!(s.contains("Orin"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Summary statistics used throughout the characterization harness.
+//!
+//! The paper reports means, mean absolute percentage error (MAPE, Tables VI
+//! and VIII), and fitted-model goodness; this module provides those plus the
+//! small helpers (percentiles, linspace-style sweeps) the benches need.
+
+/// Arithmetic mean; returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance; returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Mean absolute percentage error between predictions and ground truth,
+/// as used for the paper's latency-model validation (Table VI).
+///
+/// Pairs whose actual value is zero are skipped (a percentage error is
+/// undefined there). Returns `None` if no valid pair remains.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(100.0 * sum / n as f64)
+    }
+}
+
+/// Root-mean-square error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "rmse of empty series");
+    let s: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum();
+    (s / predicted.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R² of predictions against actuals.
+///
+/// Returns `None` when the actuals have zero variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let m = mean(actual)?;
+    let ss_tot: f64 = actual.iter().map(|a| (a - m).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p).powi(2))
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+/// Linear interpolation percentile (`q` in `[0, 100]`); `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// `n` evenly spaced points from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// `n` logarithmically spaced points from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either bound is non-positive.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Standard normal cumulative distribution function, via the Abramowitz &
+/// Stegun 7.1.26 erf approximation (|error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// A one-pass summary of a sample (count, mean, std, min, max).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        let mean = mean(xs).expect("non-empty");
+        let std_dev = std_dev(xs).expect("non-empty");
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count: xs.len(),
+            mean,
+            std_dev,
+            min,
+            max,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(variance(&xs), Some(1.25));
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn mape_basic() {
+        let actual = [100.0, 200.0];
+        let pred = [110.0, 180.0];
+        let m = mape(&pred, &actual).unwrap();
+        assert!((m - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let m = mape(&[1.0, 5.0], &[0.0, 5.0]).unwrap();
+        assert_eq!(m, 0.0);
+        assert!(mape(&[1.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn r_squared_perfect_fit() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((r_squared(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!(r_squared(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 10.0, 5);
+        assert_eq!(v, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let v = logspace(1.0, 100.0, 3);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        assert!((erf(0.5) + erf(-0.5)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[2.0, 4.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # edgereasoning-workloads
+//!
+//! Synthetic stand-ins for the evaluation benchmarks of the EdgeReasoning
+//! paper: MMLU-Redux (3 000 questions), MMLU (15 000), AIME2024, MATH500
+//! and the three Natural-Plan tasks (calendar / meeting / trip planning).
+//!
+//! The study never inspects question *text* — it consumes, per question, a
+//! prompt length, a difficulty, the answer format (multiple choice vs exact
+//! match) and grading. The generators here produce seeded questions with
+//! difficulty and prompt-length distributions calibrated so that the model
+//! behaviour profiles of `edgereasoning-models` reproduce the paper's
+//! published per-benchmark accuracies.
+//!
+//! [`prompt::PromptConfig`] implements the paper's §V prompting arms: the
+//! unconstrained `Base`, hard token budgets (`[n]T`), soft in-prompt limits
+//! (`[n]-NC`), the NR no-thinking injection, and plain `Direct` prompting
+//! of non-reasoning models.
+//!
+//! # Example
+//!
+//! ```
+//! use edgereasoning_workloads::prompt::PromptConfig;
+//! use edgereasoning_workloads::suite::Benchmark;
+//!
+//! let questions = Benchmark::MmluRedux.generate(42);
+//! assert_eq!(questions.len(), 3000);
+//! assert!(questions.iter().all(|q| q.choices == Some(4)));
+//!
+//! // Hard budgets cap decoding; soft limits only ask nicely.
+//! assert_eq!(PromptConfig::Hard(128).max_decode_tokens(), Some(128));
+//! assert_eq!(PromptConfig::Soft(128).max_decode_tokens(), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prompt;
+pub mod question;
+pub mod suite;
+
+pub use prompt::PromptConfig;
+pub use question::Question;
+pub use suite::{Benchmark, PlanTask};

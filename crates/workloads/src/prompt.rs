@@ -1,0 +1,103 @@
+//! Prompting configurations (the paper's §V evaluation arms).
+
+use serde::{Deserialize, Serialize};
+
+/// How a question is presented to the model and how decoding is bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PromptConfig {
+    /// Unconstrained chain-of-thought generation (reasoning models) —
+    /// `Base` in the paper's tables.
+    #[default]
+    Base,
+    /// Hard-length control `[n]T`: an "Answer in n words" instruction *and* strict
+    /// engine-side truncation at `n` tokens.
+    Hard(u32),
+    /// Soft-length control `[n]-NC`: the same instruction, natural
+    /// completion (no enforcement) — models routinely overshoot.
+    Soft(u32),
+    /// No-Reasoning: a pre-filled empty thinking block is injected so the
+    /// model skips explicit chain-of-thought (Ma et al., paper reference 22).
+    NoReason,
+    /// Plain direct prompting of non-reasoning instruction-tuned models.
+    Direct,
+}
+
+impl PromptConfig {
+    /// The configurations swept for reasoning models in Figs. 6–8.
+    pub const REASONING_SWEEP: [PromptConfig; 6] = [
+        PromptConfig::Base,
+        PromptConfig::Soft(128),
+        PromptConfig::Soft(256),
+        PromptConfig::NoReason,
+        PromptConfig::Hard(128),
+        PromptConfig::Hard(256),
+    ];
+
+    /// Engine-side decode cap, if any (only hard budgets truncate).
+    pub fn max_decode_tokens(self) -> Option<u32> {
+        match self {
+            PromptConfig::Hard(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Extra prompt tokens added by the configuration's instruction text /
+    /// injected thinking block, on top of the question itself.
+    pub fn prompt_overhead_tokens(self) -> usize {
+        match self {
+            PromptConfig::Base => 24,       // CoT system prompt
+            PromptConfig::Hard(_) => 40,    // + length instruction
+            PromptConfig::Soft(_) => 40,
+            PromptConfig::NoReason => 46,   // + pre-filled think block
+            PromptConfig::Direct => 12,
+        }
+    }
+
+    /// The label used in the paper's tables ("Base", "128T", "128 (NC)",
+    /// "NR", "Direct").
+    pub fn label(self) -> String {
+        match self {
+            PromptConfig::Base => "Base".to_owned(),
+            PromptConfig::Hard(n) => format!("{n}T"),
+            PromptConfig::Soft(n) => format!("{n} (NC)"),
+            PromptConfig::NoReason => "NR".to_owned(),
+            PromptConfig::Direct => "Direct".to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for PromptConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PromptConfig::Hard(128).label(), "128T");
+        assert_eq!(PromptConfig::Soft(256).label(), "256 (NC)");
+        assert_eq!(PromptConfig::NoReason.label(), "NR");
+        assert_eq!(PromptConfig::Base.to_string(), "Base");
+    }
+
+    #[test]
+    fn only_hard_budgets_truncate() {
+        assert_eq!(PromptConfig::Hard(256).max_decode_tokens(), Some(256));
+        for c in [PromptConfig::Base, PromptConfig::Soft(128), PromptConfig::NoReason] {
+            assert_eq!(c.max_decode_tokens(), None);
+        }
+    }
+
+    #[test]
+    fn overheads_are_positive_and_config_dependent() {
+        assert!(PromptConfig::NoReason.prompt_overhead_tokens()
+            > PromptConfig::Direct.prompt_overhead_tokens());
+        for c in PromptConfig::REASONING_SWEEP {
+            assert!(c.prompt_overhead_tokens() > 0);
+        }
+    }
+}

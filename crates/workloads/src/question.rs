@@ -1,0 +1,57 @@
+//! Individual benchmark questions.
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark question, reduced to the attributes the study consumes.
+///
+/// Difficulty lives on a logit scale: a model whose effective skill equals
+/// the question's difficulty solves it with probability ½ (before the
+/// multiple-choice guess floor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Index within its benchmark.
+    pub idx: u32,
+    /// Solve difficulty on the logit scale.
+    pub difficulty: f64,
+    /// `Some(n)` for n-way multiple choice; `None` for exact-match grading
+    /// (math answers, plan schedules) where guessing scores zero.
+    pub choices: Option<u8>,
+    /// Strength of the question's "attractor" wrong answer: the fraction
+    /// of failure mass that lands on one specific distractor instead of
+    /// spreading uniformly. This is what makes majority voting *degrade*
+    /// on weak models at high parallel-scaling factors (paper Fig. 9).
+    pub trap_strength: f64,
+    /// Question prompt length in tokens (before config overhead).
+    pub prompt_tokens: usize,
+}
+
+impl Question {
+    /// Probability that a *failed* attempt lands on the attractor
+    /// distractor (vs a uniform other wrong choice).
+    pub fn trap_mass(&self) -> f64 {
+        self.trap_strength.clamp(0.0, 1.0)
+    }
+
+    /// Whether grading offers a guess floor (multiple choice) or not.
+    pub fn is_multiple_choice(&self) -> bool {
+        self.choices.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_mass_is_clamped() {
+        let q = Question {
+            idx: 0,
+            difficulty: 0.0,
+            choices: Some(4),
+            trap_strength: 1.7,
+            prompt_tokens: 100,
+        };
+        assert_eq!(q.trap_mass(), 1.0);
+        assert!(q.is_multiple_choice());
+    }
+}

@@ -1,0 +1,88 @@
+//! Edge-vs-cloud economics for a robot fleet (the paper's §III-B / Table
+//! III argument, extended): what does a year of reasoning queries cost on
+//! on-device Orins versus a cloud reasoning API?
+//!
+//! Run with: `cargo run --release --example fleet_cost_analysis`
+
+use edgereasoning::core::cost::{CloudPricing, CostModel};
+use edgereasoning::prelude::*;
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+    let cost_model = CostModel::default();
+
+    // Fleet assumptions.
+    let robots = 100usize;
+    let queries_per_day = 500usize;
+    let prompt_tokens = 300usize;
+    let reasoning_tokens = 800usize;
+
+    // Characterize one representative on-device workload (DeepScaleR-class
+    // 1.5B reasoning model, FP16, batch 1 vs batch 8).
+    println!("Workload: {robots} robots x {queries_per_day} queries/day, {reasoning_tokens} reasoning tokens each\n");
+    println!("{:>6} {:>12} {:>12} {:>14} {:>16}", "batch", "tok/s", "W", "$/1M tokens", "$/fleet-year");
+    let yearly_tokens = (robots * queries_per_day * reasoning_tokens) as f64 * 365.0;
+    for batch in [1usize, 8, 30] {
+        let outcome = rig.run_generation(
+            ModelId::DeepScaleR1_5b,
+            Precision::Fp16,
+            &GenerationRequest::new(prompt_tokens, reasoning_tokens).with_batch(batch),
+        );
+        let tokens = outcome.total_generated_tokens() as f64;
+        let c = cost_model.per_mtok(outcome.total_energy_j(), outcome.total_latency_s(), tokens);
+        println!(
+            "{batch:>6} {:>12.1} {:>12.1} {:>14.3} {:>16.0}",
+            tokens / outcome.total_latency_s(),
+            outcome.avg_power_w(),
+            c.total(),
+            c.total() * yearly_tokens / 1e6,
+        );
+    }
+
+    let cloud = CloudPricing::o1_preview();
+    let cloud_yearly =
+        cloud.output_per_mtok * yearly_tokens / 1e6
+            + cloud.input_per_mtok * (robots * queries_per_day * prompt_tokens) as f64 * 365.0 / 1e6;
+    println!("\ncloud (o1-preview list price): ${cloud_yearly:.0}/fleet-year");
+    println!(
+        "edge at batch 8 is ~{:.0}x cheaper — the economics that motivate the paper.",
+        cloud_yearly
+            / (cost_model.per_mtok(1.0, 1.0, 1.0).total().max(f64::MIN_POSITIVE) * 0.0
+                + {
+                    let outcome = rig.run_generation(
+                        ModelId::DeepScaleR1_5b,
+                        Precision::Fp16,
+                        &GenerationRequest::new(prompt_tokens, reasoning_tokens).with_batch(8),
+                    );
+                    cost_model
+                        .per_mtok(
+                            outcome.total_energy_j(),
+                            outcome.total_latency_s(),
+                            outcome.total_generated_tokens() as f64,
+                        )
+                        .total()
+                        * yearly_tokens
+                        / 1e6
+                })
+    );
+
+    // Accuracy is not sacrificed: DeepScaleR matches o1-preview on math.
+    let aime = evaluate(
+        ModelId::DeepScaleR1_5b,
+        Precision::Fp16,
+        Benchmark::Aime2024,
+        PromptConfig::Base,
+        EvalOptions::default(),
+    );
+    let math500 = evaluate(
+        ModelId::DeepScaleR1_5b,
+        Precision::Fp16,
+        Benchmark::Math500,
+        PromptConfig::Base,
+        EvalOptions::default(),
+    );
+    println!(
+        "\nDeepScaleR-1.5B on-device accuracy: AIME {:.1}% (o1-preview: 40.0%), MATH500 {:.1}% (81.4%)",
+        aime.accuracy_pct, math500.accuracy_pct
+    );
+}

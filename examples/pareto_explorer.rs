@@ -1,0 +1,90 @@
+//! Sweep the full deployment design space — model size × reasoning config
+//! × precision × parallel scaling — and print the accuracy-latency Pareto
+//! frontier with its operational regimes (the paper's Figs. 6-8 synthesis).
+//!
+//! Run with: `cargo run --release --example pareto_explorer`
+
+use edgereasoning::core::planner::{ConfigPoint, Planner};
+use edgereasoning::core::rig::CellReport;
+use edgereasoning::prelude::*;
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+    let opts = EvalOptions::default().with_subset(1000);
+
+    let mut planner = Planner::default();
+    let mut evaluated = 0usize;
+    for model in [
+        ModelId::Dsr1Qwen1_5b,
+        ModelId::Dsr1Llama8b,
+        ModelId::Dsr1Qwen14b,
+        ModelId::L1Max,
+        ModelId::Qwen25_1_5bIt,
+        ModelId::Qwen25_7bIt,
+        ModelId::Llama31_8bIt,
+        ModelId::Qwen25_14bIt,
+    ] {
+        let configs: &[PromptConfig] = if model.is_reasoning() {
+            &PromptConfig::REASONING_SWEEP
+        } else {
+            &[PromptConfig::Direct]
+        };
+        for &config in configs {
+            for prec in [Precision::Fp16, Precision::W4A16] {
+                let r: CellReport =
+                    rig.cell_report(model, prec, Benchmark::MmluRedux, config, opts);
+                planner.push(ConfigPoint {
+                    model,
+                    precision: prec,
+                    config,
+                    parallel: 1,
+                    accuracy_pct: r.eval.accuracy_pct,
+                    latency_s: r.avg_latency_s,
+                    cost_per_mtok: r.cost.energy,
+                    avg_tokens: r.eval.avg_tokens_per_seq,
+                });
+                evaluated += 1;
+            }
+        }
+    }
+    println!("evaluated {evaluated} deployment configurations\n");
+
+    println!("accuracy-latency Pareto frontier:");
+    println!(
+        "{:>9}  {:>6}  {:16} {:6} {:>6}",
+        "latency s", "acc %", "model", "prec", "config"
+    );
+    for p in planner.latency_frontier() {
+        println!(
+            "{:>9.2}  {:>6.1}  {:16} {:6} {:>6}",
+            p.latency_s,
+            p.accuracy_pct,
+            p.model.to_string(),
+            p.precision.to_string(),
+            p.config.label()
+        );
+    }
+
+    println!("\noperational regimes (which family owns each latency band):");
+    for (start, end, p) in planner.regimes() {
+        let band = if end.is_infinite() {
+            format!(">{start:.1} s")
+        } else {
+            format!("{start:.1}-{end:.1} s")
+        };
+        println!("  {band:>16}: {} {} [{}]", p.model, p.precision, p.config.label());
+    }
+
+    println!("\nbest configuration under cost budgets ($/1M tokens, energy):");
+    for budget in [0.01, 0.05, 0.1, 1.0] {
+        match planner.best_under_cost(budget) {
+            Some(p) => println!(
+                "  <= ${budget:<5}: {} [{}] at {:.1}% accuracy",
+                p.model,
+                p.config.label(),
+                p.accuracy_pct
+            ),
+            None => println!("  <= ${budget:<5}: none"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate a reasoning LLM on a Jetson AGX Orin, fit the
+//! paper's analytical latency model, and plan a token budget.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use edgereasoning::prelude::*;
+
+fn main() {
+    // A simulated Orin (MAXN, vLLM) with a fixed seed.
+    let mut rig = Rig::new(RigConfig::default().with_seed(7));
+
+    // 1. Run one generation: 512-token prompt, 256 reasoning tokens on
+    //    DeepSeek-R1-Distill-Llama-8B in FP16.
+    let outcome = rig.run_generation(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        &GenerationRequest::new(512, 256),
+    );
+    println!("model            : {}", ModelId::Dsr1Llama8b);
+    println!("prefill latency  : {:.3} s", outcome.prefill.latency_s);
+    println!("decode latency   : {:.2} s", outcome.decode.latency_s);
+    println!("time between tok : {:.1} ms", outcome.mean_tbt_s() * 1e3);
+    println!("average power    : {:.1} W", outcome.avg_power_w());
+    println!("energy           : {:.0} J", outcome.total_energy_j());
+
+    // 2. Characterize the device: sweep, fit Eqns. 1-3, validate.
+    let fitted = rig.characterize_latency(ModelId::Dsr1Llama8b, Precision::Fp16);
+    println!(
+        "\nfitted prefill  : {:.2e}*Ipad^2 + {:.2e}*Ipad + {:.3}",
+        fitted.prefill.a, fitted.prefill.b, fitted.prefill.c
+    );
+    println!(
+        "fitted decode   : {:.4}*O + {:.2e}*(I*O + O(O-1)/2)   (paper: n=0.092)",
+        fitted.decode.n, fitted.decode.m
+    );
+    let mape = rig.validate_latency(ModelId::Dsr1Llama8b, Precision::Fp16, 50);
+    println!(
+        "validation MAPE : prefill {:.1}%  decode {:.2}%  total {:.2}%",
+        mape.prefill_pct, mape.decode_pct, mape.total_pct
+    );
+
+    // 3. Invert the model: how many reasoning tokens fit in a latency
+    //    budget? (the paper's takeaway #6 workflow)
+    for budget_s in [2.0, 10.0, 60.0] {
+        let tokens = fitted.max_output_tokens(512, budget_s);
+        println!("{budget_s:>5.0} s budget -> up to {tokens} reasoning tokens");
+    }
+}

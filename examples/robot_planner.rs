@@ -1,0 +1,96 @@
+//! The paper's Fig. 1 scenario: an assistive robot whose tasks span a
+//! continuous spectrum of latency requirements — "avoid that obstacle
+//! now!" (sub-second), "help me prepare dinner" (seconds), "plan my
+//! weekly schedule" (minutes) — each answered with the accuracy-optimal
+//! (model, config, token budget) the latency constraint admits.
+//!
+//! Run with: `cargo run --release --example robot_planner`
+
+use edgereasoning::core::planner::{plan_token_budget, ConfigPoint, Planner};
+use edgereasoning::models::predict::expected_accuracy;
+use edgereasoning::prelude::*;
+
+fn main() {
+    let mut rig = Rig::new(RigConfig::default());
+
+    // Evaluate a palette of deployable configurations once, offline.
+    let mut planner = Planner::default();
+    let cells: Vec<(ModelId, PromptConfig)> = vec![
+        (ModelId::Qwen25_1_5bIt, PromptConfig::Direct),
+        (ModelId::Qwen25_7bIt, PromptConfig::Direct),
+        (ModelId::Llama31_8bIt, PromptConfig::Direct),
+        (ModelId::Dsr1Qwen1_5b, PromptConfig::NoReason),
+        (ModelId::Dsr1Qwen1_5b, PromptConfig::Base),
+        (ModelId::L1Max, PromptConfig::Base),
+        (ModelId::Dsr1Llama8b, PromptConfig::Hard(256)),
+        (ModelId::Dsr1Llama8b, PromptConfig::Base),
+        (ModelId::Dsr1Qwen14b, PromptConfig::Hard(256)),
+        (ModelId::Dsr1Qwen14b, PromptConfig::NoReason),
+        (ModelId::Dsr1Qwen14b, PromptConfig::Base),
+    ];
+    for (model, config) in cells {
+        let acc =
+            100.0 * expected_accuracy(model, Precision::Fp16, Benchmark::MmluRedux, config);
+        let latency = rig.characterize_latency(model, Precision::Fp16);
+        let tokens = edgereasoning::models::profile::output_profile(
+            model,
+            Benchmark::MmluRedux,
+            config,
+            Precision::Fp16,
+        )
+        .expected_emitted();
+        planner.push(ConfigPoint {
+            model,
+            precision: Precision::Fp16,
+            config,
+            parallel: 1,
+            accuracy_pct: acc,
+            latency_s: latency.predict(256, tokens.round() as usize),
+            cost_per_mtok: 0.0,
+            avg_tokens: tokens,
+        });
+    }
+
+    // The robot's task queue: (task, deadline seconds).
+    let tasks = [
+        ("avoid that obstacle NOW", 0.8),
+        ("is this mug dishwasher-safe?", 3.0),
+        ("help me prepare dinner in 5 minutes", 20.0),
+        ("plan the grocery list for the week", 120.0),
+        ("plan my weekly schedule", 600.0),
+    ];
+    println!("{:44} {:>8}  chosen configuration", "task", "deadline");
+    println!("{}", "-".repeat(100));
+    for (task, deadline) in tasks {
+        match planner.best_under_latency(deadline) {
+            Some(p) => println!(
+                "{task:44} {deadline:>6.1} s  {} [{}] -> {:.1}% acc in {:.1} s",
+                p.model,
+                p.config.label(),
+                p.accuracy_pct,
+                p.latency_s
+            ),
+            None => println!("{task:44} {deadline:>6.1} s  NO CONFIGURATION FITS"),
+        }
+    }
+
+    // Fine-grained control: the budget-aware L1 model + the latency model
+    // turn any deadline into an exact token budget (takeaway #6).
+    println!("\nBudget-aware planning with L1-Max (1.5B):");
+    let latency_model = rig.characterize_latency(ModelId::L1Max, Precision::Fp16);
+    for deadline in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        match plan_token_budget(
+            &latency_model,
+            ModelId::L1Max,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            256,
+            deadline,
+        ) {
+            Some((budget, acc)) => println!(
+                "  {deadline:>5.1} s deadline -> budget {budget:>4} tokens, predicted {acc:.1}% accuracy"
+            ),
+            None => println!("  {deadline:>5.1} s deadline -> even prefill does not fit"),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into outputs/ and stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS=(
+  table02 table03
+  fig02_prefill fig03_decode table06 table07
+  fig04_05_power
+  fig06_07_08 fig09 fig10
+  fig11_14_quant
+  table09 table12 table13_15_planning table16_17_cpu
+  ablation_power_modes ablation_future_work
+)
+for b in "${BINS[@]}"; do
+  echo "=============================================================="
+  echo ">>> $b"
+  echo "=============================================================="
+  cargo run --release -q -p edgereasoning-bench --bin "$b"
+  echo
+done
+echo "All reproduction outputs written to outputs/."

@@ -1,0 +1,63 @@
+//! # EdgeReasoning
+//!
+//! A faithful, fully simulated reproduction of *"EdgeReasoning:
+//! Characterizing Reasoning LLM Deployment on Edge GPUs"* (IISWC 2025).
+//!
+//! This facade crate re-exports the workspace subsystems:
+//!
+//! * [`soc`] — Jetson AGX Orin SoC simulator (roofline GPU, DVFS power
+//!   states, energy metering, Cortex-A78AE CPU).
+//! * [`kernels`] — transformer kernel cost model and architecture catalog.
+//! * [`engine`] — vLLM/HFT/TRT-LLM-style inference-engine simulation with
+//!   paged KV cache and parallel-scaling batch decode.
+//! * [`models`] — model zoo with calibrated behaviour profiles: output
+//!   length distributions, accuracy scaling laws, majority voting.
+//! * [`workloads`] — synthetic MMLU-Redux / MMLU / AIME2024 / MATH500 /
+//!   Natural-Plan benchmark suites and prompt-config templating.
+//! * [`core`] — the paper's contribution: analytical latency/power/energy
+//!   models, curve fitting, cost modeling, token-budget planning and
+//!   Pareto deployment optimization.
+//!
+//! # Quickstart
+//!
+//! Simulate one reasoning question end-to-end on a simulated Orin and plan
+//! a token budget for a latency target:
+//!
+//! ```
+//! use edgereasoning::prelude::*;
+//!
+//! // A simulated Orin running DeepSeek-R1-Distill-Llama-8B under vLLM.
+//! let mut rig = Rig::new(RigConfig::default().with_seed(7));
+//! let outcome = rig.run_generation(
+//!     ModelId::Dsr1Llama8b,
+//!     Precision::Fp16,
+//!     &GenerationRequest::new(512, 256),
+//! );
+//! assert!(outcome.total_latency_s() > 0.0);
+//!
+//! // Fit the paper's analytical latency model to simulated measurements
+//! // and invert it: how many tokens fit in a 10 s budget?
+//! let fitted = rig.characterize_latency(ModelId::Dsr1Llama8b, Precision::Fp16);
+//! let budget = fitted.max_output_tokens(512, 10.0);
+//! assert!(budget > 0);
+//! ```
+
+pub use edgereasoning_core as core;
+pub use edgereasoning_engine as engine;
+pub use edgereasoning_kernels as kernels;
+pub use edgereasoning_models as models;
+pub use edgereasoning_soc as soc;
+pub use edgereasoning_workloads as workloads;
+
+/// Convenience re-exports of the most common types.
+pub mod prelude {
+    pub use edgereasoning_core::latency::{DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel};
+    pub use edgereasoning_core::rig::{Rig, RigConfig};
+    pub use edgereasoning_engine::request::GenerationRequest;
+    pub use edgereasoning_kernels::arch::ModelId;
+    pub use edgereasoning_kernels::dtype::Precision;
+    pub use edgereasoning_models::evaluate::{evaluate, EvalOptions, EvalResult};
+    pub use edgereasoning_workloads::prompt::PromptConfig;
+    pub use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+    pub use edgereasoning_workloads::suite::Benchmark;
+}

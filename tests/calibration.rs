@@ -1,0 +1,121 @@
+//! Calibration regression tests: every anchored cell of the paper's
+//! published tables must stay within tolerance of our simulated
+//! reproduction. These are the guardrails that keep future changes to the
+//! simulator, profiles or laws honest.
+
+use edgereasoning::kernels::dtype::Precision;
+use edgereasoning::models::anchors;
+use edgereasoning::models::evaluate::{evaluate, EvalOptions};
+use edgereasoning::models::profile::output_profile;
+use edgereasoning::workloads::suite::Benchmark;
+
+/// Output-token means: every anchored cell must reproduce its published
+/// average emitted length within 3 % (they are calibrated by construction;
+/// this guards the truncation inversion and the sampler).
+#[test]
+fn anchored_token_means_reproduce() {
+    for row in anchors::all_rows() {
+        let profile = output_profile(row.model, row.bench, row.config, row.precision);
+        let expected = profile.expected_emitted();
+        let rel = (expected / row.avg_tokens - 1.0).abs();
+        assert!(
+            rel < 0.03,
+            "{} {} {} {}: profile mean {expected:.1} vs paper {:.1}",
+            row.model,
+            row.bench,
+            row.config.label(),
+            row.precision,
+            row.avg_tokens
+        );
+    }
+}
+
+/// MMLU-Redux accuracy cells: Monte-Carlo accuracy within 9 accuracy
+/// points of the paper for every anchored FP16 cell (most are within 3;
+/// the wider band covers the paper's own anomalous cells documented in
+/// EXPERIMENTS.md).
+#[test]
+fn mmlu_redux_accuracy_within_tolerance() {
+    let opts = EvalOptions::default();
+    for row in anchors::mmlu_redux_rows() {
+        if row.precision != Precision::Fp16 {
+            continue;
+        }
+        let r = evaluate(row.model, row.precision, row.bench, row.config, opts);
+        let err = (r.accuracy_pct - row.acc_pct).abs();
+        assert!(
+            err < 9.0,
+            "{} {}: measured {:.1}% vs paper {:.1}%",
+            row.model,
+            row.config.label(),
+            r.accuracy_pct,
+            row.acc_pct
+        );
+    }
+}
+
+/// The mean absolute accuracy error across all anchored MMLU-Redux FP16
+/// cells must stay small — the headline calibration-quality metric.
+#[test]
+fn mean_accuracy_error_is_small() {
+    let opts = EvalOptions::default();
+    let mut errs = Vec::new();
+    for row in anchors::mmlu_redux_rows() {
+        if row.precision != Precision::Fp16 {
+            continue;
+        }
+        let r = evaluate(row.model, row.precision, row.bench, row.config, opts);
+        errs.push((r.accuracy_pct - row.acc_pct).abs());
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(
+        mean < 3.5,
+        "mean |acc error| over {} cells = {mean:.2} points",
+        errs.len()
+    );
+}
+
+/// Full-MMLU base rows (the Table XII headline cells).
+#[test]
+fn mmlu_full_base_rows_reproduce() {
+    use edgereasoning::kernels::arch::ModelId;
+    use edgereasoning::workloads::prompt::PromptConfig;
+    let opts = EvalOptions::default();
+    for (model, paper) in [
+        (ModelId::Dsr1Qwen1_5b, 41.67),
+        (ModelId::Dsr1Llama8b, 60.38),
+        (ModelId::Dsr1Qwen14b, 86.59),
+    ] {
+        let r = evaluate(model, Precision::Fp16, Benchmark::Mmlu, PromptConfig::Base, opts);
+        assert!(
+            (r.accuracy_pct - paper).abs() < 2.0,
+            "{model}: {:.1} vs {paper}",
+            r.accuracy_pct
+        );
+    }
+}
+
+/// Natural-Plan base accuracy cells: mean error small, worst cell bounded
+/// (exact-match tasks with one shared per-task difficulty cannot match the
+/// paper's inconsistent per-model task orderings cell-exactly; see
+/// EXPERIMENTS.md).
+#[test]
+fn natural_plan_base_cells_within_tolerance() {
+    let opts = EvalOptions::default();
+    let mut errs = Vec::new();
+    for row in anchors::TABLE_XIII {
+        let r = evaluate(row.model, row.precision, row.bench, row.config, opts);
+        let err = (r.accuracy_pct - row.acc_pct).abs();
+        assert!(
+            err < 10.0,
+            "{} {}: {:.1} vs {:.1}",
+            row.model,
+            row.bench,
+            r.accuracy_pct,
+            row.acc_pct
+        );
+        errs.push(err);
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 4.5, "mean planning error {mean:.2} points");
+}

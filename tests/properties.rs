@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) on the core invariants of the stack.
+
+use edgereasoning::core::fit::{polyfit, solve_linear};
+use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel};
+use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
+use edgereasoning::engine::kv_cache::KvCacheManager;
+use edgereasoning::kernels::arch::ModelId;
+use edgereasoning::kernels::dtype::Precision;
+use edgereasoning::kernels::phases::{decode_step_kernels, prefill_kernels};
+use edgereasoning::models::profile::{expected_min, natural_mean_for_observed};
+use edgereasoning::soc::gpu::{ExecCalib, Gpu};
+use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
+use edgereasoning::soc::power::ramp_avg_factor;
+use edgereasoning::soc::rng::Rng;
+use edgereasoning::soc::spec::{OrinSpec, PowerMode};
+use edgereasoning::workloads::prompt::PromptConfig;
+use proptest::prelude::*;
+
+fn test_gpu() -> Gpu {
+    Gpu::new(OrinSpec::agx_orin_64gb().gpu, PowerMode::MaxN, 7)
+}
+
+fn point(latency: f64, acc: f64, cost: f64) -> ConfigPoint {
+    ConfigPoint {
+        model: ModelId::Dsr1Qwen1_5b,
+        precision: Precision::Fp16,
+        config: PromptConfig::Base,
+        parallel: 1,
+        accuracy_pct: acc,
+        latency_s: latency,
+        cost_per_mtok: cost,
+        avg_tokens: 1.0,
+    }
+}
+
+proptest! {
+    /// Roofline latency grows monotonically with added memory traffic.
+    #[test]
+    fn kernel_latency_monotone_in_bytes(mb in 1u64..512, extra in 1u64..512) {
+        let mut gpu = test_gpu();
+        let base = KernelDesc::raw(
+            KernelClass::MemCopy, ComputeKind::CudaFp32, 0.0, (mb << 20) as f64, 0.0);
+        let bigger = KernelDesc::raw(
+            KernelClass::MemCopy, ComputeKind::CudaFp32, 0.0, ((mb + extra) << 20) as f64, 0.0);
+        let a = gpu.execute_calibrated(&base, &ExecCalib::default());
+        let b = gpu.execute_calibrated(&bigger, &ExecCalib::default());
+        // 5% slack for deterministic shape wobble + measurement noise.
+        prop_assert!(b.latency_s > a.latency_s * 0.95,
+            "bytes {} -> {}: latency {} -> {}", mb, mb + extra, a.latency_s, b.latency_s);
+    }
+
+    /// Energy and power are always positive and consistent.
+    #[test]
+    fn kernel_energy_consistent(flops in 1e6f64..1e13, mb in 0u64..256) {
+        let mut gpu = test_gpu();
+        let k = KernelDesc::raw(
+            KernelClass::Gemm, ComputeKind::TensorFp16, flops, (mb << 20) as f64, 0.0);
+        let e = gpu.execute_calibrated(&k, &ExecCalib::default());
+        prop_assert!(e.latency_s > 0.0);
+        prop_assert!(e.power_w > 0.0 && e.power_w <= 60.0);
+        prop_assert!((e.energy_j - e.latency_s * e.power_w).abs() < 1e-9);
+    }
+
+    /// The budget inversion is maximal: the returned budget fits, one more
+    /// token does not.
+    #[test]
+    fn budget_inversion_is_maximal(input in 1usize..4096, budget_s in 0.5f64..500.0) {
+        let model = TotalLatencyModel {
+            prefill: PrefillLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+            decode: DecodeLatencyModel::paper_reference(ModelId::Dsr1Llama8b).unwrap(),
+        };
+        let o = model.max_output_tokens(input, budget_s);
+        if o > 0 {
+            prop_assert!(model.predict(input, o) <= budget_s + 1e-9);
+            prop_assert!(model.predict(input, o + 1) > budget_s);
+        } else {
+            prop_assert!(model.predict(input, 1) > budget_s);
+        }
+    }
+
+    /// Pareto frontier: strictly increasing in both axes, and no returned
+    /// point is dominated by any input point.
+    #[test]
+    fn pareto_frontier_is_undominated(
+        raw in prop::collection::vec((0.1f64..500.0, 0.0f64..100.0), 1..60)
+    ) {
+        let points: Vec<ConfigPoint> =
+            raw.iter().map(|&(l, a)| point(l, a, 0.0)).collect();
+        let idx = pareto_frontier(&points, |p| p.latency_s, |p| p.accuracy_pct);
+        prop_assert!(!idx.is_empty());
+        for w in idx.windows(2) {
+            prop_assert!(points[w[1]].latency_s > points[w[0]].latency_s);
+            prop_assert!(points[w[1]].accuracy_pct > points[w[0]].accuracy_pct);
+        }
+        for &i in &idx {
+            for p in &points {
+                let dominates = p.latency_s < points[i].latency_s
+                    && p.accuracy_pct > points[i].accuracy_pct;
+                prop_assert!(!dominates, "frontier point dominated");
+            }
+        }
+    }
+
+    /// best_under_latency returns the max accuracy among feasible points.
+    #[test]
+    fn best_under_latency_is_optimal(
+        raw in prop::collection::vec((0.1f64..100.0, 0.0f64..100.0), 1..40),
+        budget in 0.1f64..100.0
+    ) {
+        let points: Vec<ConfigPoint> = raw.iter().map(|&(l, a)| point(l, a, 0.0)).collect();
+        let planner = Planner::new(points.clone());
+        let best = planner.best_under_latency(budget);
+        let brute = points
+            .iter()
+            .filter(|p| p.latency_s <= budget)
+            .map(|p| p.accuracy_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        match best {
+            Some(p) => prop_assert!((p.accuracy_pct - brute).abs() < 1e-12),
+            None => prop_assert!(brute.is_infinite()),
+        }
+    }
+
+    /// KV-cache accounting: allocations never exceed capacity and release
+    /// restores every block.
+    #[test]
+    fn kv_cache_conserves_blocks(sizes in prop::collection::vec(1usize..4000, 1..20)) {
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let mut mgr = KvCacheManager::new(&arch, 2 << 30, 16);
+        let cap = mgr.free_tokens();
+        let mut live = Vec::new();
+        for &s in &sizes {
+            if let Some(id) = mgr.allocate(s) {
+                live.push(id);
+            }
+            prop_assert!(mgr.free_tokens() <= cap);
+        }
+        for id in live {
+            mgr.release(id);
+        }
+        prop_assert_eq!(mgr.free_tokens(), cap);
+        prop_assert_eq!(mgr.live_sequences(), 0);
+    }
+
+    /// The truncated-mean inversion round-trips for any observed/cap pair.
+    #[test]
+    fn natural_mean_inversion_round_trips(
+        cap in 32f64..2048.0, frac in 0.2f64..0.97, cv in 0.2f64..0.9
+    ) {
+        let observed = cap * frac;
+        let natural = natural_mean_for_observed(observed, cv, cap);
+        let back = expected_min(natural, cv, cap);
+        prop_assert!((back - observed).abs() / observed < 0.02,
+            "cap {cap} obs {observed}: natural {natural} -> {back}");
+    }
+
+    /// DVFS ramp factor stays in [0, 1] and is monotone in window end.
+    #[test]
+    fn ramp_factor_bounded_and_monotone(
+        a in 0.0f64..100.0, d1 in 0.01f64..50.0, d2 in 0.01f64..50.0, tau in 0.1f64..60.0
+    ) {
+        let f1 = ramp_avg_factor(a, a + d1, tau);
+        let f2 = ramp_avg_factor(a, a + d1 + d2, tau);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!(f2 >= f1 - 1e-12, "longer window must be warmer");
+    }
+
+    /// Kernel lowering conserves weight traffic: the decode step reads at
+    /// least the linear-layer weight bytes at any context/batch.
+    #[test]
+    fn decode_reads_cover_weights(ctx in 1usize..4096, batch in 1usize..32) {
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let step = decode_step_kernels(&arch, Precision::Fp16, batch, ctx);
+        let read: f64 = step.iter().map(|k| k.bytes_read).sum();
+        let weights = arch.weight_bytes(Precision::Fp16) as f64;
+        prop_assert!(read > 0.8 * weights);
+    }
+
+    /// Prefill FLOPs grow superlinearly but latency stays finite and
+    /// monotone in sequence length (padded comparison points).
+    #[test]
+    fn prefill_latency_monotone(k1 in 1usize..16, k2 in 1usize..16) {
+        prop_assume!(k1 < k2);
+        let arch = ModelId::Dsr1Llama8b.arch();
+        let mut gpu = test_gpu();
+        let t = |k: usize, gpu: &mut Gpu| {
+            let ks = prefill_kernels(&arch, Precision::Fp16, 1, k * 256);
+            gpu.run_phase(ks.iter(), &ExecCalib::default()).latency_s
+        };
+        let t1 = t(k1, &mut gpu);
+        let t2 = t(k2, &mut gpu);
+        prop_assert!(t2 > t1 * 0.98, "prefill latency must grow: {t1} vs {t2}");
+    }
+
+    /// Least-squares solutions actually solve exactly-determined systems.
+    #[test]
+    fn linear_solver_solves(x0 in -10.0f64..10.0, x1 in -10.0f64..10.0) {
+        let a = vec![vec![3.0, 1.0], vec![1.0, 2.0]];
+        let b = vec![3.0 * x0 + x1, x0 + 2.0 * x1];
+        let sol = solve_linear(&a, &b).expect("nonsingular");
+        prop_assert!((sol[0] - x0).abs() < 1e-8);
+        prop_assert!((sol[1] - x1).abs() < 1e-8);
+    }
+
+    /// Polyfit residuals vanish on exact polynomial data.
+    #[test]
+    fn polyfit_exact_on_polynomials(c0 in -1.0f64..1.0, c1 in -1e-3f64..1e-3, c2 in 0.0f64..1e-6) {
+        let xs: Vec<f64> = (1..=24).map(|k| k as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).expect("fit");
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let pred = c[0] + c[1] * x + c[2] * x * x;
+            prop_assert!((pred - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    /// The deterministic RNG's lognormal sampler hits its requested mean.
+    #[test]
+    fn lognormal_mean_matches(seed in 0u64..1000, mean in 10.0f64..2000.0) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 4000;
+        let total: f64 = (0..n).map(|_| rng.lognormal_mean_std(mean, mean * 0.5)).sum();
+        let got = total / n as f64;
+        prop_assert!((got / mean - 1.0).abs() < 0.06, "mean {mean}: got {got}");
+    }
+}

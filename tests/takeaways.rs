@@ -1,0 +1,288 @@
+//! Cross-crate integration tests: every numbered takeaway of the paper,
+//! verified end-to-end against the simulated platform.
+
+use edgereasoning::core::planner::{ConfigPoint, Planner};
+use edgereasoning::core::rig::{Rig, RigConfig};
+use edgereasoning::engine::engine::{EngineConfig, EngineKind, InferenceEngine};
+use edgereasoning::engine::request::GenerationRequest;
+use edgereasoning::kernels::arch::ModelId;
+use edgereasoning::kernels::dtype::Precision;
+use edgereasoning::models::evaluate::{evaluate, EvalOptions};
+use edgereasoning::workloads::prompt::PromptConfig;
+use edgereasoning::workloads::suite::Benchmark;
+
+fn rig() -> Rig {
+    Rig::new(RigConfig::default())
+}
+
+/// Takeaway #1: latency fits polynomial models with low MAPE.
+#[test]
+fn takeaway_1_polynomial_latency_fits() {
+    let mut rig = rig();
+    for model in ModelId::DSR1 {
+        let mape = rig.validate_latency(model, Precision::Fp16, 50);
+        assert!(mape.total_pct < 3.0, "{model}: total MAPE {}", mape.total_pct);
+    }
+}
+
+/// Takeaway #2: decode dominates reasoning latency (>99%).
+#[test]
+fn takeaway_2_decode_dominates() {
+    let mut rig = rig();
+    for model in ModelId::DSR1 {
+        let outcome = rig.run_generation(
+            model,
+            Precision::Fp16,
+            &GenerationRequest::new(128, 512),
+        );
+        let share = outcome.decode.latency_s
+            / (outcome.decode.latency_s + outcome.prefill.latency_s);
+        assert!(share > 0.97, "{model}: decode share {share}");
+    }
+}
+
+/// Takeaway #3: average power grows with sequence length (log-like),
+/// and energy per token is far higher for larger models.
+#[test]
+fn takeaway_3_power_grows_with_length() {
+    let mut rig = rig();
+    let (_, decode) = rig.engine_mut().run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(512, 64))
+        .map(|o| (o.prefill, o.decode))
+        .expect("fits");
+    let long = rig
+        .engine_mut()
+        .run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(512, 1024))
+        .expect("fits")
+        .decode;
+    assert!(
+        long.avg_power_w > decode.avg_power_w * 1.2,
+        "power must ramp with longer decodes: {} -> {}",
+        decode.avg_power_w,
+        long.avg_power_w
+    );
+}
+
+/// Takeaway #4: only 1.5B-class models reach real-time (<1 s) inference.
+#[test]
+fn takeaway_4_only_small_models_are_realtime() {
+    let mut rig = rig();
+    let opts = EvalOptions::default().with_subset(200);
+    let mut planner = Planner::default();
+    for (model, config) in [
+        (ModelId::L1Max, PromptConfig::Hard(128)),
+        (ModelId::Qwen25_1_5bIt, PromptConfig::Direct),
+        (ModelId::Qwen25_7bIt, PromptConfig::Direct),
+        (ModelId::Dsr1Llama8b, PromptConfig::Hard(128)),
+        (ModelId::Dsr1Qwen14b, PromptConfig::Hard(128)),
+    ] {
+        let r = rig.cell_report(model, Precision::Fp16, Benchmark::MmluRedux, config, opts);
+        planner.push(ConfigPoint {
+            model,
+            precision: Precision::Fp16,
+            config,
+            parallel: 1,
+            accuracy_pct: r.eval.accuracy_pct,
+            latency_s: r.avg_latency_s,
+            cost_per_mtok: r.cost.energy,
+            avg_tokens: r.eval.avg_tokens_per_seq,
+        });
+    }
+    let fast = planner.best_under_latency(1.2).expect("something fits 1.2 s");
+    let arch = fast.model.arch();
+    assert!(
+        arch.param_count() < 2_000_000_000,
+        "sub-second regime must belong to 1.5B-class models, got {}",
+        fast.model
+    );
+}
+
+/// Takeaway #5: prompt-based control cuts reasoning tokens.
+#[test]
+fn takeaway_5_prompt_control_cuts_tokens() {
+    let opts = EvalOptions::default().with_subset(500);
+    let base = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+    let nr = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::NoReason, opts);
+    let hard = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(128), opts);
+    assert!(nr.avg_tokens_per_seq < base.avg_tokens_per_seq * 0.35);
+    assert!(hard.avg_tokens_per_seq < base.avg_tokens_per_seq * 0.15);
+}
+
+/// Takeaway #6: budget-aware models + the latency model meet deadlines.
+#[test]
+fn takeaway_6_budget_planning_meets_deadline() {
+    let mut rig = rig();
+    let latency = rig.characterize_latency(ModelId::L1Max, Precision::Fp16);
+    for deadline in [2.0, 5.0, 15.0] {
+        let budget = latency.max_output_tokens(256, deadline);
+        assert!(budget > 0);
+        // Running exactly that budget must land within the deadline.
+        let outcome = rig.run_generation(
+            ModelId::L1Max,
+            Precision::Fp16,
+            &GenerationRequest::new(256, budget),
+        );
+        assert!(
+            outcome.total_latency_s() - rig.config().engine.request_overhead_s
+                <= deadline * 1.05,
+            "deadline {deadline}: ran {:.2}",
+            outcome.total_latency_s()
+        );
+    }
+}
+
+/// Takeaway #7: sequential scaling — accuracy rises with output length
+/// across budget configs (until the small-model derail region).
+#[test]
+fn takeaway_7_sequential_scaling() {
+    let opts = EvalOptions::default().with_subset(1500);
+    let m = ModelId::Dsr1Qwen14b;
+    let h128 = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(128), opts);
+    let h256 = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(256), opts);
+    let base = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+    assert!(h128.accuracy_pct < h256.accuracy_pct);
+    assert!(h256.accuracy_pct < base.accuracy_pct);
+}
+
+/// Takeaway #8: non-reasoning models win at low latency budgets.
+#[test]
+fn takeaway_8_direct_models_win_low_budget() {
+    let opts = EvalOptions::default().with_subset(1500);
+    let direct = evaluate(
+        ModelId::Llama31_8bIt,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Direct,
+        opts,
+    );
+    let reasoning_hard = evaluate(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(128),
+        opts,
+    );
+    // Same backbone, comparable token budget: direct wins by a wide margin
+    // (paper: 34% gap).
+    assert!(direct.accuracy_pct > reasoning_hard.accuracy_pct + 10.0);
+}
+
+/// Takeaway #9: parallel scaling improves accuracy with modest latency
+/// overhead at small factors.
+#[test]
+fn takeaway_9_parallel_scaling_cheap_accuracy() {
+    let mut rig = rig();
+    let opts = EvalOptions::default().with_subset(1000);
+    let single = evaluate(
+        ModelId::Dsr1Qwen14b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(128),
+        opts,
+    );
+    let voted = evaluate(
+        ModelId::Dsr1Qwen14b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(128),
+        opts.with_parallel(8),
+    );
+    assert!(voted.accuracy_pct > single.accuracy_pct * 1.25, "{} vs {}", voted.accuracy_pct, single.accuracy_pct);
+
+    let t1 = rig
+        .run_generation(ModelId::Dsr1Qwen14b, Precision::Fp16, &GenerationRequest::new(512, 128))
+        .decode
+        .latency_s;
+    let t8 = rig
+        .run_generation(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            &GenerationRequest::new(512, 128).with_batch(8),
+        )
+        .decode
+        .latency_s;
+    assert!(t8 / t1 < 1.3, "SF=8 latency overhead {}", t8 / t1);
+}
+
+/// Takeaway #10: utilization rises with the parallel scaling factor.
+#[test]
+fn takeaway_10_utilization_rises_with_sf() {
+    let mut rig = rig();
+    let util = |sf: usize, rig: &mut Rig| {
+        rig.run_generation(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            &GenerationRequest::new(512, 128).with_batch(sf),
+        )
+        .decode
+        .gpu_util
+    };
+    let u1 = util(1, &mut rig);
+    let u16 = util(16, &mut rig);
+    let u64 = util(64, &mut rig);
+    assert!(u16 > 4.0 * u1, "compute utilization must scale: {u1} -> {u16}");
+    assert!(u64 > u16);
+}
+
+/// Takeaway #11: quantization speeds decode 2-5x, more for larger models,
+/// with minor accuracy loss.
+#[test]
+fn takeaway_11_quantization() {
+    let mut rig = rig();
+    let opts = EvalOptions::default().with_subset(1500);
+    let mut speedups = Vec::new();
+    for model in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b] {
+        let fp = rig.cell_report(model, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+        let w4 = rig.cell_report(model, Precision::W4A16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+        speedups.push(fp.avg_latency_s / w4.avg_latency_s);
+        assert!(
+            w4.eval.accuracy_pct > fp.eval.accuracy_pct - 5.0,
+            "{model}: quant accuracy loss too large"
+        );
+    }
+    assert!(speedups[0] > 1.3, "1.5B speedup {}", speedups[0]);
+    assert!(speedups[1] > speedups[0], "gains must grow with size: {speedups:?}");
+}
+
+/// §V-G: vLLM ≈ TRT-LLM, both faster than HF Transformers.
+#[test]
+fn engine_ranking_matches_table_ix() {
+    let req = GenerationRequest::new(64, 128);
+    let mut lat = Vec::new();
+    for kind in [EngineKind::Hft, EngineKind::Vllm, EngineKind::TrtLlm] {
+        let mut e = InferenceEngine::new(EngineConfig::for_kind(kind), 2);
+        lat.push(
+            e.run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
+                .expect("fits")
+                .total_latency_s(),
+        );
+    }
+    let (hft, vllm, trt) = (lat[0], lat[1], lat[2]);
+    assert!(hft / vllm > 1.05 && hft / vllm < 1.25, "HFT/vLLM {}", hft / vllm);
+    assert!((trt / vllm - 1.0).abs() < 0.05, "TRT ≈ vLLM");
+}
+
+/// Table III: batching cuts edge cost by ~10x.
+#[test]
+fn batching_cuts_cost_order_of_magnitude() {
+    use edgereasoning::core::cost::CostModel;
+    let mut rig = rig();
+    let cm = CostModel::default();
+    let cost = |batch: usize, rig: &mut Rig| {
+        let o = rig.run_generation(
+            ModelId::DeepScaleR1_5b,
+            Precision::Fp16,
+            &GenerationRequest::new(174, 6521).with_batch(batch),
+        );
+        cm.per_mtok(
+            o.total_energy_j(),
+            o.total_latency_s(),
+            o.total_generated_tokens() as f64,
+        )
+        .total()
+    };
+    let c1 = cost(1, &mut rig);
+    let c30 = cost(30, &mut rig);
+    assert!(c1 / c30 > 8.0, "batch-30 must be ~10x cheaper: {c1} vs {c30}");
+    // Paper: $0.302 vs $0.027.
+    assert!((c1 / 0.302 - 1.0).abs() < 0.4, "batch-1 cost {c1} vs paper 0.302");
+}
