@@ -1,0 +1,366 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use — `proptest!` with `ident in strategy` bindings, range and tuple
+//! strategies, `prop::collection::vec`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` — as a real randomized property-test runner:
+//!
+//! - each test runs [`CASES`] cases with inputs drawn from a deterministic
+//!   splitmix64 stream seeded from the test's name, so failures reproduce
+//!   across runs and machines;
+//! - a failing case panics with the case index and generated inputs' seed;
+//! - rejected cases (`prop_assume!`) are skipped and replaced, up to a
+//!   bounded number of rejections.
+//!
+//! No shrinking: a failure reports the raw failing case. Swapping the
+//! workspace dependency back to registry proptest restores shrinking without
+//! editing the tests.
+
+/// Number of random cases per property.
+pub const CASES: u32 = 64;
+/// Maximum `prop_assume!` rejections before a property errors out.
+pub const MAX_REJECTS: u32 = 4096;
+
+pub mod num {
+    //! Deterministic pseudo-random number generation for case inputs.
+
+    /// splitmix64 step: advances the state and returns a mixed output.
+    #[must_use]
+    pub fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Case-input RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a case seed.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range");
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::num::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of `Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let v = rng.range_u64(self.start as u64, self.end as u64) as $t;
+                    v
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::num::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            #[allow(clippy::cast_possible_truncation)]
+            let n = rng.range_u64(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case loop, seeding, and failure bookkeeping.
+
+    use crate::num::splitmix64;
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A `prop_assert!`-style failure: the property is false.
+        Fail(String),
+        /// A `prop_assume!` rejection: the inputs are out of scope.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a rendered message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            Self::Fail(msg)
+        }
+
+        /// Builds an input rejection.
+        #[must_use]
+        pub fn reject() -> Self {
+            Self::Reject
+        }
+    }
+
+    /// Per-property runner: derives case seeds from the test name.
+    pub struct Runner {
+        name: &'static str,
+        base_seed: u64,
+        rejects: u32,
+    }
+
+    impl Runner {
+        /// Creates the runner; the seed is an FNV-1a hash of the test name,
+        /// so every property gets its own deterministic stream.
+        #[must_use]
+        pub fn new(name: &'static str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                name,
+                base_seed: h,
+                rejects: 0,
+            }
+        }
+
+        /// Number of passing cases required.
+        #[must_use]
+        pub fn cases(&self) -> u32 {
+            crate::CASES
+        }
+
+        /// Seed for case (or replacement attempt) `case`.
+        #[must_use]
+        pub fn case_seed(&self, case: u32) -> u64 {
+            let mut s = self.base_seed ^ (u64::from(case) << 32);
+            splitmix64(&mut s)
+        }
+
+        /// Applies one case result: panics on failure, counts rejections.
+        ///
+        /// Returns `true` when the case passed (counts toward [`cases`]).
+        ///
+        /// # Panics
+        ///
+        /// Panics when the case failed, or when `prop_assume!` rejected more
+        /// than [`crate::MAX_REJECTS`] candidate cases.
+        ///
+        /// [`cases`]: Self::cases
+        pub fn handle(&mut self, case: u32, result: Result<(), TestCaseError>) -> bool {
+            match result {
+                Ok(()) => true,
+                Err(TestCaseError::Reject) => {
+                    self.rejects += 1;
+                    assert!(
+                        self.rejects <= crate::MAX_REJECTS,
+                        "property {}: too many prop_assume! rejections",
+                        self.name
+                    );
+                    false
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property {} failed at case {} (seed {:#x}):\n{}",
+                    self.name,
+                    case,
+                    self.case_seed(case),
+                    msg
+                ),
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(a in strat, ...) { body }` becomes
+/// a `#[test]` running [`CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::Runner::new(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut attempt: u32 = 0;
+                while passed < runner.cases() {
+                    let seed = runner.case_seed(attempt);
+                    let mut case_rng = $crate::num::TestRng::new(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut case_rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if runner.handle(attempt, outcome) {
+                        passed += 1;
+                    }
+                    attempt += 1;
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Rejects the current case (does not count as pass or fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, f in -2.0f64..2.0, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn assume_filters(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a < b);
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::num::TestRng::new(42);
+        let mut r2 = crate::num::TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

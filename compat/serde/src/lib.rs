@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, and nothing in this
+//! workspace actually serializes (the derives exist for downstream users).
+//! This crate keeps `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compiling by re-exporting no-op
+//! derive macros. The `derive` feature is accepted for manifest
+//! compatibility and changes nothing.
+
+pub use serde_derive::{Deserialize, Serialize};

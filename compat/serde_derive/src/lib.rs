@@ -1,0 +1,23 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! This workspace never serializes anything: `#[derive(Serialize,
+//! Deserialize)]` appears on public types purely so downstream users *could*
+//! persist them, and no code in the repo bounds on the traits or links a
+//! serializer. The container this repo builds in has no access to crates.io,
+//! so the derives are accepted here and expanded to nothing. Swapping the
+//! `serde` workspace dependency back to the registry restores full codegen
+//! without touching any other file.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to an empty item list.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to an empty item list.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -18,17 +18,29 @@ use std::hint::black_box;
 fn bench_fitting(c: &mut Criterion) {
     let mut g = c.benchmark_group("fitting");
     let xs: Vec<f64> = (1..=64).map(|k| k as f64 * 64.0).collect();
-    let ys: Vec<f64> = xs.iter().map(|&x| 6.6e-7 * x * x + 2.9e-4 * x + 0.104).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 6.6e-7 * x * x + 2.9e-4 * x + 0.104)
+        .collect();
     g.bench_function("polyfit_quadratic_64pts", |b| {
         b.iter(|| polyfit(black_box(&xs), black_box(&ys), 2))
     });
-    let pw: Vec<f64> = xs.iter().map(|&x| if x < 800.0 { 6.0 } else { 1.2 * x.ln() }).collect();
+    let pw: Vec<f64> = xs
+        .iter()
+        .map(|&x| if x < 800.0 { 6.0 } else { 1.2 * x.ln() })
+        .collect();
     g.bench_function("piecewise_const_log", |b| {
         b.iter(|| fit_const_log(black_box(&xs), black_box(&pw)))
     });
     let pe: Vec<f64> = xs
         .iter()
-        .map(|&x| if x < 640.0 { 0.16 * (-0.03 * x).exp() + 0.005 } else { 0.012 * x.ln() - 0.07 })
+        .map(|&x| {
+            if x < 640.0 {
+                0.16 * (-0.03 * x).exp() + 0.005
+            } else {
+                0.012 * x.ln() - 0.07
+            }
+        })
         .collect();
     g.bench_function("piecewise_exp_log", |b| {
         b.iter(|| fit_exp_log(black_box(&xs), black_box(&pe)))

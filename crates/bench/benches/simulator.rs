@@ -85,11 +85,46 @@ fn bench_dataset_eval(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cache_effect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_effect");
+    g.sample_size(10);
+    // The decode-fit grid the rig sweeps when characterizing a model for a
+    // fig06_07_08 cell: 36 generations over mixed input/output lengths.
+    let grid: Vec<(usize, usize)> = [64usize, 128, 256, 512, 1024, 2048]
+        .iter()
+        .flat_map(|&i| {
+            [32usize, 64, 128, 256, 512, 1024]
+                .iter()
+                .map(move |&o| (i, o))
+        })
+        .collect();
+    for (label, cache) in [("fig06_grid_cached", true), ("fig06_grid_uncached", false)] {
+        g.bench_function(label, |b| {
+            // One engine across iterations, like the rig drives one engine
+            // across a whole study — the cached variant reaches its warm
+            // steady state after the first pass over the grid.
+            let mut engine = InferenceEngine::new(EngineConfig::vllm(), 3);
+            engine.set_cache_enabled(cache);
+            b.iter(|| {
+                for &(i, o) in &grid {
+                    let req = GenerationRequest::new(i, o);
+                    let out = engine
+                        .run(ModelId::Dsr1Llama8b, Precision::Fp16, black_box(&req))
+                        .expect("fits");
+                    black_box(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
     bench_roofline_execution,
     bench_generation,
-    bench_dataset_eval
+    bench_dataset_eval,
+    bench_cache_effect
 );
 criterion_main!(benches);

@@ -22,7 +22,13 @@ fn main() {
     // --- Speculative decoding: 1.5B draft for 8B/14B targets. ---
     let mut spec = TableWriter::new(
         "§VI ablation — speculative decoding on the Orin (1.5B draft)",
-        &["target", "acceptance", "best k", "expected speedup", "effective TBT ms"],
+        &[
+            "target",
+            "acceptance",
+            "best k",
+            "expected speedup",
+            "effective TBT ms",
+        ],
     );
     let draft_tbt = rig
         .engine_mut()
@@ -81,7 +87,14 @@ fn main() {
     // --- Serving-rate economics (§III-B QPS claim). ---
     let mut serve = TableWriter::new(
         "§III-B ablation — arrival rate vs batching, DSR1-Qwen-1.5B (128/128 tokens)",
-        &["QPS offered", "QPS achieved", "avg batch", "avg latency s", "p95 s", "J/query"],
+        &[
+            "QPS offered",
+            "QPS achieved",
+            "avg batch",
+            "avg latency s",
+            "p95 s",
+            "J/query",
+        ],
     );
     for qps in [0.05, 0.2, 1.0, 4.0] {
         let mut engine = InferenceEngine::new(EngineConfig::vllm(), 4);
@@ -114,7 +127,12 @@ fn main() {
     // --- Sequential vs parallel allocation crossover (§V-C). ---
     let mut alloc = TableWriter::new(
         "§V-C ablation — best allocation of a fixed token budget (DSR1-Qwen-14B)",
-        &["total budget", "sequential acc %", "best split", "best acc %"],
+        &[
+            "total budget",
+            "sequential acc %",
+            "best split",
+            "best acc %",
+        ],
     );
     for budget in [128u32, 256, 512, 1024, 2048, 4096] {
         let pts = sweep_allocations(

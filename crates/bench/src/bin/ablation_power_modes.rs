@@ -12,7 +12,14 @@ use edgereasoning_soc::spec::PowerMode;
 fn main() {
     let mut t = TableWriter::new(
         "Ablation — power modes (DSR1-Llama-8B, 512 in / 512 out)",
-        &["mode", "TBT ms", "latency s", "avg W", "energy J", "J/token"],
+        &[
+            "mode",
+            "TBT ms",
+            "latency s",
+            "avg W",
+            "energy J",
+            "J/token",
+        ],
     );
     let req = GenerationRequest::new(512, 512);
     for mode in PowerMode::ALL {

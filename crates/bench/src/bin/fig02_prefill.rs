@@ -1,42 +1,62 @@
 //! Fig. 2 + Table IV: prefill latency vs input length, with the fitted
 //! quadratic model `a·I_pad² + b·I_pad + c` per DSR1 model.
 
-use edgereasoning_bench::{TableWriter, vs};
+use edgereasoning_bench::{vs, TableWriter};
 use edgereasoning_core::latency::PrefillLatencyModel;
 use edgereasoning_core::rig::{Rig, RigConfig};
+use edgereasoning_engine::plan_cache::EngineCounters;
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::runtime::{available_threads, item_seed, par_map_deterministic};
 
 fn main() {
-    let mut rig = Rig::new(RigConfig::default());
+    let base = RigConfig::default();
 
     // --- Fig. 2: measured prefill latency series (with the 128-token
-    // stepped pattern: probe off-multiple lengths too). ---
-    let mut fig = TableWriter::new(
-        "Fig. 2 — prefill latency vs input length (s)",
-        &["input_tokens", "DSR1-Qwen-1.5B", "DSR1-Llama-8B", "DSR1-Qwen-14B"],
-    );
+    // stepped pattern: probe off-multiple lengths too). One rig per model,
+    // seeded from the model index, fanned across cores. ---
     let lengths: Vec<usize> = (1..=32)
         .flat_map(|k| [k * 128 - 64, k * 128, k * 128 + 1])
         .filter(|&i| i <= 4096)
         .collect();
-    let mut series: Vec<Vec<f64>> = Vec::new();
-    for model in ModelId::DSR1 {
-        let sweep = rig.sweep_prefill(model, Precision::Fp16, &lengths);
-        series.push(sweep.into_iter().map(|(_, p)| p.latency_s).collect());
-    }
+    eprintln!(
+        "sweeping {} models on {} worker threads",
+        ModelId::DSR1.len(),
+        available_threads()
+    );
+    let per_model = par_map_deterministic(&ModelId::DSR1, 0, |idx, &model| {
+        let mut rig = Rig::new(base.clone().with_seed(item_seed(base.seed, idx as u64)));
+        let series: Vec<f64> = rig
+            .sweep_prefill(model, Precision::Fp16, &lengths)
+            .into_iter()
+            .map(|(_, p)| p.latency_s)
+            .collect();
+        let fitted = rig.characterize_latency(model, Precision::Fp16).prefill;
+        (series, fitted, rig.engine_mut().counters())
+    });
+
+    let mut fig = TableWriter::new(
+        "Fig. 2 — prefill latency vs input length (s)",
+        &[
+            "input_tokens",
+            "DSR1-Qwen-1.5B",
+            "DSR1-Llama-8B",
+            "DSR1-Qwen-14B",
+        ],
+    );
     for (k, &i) in lengths.iter().enumerate() {
         fig.row(&[
             format!("{i}"),
-            format!("{:.4}", series[0][k]),
-            format!("{:.4}", series[1][k]),
-            format!("{:.4}", series[2][k]),
+            format!("{:.4}", per_model[0].0[k]),
+            format!("{:.4}", per_model[1].0[k]),
+            format!("{:.4}", per_model[2].0[k]),
         ]);
     }
     fig.write_csv("fig02_prefill_latency");
     println!("(Fig. 2 series written to outputs/fig02_prefill_latency.csv)\n");
 
     // The stepped pattern: latency at k*128+1 should jump vs k*128.
+    let mut rig = Rig::new(base);
     let mut steps = TableWriter::new(
         "Fig. 2 inset — tensor-core 128-token step (DSR1-Llama-8B)",
         &["input", "latency_s"],
@@ -50,10 +70,17 @@ fn main() {
     // --- Table IV: fitted coefficients vs the paper's. ---
     let mut t4 = TableWriter::new(
         "Table IV — fitted prefill coefficients (ours vs paper)",
-        &["model", "a (ours)", "a (paper)", "b (ours)", "b (paper)", "c (ours vs paper)"],
+        &[
+            "model",
+            "a (ours)",
+            "a (paper)",
+            "b (ours)",
+            "b (paper)",
+            "c (ours vs paper)",
+        ],
     );
-    for model in ModelId::DSR1 {
-        let fitted = rig.characterize_latency(model, Precision::Fp16).prefill;
+    for (k, model) in ModelId::DSR1.into_iter().enumerate() {
+        let fitted = per_model[k].1;
         let paper = PrefillLatencyModel::paper_reference(model).expect("dsr1");
         t4.row(&[
             model.to_string(),
@@ -66,4 +93,11 @@ fn main() {
     }
     t4.print();
     t4.write_csv("table04_prefill_coefficients");
+
+    let mut counters = EngineCounters::default();
+    for (_, _, c) in &per_model {
+        counters.absorb(c);
+    }
+    counters.absorb(&rig.engine_mut().counters());
+    println!("engine {counters}");
 }

@@ -1,32 +1,51 @@
 //! Fig. 3 + Table V: decode latency vs output length, TBT vs context
 //! length, and the fitted decode model `n·O + m·(I·O + O(O−1)/2)`.
 
-use edgereasoning_bench::{TableWriter, vs};
+use edgereasoning_bench::{vs, TableWriter};
 use edgereasoning_core::latency::DecodeLatencyModel;
 use edgereasoning_core::rig::{Rig, RigConfig};
+use edgereasoning_engine::plan_cache::EngineCounters;
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::runtime::{available_threads, item_seed, par_map_deterministic};
 
 fn main() {
-    let mut rig = Rig::new(RigConfig::default());
+    let base = RigConfig::default();
 
-    // --- Fig. 3a: decode latency vs output length at I = 512. ---
+    // --- Fig. 3a: decode latency vs output length at I = 512. One rig per
+    // model, seeded from the model index, fanned across cores. ---
     let outputs: Vec<usize> = (1..=16).map(|k| k * 256).collect();
+    eprintln!(
+        "sweeping {} models on {} worker threads",
+        ModelId::DSR1.len(),
+        available_threads()
+    );
+    let per_model = par_map_deterministic(&ModelId::DSR1, 0, |idx, &model| {
+        let mut rig = Rig::new(base.clone().with_seed(item_seed(base.seed, idx as u64)));
+        let series: Vec<f64> = rig
+            .sweep_decode(model, Precision::Fp16, 512, &outputs)
+            .into_iter()
+            .map(|(_, p)| p.latency_s)
+            .collect();
+        let fitted = rig.characterize_latency(model, Precision::Fp16).decode;
+        (series, fitted, rig.engine_mut().counters())
+    });
+
     let mut fig3a = TableWriter::new(
         "Fig. 3a — decode latency vs output length (I=512), seconds",
-        &["output_tokens", "DSR1-Qwen-1.5B", "DSR1-Llama-8B", "DSR1-Qwen-14B"],
+        &[
+            "output_tokens",
+            "DSR1-Qwen-1.5B",
+            "DSR1-Llama-8B",
+            "DSR1-Qwen-14B",
+        ],
     );
-    let mut cols: Vec<Vec<f64>> = Vec::new();
-    for model in ModelId::DSR1 {
-        let sweep = rig.sweep_decode(model, Precision::Fp16, 512, &outputs);
-        cols.push(sweep.into_iter().map(|(_, p)| p.latency_s).collect());
-    }
     for (k, &o) in outputs.iter().enumerate() {
         fig3a.row(&[
             format!("{o}"),
-            format!("{:.2}", cols[0][k]),
-            format!("{:.2}", cols[1][k]),
-            format!("{:.2}", cols[2][k]),
+            format!("{:.2}", per_model[0].0[k]),
+            format!("{:.2}", per_model[1].0[k]),
+            format!("{:.2}", per_model[2].0[k]),
         ]);
     }
     fig3a.print();
@@ -34,6 +53,7 @@ fn main() {
 
     // --- Fig. 3b: TBT vs context length (DSR1-Llama-8B): the paper sees
     // a ~3.1% increase from 1 to 4k context. ---
+    let mut rig = Rig::new(base);
     let contexts: Vec<usize> = vec![1, 256, 512, 1024, 2048, 3072, 4096];
     let mut fig3b = TableWriter::new(
         "Fig. 3b — time between tokens vs context (DSR1-Llama-8B)",
@@ -46,15 +66,18 @@ fn main() {
     fig3b.print();
     fig3b.write_csv("fig03b_tbt_vs_context");
     let rise = tbts.last().expect("nonempty").1 / tbts[0].1 - 1.0;
-    println!("TBT rise 1→4k context: {:.1}% (paper: ~3.1%)\n", rise * 100.0);
+    println!(
+        "TBT rise 1→4k context: {:.1}% (paper: ~3.1%)\n",
+        rise * 100.0
+    );
 
     // --- Table V: fitted decode coefficients vs paper. ---
     let mut t5 = TableWriter::new(
         "Table V — fitted decode coefficients (ours vs paper)",
         &["model", "m (ours)", "m (paper)", "n (ours vs paper)"],
     );
-    for model in ModelId::DSR1 {
-        let fitted = rig.characterize_latency(model, Precision::Fp16).decode;
+    for (k, model) in ModelId::DSR1.into_iter().enumerate() {
+        let fitted = per_model[k].1;
         let paper = DecodeLatencyModel::paper_reference(model).expect("dsr1");
         t5.row(&[
             model.to_string(),
@@ -65,4 +88,11 @@ fn main() {
     }
     t5.print();
     t5.write_csv("table05_decode_coefficients");
+
+    let mut counters = EngineCounters::default();
+    for (_, _, c) in &per_model {
+        counters.absorb(c);
+    }
+    counters.absorb(&rig.engine_mut().counters());
+    println!("engine {counters}");
 }

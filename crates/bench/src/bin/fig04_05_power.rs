@@ -16,7 +16,15 @@ fn main() {
     let lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
     let mut fig4 = TableWriter::new(
         "Fig. 4 — prefill power (W) and energy/token (J) vs input length",
-        &["input", "P 1.5B", "P 8B", "P 14B", "E/tok 1.5B", "E/tok 8B", "E/tok 14B"],
+        &[
+            "input",
+            "P 1.5B",
+            "P 8B",
+            "P 14B",
+            "E/tok 1.5B",
+            "E/tok 8B",
+            "E/tok 14B",
+        ],
     );
     let mut sweeps = Vec::new();
     for model in ModelId::DSR1 {
@@ -40,7 +48,15 @@ fn main() {
     let outputs: Vec<usize> = (1..=24).map(|k| k * 64).collect();
     let mut fig5 = TableWriter::new(
         "Fig. 5 — decode power (W) and energy/token (J) vs output length (I=512)",
-        &["output", "P 1.5B", "P 8B", "P 14B", "E/tok 1.5B", "E/tok 8B", "E/tok 14B"],
+        &[
+            "output",
+            "P 1.5B",
+            "P 8B",
+            "P 14B",
+            "E/tok 1.5B",
+            "E/tok 8B",
+            "E/tok 14B",
+        ],
     );
     let mut dsweeps = Vec::new();
     for model in ModelId::DSR1 {
@@ -72,7 +88,12 @@ fn main() {
     // --- Tables XX/XXI analogue: fitted power & energy models. ---
     let mut fits = TableWriter::new(
         "Fitted phase models (Eqns. 4-6; paper Tables XX/XXI report the same forms)",
-        &["model", "phase", "power: u | v | w | z", "energy: A | lambda | C | alpha | beta"],
+        &[
+            "model",
+            "phase",
+            "power: u | v | w | z",
+            "energy: A | lambda | C | alpha | beta",
+        ],
     );
     for model in ModelId::DSR1 {
         let (p_pre, p_dec) = rig.characterize_power(model, Precision::Fp16);
@@ -84,7 +105,10 @@ fn main() {
                 format!("{:.2} | {:.0} | {:.2} | {:.2}", p.u, p.v, p.w, p.z),
                 format!(
                     "{:.4} | {:.4} | {:.4} | {:.4} | {:.4}",
-                    e.piecewise.a, e.piecewise.lambda, e.piecewise.c, e.piecewise.alpha,
+                    e.piecewise.a,
+                    e.piecewise.lambda,
+                    e.piecewise.c,
+                    e.piecewise.alpha,
                     e.piecewise.beta
                 ),
             ]);

@@ -5,21 +5,29 @@
 
 use edgereasoning_bench::TableWriter;
 use edgereasoning_core::planner::{ConfigPoint, Planner};
-use edgereasoning_core::rig::{CellReport, Rig, RigConfig};
+use edgereasoning_core::rig::RigConfig;
+use edgereasoning_core::study::{Study, StudyCell};
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_models::anchors;
 use edgereasoning_models::evaluate::EvalOptions;
+use edgereasoning_soc::runtime::available_threads;
 use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::Benchmark;
 
-fn cells() -> Vec<(ModelId, Precision, PromptConfig)> {
+fn cells() -> Vec<StudyCell> {
+    let bench = Benchmark::MmluRedux;
     let mut out = Vec::new();
     for model in ModelId::DSR1 {
         for config in PromptConfig::REASONING_SWEEP {
-            out.push((model, Precision::Fp16, config));
+            out.push(StudyCell::new(model, Precision::Fp16, bench, config));
         }
-        out.push((model, Precision::W4A16, PromptConfig::Base));
+        out.push(StudyCell::new(
+            model,
+            Precision::W4A16,
+            bench,
+            PromptConfig::Base,
+        ));
     }
     for config in [
         PromptConfig::Base,
@@ -28,7 +36,12 @@ fn cells() -> Vec<(ModelId, Precision, PromptConfig)> {
         PromptConfig::Hard(128),
         PromptConfig::Hard(256),
     ] {
-        out.push((ModelId::L1Max, Precision::Fp16, config));
+        out.push(StudyCell::new(
+            ModelId::L1Max,
+            Precision::Fp16,
+            bench,
+            config,
+        ));
     }
     for model in [
         ModelId::Qwen25_7bIt,
@@ -37,44 +50,73 @@ fn cells() -> Vec<(ModelId, Precision, PromptConfig)> {
         ModelId::Qwen25_1_5bIt,
         ModelId::Qwen25_14bIt,
     ] {
-        out.push((model, Precision::Fp16, PromptConfig::Direct));
+        out.push(StudyCell::new(
+            model,
+            Precision::Fp16,
+            bench,
+            PromptConfig::Direct,
+        ));
     }
     out
 }
 
 fn main() {
-    let mut rig = Rig::new(RigConfig::default());
-    let opts = EvalOptions::default();
-    let mut reports: Vec<CellReport> = Vec::new();
-    for (model, prec, config) in cells() {
-        reports.push(rig.cell_report(model, prec, Benchmark::MmluRedux, config, opts));
-    }
+    // All cells fan out across cores; per-cell seeds derive from the cell
+    // index, so the report vector is identical at every thread count.
+    let study = Study::new(RigConfig::default()).with_threads(0);
+    let cells = cells();
+    eprintln!(
+        "evaluating {} cells on {} worker threads",
+        cells.len(),
+        available_threads()
+    );
+    let study_report = study.run(&cells, EvalOptions::default());
+    let counters = study_report.counters;
+    let reports = study_report.reports;
 
     // --- Tables X/XI: ours vs paper, cell by cell. ---
     let mut tx = TableWriter::new(
         "Tables X/XI — MMLU-Redux cells (ours | paper; '-' = not reported)",
-        &["model", "prec", "config", "acc %", "toks/q", "latency s", "cost $/1M"],
+        &[
+            "model",
+            "prec",
+            "config",
+            "acc %",
+            "toks/q",
+            "latency s",
+            "cost $/1M",
+        ],
     );
     for r in &reports {
         let paper = anchors::find(r.model, r.bench, r.config, r.precision);
-        let p = |f: fn(&anchors::PaperRow) -> String| {
-            paper.as_ref().map_or("-".to_owned(), f)
-        };
+        let p = |f: fn(&anchors::PaperRow) -> String| paper.as_ref().map_or("-".to_owned(), f);
         tx.row(&[
             r.model.to_string(),
             r.precision.to_string(),
             r.config.label(),
-            format!("{:.1} | {}", r.eval.accuracy_pct, p(|x| format!("{:.1}", x.acc_pct))),
-            format!("{:.0} | {}", r.eval.avg_tokens_per_seq, p(|x| format!("{:.0}", x.avg_tokens))),
+            format!(
+                "{:.1} | {}",
+                r.eval.accuracy_pct,
+                p(|x| format!("{:.1}", x.acc_pct))
+            ),
+            format!(
+                "{:.0} | {}",
+                r.eval.avg_tokens_per_seq,
+                p(|x| format!("{:.0}", x.avg_tokens))
+            ),
             format!(
                 "{:.2} | {}",
                 r.avg_latency_s,
-                p(|x| x.avg_latency_s.map_or("-".to_owned(), |v| format!("{v:.2}")))
+                p(|x| x
+                    .avg_latency_s
+                    .map_or("-".to_owned(), |v| format!("{v:.2}")))
             ),
             format!(
                 "{:.3} | {}",
                 r.cost.energy,
-                p(|x| x.cost_per_mtok.map_or("-".to_owned(), |v| format!("{v:.3}")))
+                p(|x| x
+                    .cost_per_mtok
+                    .map_or("-".to_owned(), |v| format!("{v:.3}")))
             ),
         ]);
     }
@@ -84,7 +126,15 @@ fn main() {
     // --- Figs. 6/7/8 series (CSV) and Pareto analysis. ---
     let mut fig = TableWriter::new(
         "Figs. 6-8 — accuracy vs tokens / latency / cost (every cell)",
-        &["model", "prec", "config", "avg_tokens", "latency_s", "cost_energy", "accuracy_pct"],
+        &[
+            "model",
+            "prec",
+            "config",
+            "avg_tokens",
+            "latency_s",
+            "cost_energy",
+            "accuracy_pct",
+        ],
     );
     let mut planner = Planner::default();
     for r in &reports {
@@ -164,4 +214,5 @@ fn main() {
     );
     println!("Takeaway #5: prompt-based control cuts reasoning tokens substantially.");
     println!("Takeaway #8: non-reasoning models win at low token/latency budgets.");
+    println!("engine {counters}");
 }

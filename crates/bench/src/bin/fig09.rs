@@ -10,11 +10,7 @@ use edgereasoning_workloads::suite::Benchmark;
 
 fn main() {
     let factors = [1usize, 2, 4, 8, 16, 32];
-    let models = [
-        ModelId::Dsr1Qwen1_5b,
-        ModelId::Dsr1Qwen14b,
-        ModelId::L1Max,
-    ];
+    let models = [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b, ModelId::L1Max];
 
     for (budget, csv) in [(128u32, "fig09a_sf_acc_128"), (512u32, "fig09b_sf_acc_512")] {
         let mut t = TableWriter::new(

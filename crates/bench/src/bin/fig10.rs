@@ -17,8 +17,14 @@ fn main() {
     let mut t = TableWriter::new(
         "Fig. 10 — parallel scaling on Orin (128-token budget, I=512)",
         &[
-            "model", "SF", "decode_s", "E/question J", "power W (state)", "gpu util %",
-            "dram rd %", "dram wr %",
+            "model",
+            "SF",
+            "decode_s",
+            "E/question J",
+            "power W (state)",
+            "gpu util %",
+            "dram rd %",
+            "dram wr %",
         ],
     );
     let mut base_latency = 0.0;

@@ -71,7 +71,10 @@ fn main() {
     );
     let sweep_lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
     for (model, p_t_base, p_w_base, p_t_q, p_w_q) in paper_xviii {
-        for (prec, p_t, p_w) in [(Precision::Fp16, p_t_base, p_w_base), (Precision::W4A16, p_t_q, p_w_q)] {
+        for (prec, p_t, p_w) in [
+            (Precision::Fp16, p_t_base, p_w_base),
+            (Precision::W4A16, p_t_q, p_w_q),
+        ] {
             let sweep = rig.sweep_prefill(model, prec, &sweep_lengths);
             let t_avg = sweep.iter().map(|(_, p)| p.latency_s).sum::<f64>() / sweep.len() as f64;
             let w_avg = sweep.iter().map(|(_, p)| p.avg_power_w).sum::<f64>() / sweep.len() as f64;
@@ -97,8 +100,10 @@ fn main() {
     );
     let douts: Vec<usize> = (1..=16).map(|k| k * 128).collect();
     for (model, p_tps_base, p_w_base, p_tps_q, p_w_q) in paper_xix {
-        for (prec, p_tps, p_w) in [(Precision::Fp16, p_tps_base, p_w_base), (Precision::W4A16, p_tps_q, p_w_q)]
-        {
+        for (prec, p_tps, p_w) in [
+            (Precision::Fp16, p_tps_base, p_w_base),
+            (Precision::W4A16, p_tps_q, p_w_q),
+        ] {
             let sweep = rig.sweep_decode(model, prec, 512, &douts);
             let toks: f64 = douts.iter().map(|&o| o as f64).sum();
             let time: f64 = sweep.iter().map(|(_, p)| p.latency_s).sum();

@@ -23,8 +23,16 @@ fn main() {
         &["benchmark", "DeepScaleR-1.5B", "o1-preview (paper)"],
     );
     for (bench, paper_dsr, paper_o1) in [
-        (Benchmark::Aime2024, table_iii::DSR_AIME_ACC, table_iii::O1_AIME_ACC),
-        (Benchmark::Math500, table_iii::DSR_MATH500_ACC, table_iii::O1_MATH500_ACC),
+        (
+            Benchmark::Aime2024,
+            table_iii::DSR_AIME_ACC,
+            table_iii::O1_AIME_ACC,
+        ),
+        (
+            Benchmark::Math500,
+            table_iii::DSR_MATH500_ACC,
+            table_iii::O1_MATH500_ACC,
+        ),
     ] {
         let r = evaluate(
             ModelId::DeepScaleR1_5b,
@@ -47,11 +55,30 @@ fn main() {
     let questions = Benchmark::Aime2024.generate(1);
     let mut t = TableWriter::new(
         "Table III (cost) — AIME2024 workload on the simulated Orin (ours | paper)",
-        &["batch", "total tokens", "wall s", "kWh", "user TPS", "$/1M tokens"],
+        &[
+            "batch",
+            "total tokens",
+            "wall s",
+            "kWh",
+            "user TPS",
+            "$/1M tokens",
+        ],
     );
     for (batch, paper_wall, paper_kwh, paper_tps, paper_cost) in [
-        (1usize, table_iii::AIME_BATCH1_TIME_S, table_iii::AIME_BATCH1_KWH, table_iii::USER_TPS_BATCH1, table_iii::COST_BATCH1),
-        (30, table_iii::AIME_BATCH30_TIME_S, table_iii::AIME_BATCH30_KWH, table_iii::USER_TPS_BATCH30, table_iii::COST_BATCH30),
+        (
+            1usize,
+            table_iii::AIME_BATCH1_TIME_S,
+            table_iii::AIME_BATCH1_KWH,
+            table_iii::USER_TPS_BATCH1,
+            table_iii::COST_BATCH1,
+        ),
+        (
+            30,
+            table_iii::AIME_BATCH30_TIME_S,
+            table_iii::AIME_BATCH30_KWH,
+            table_iii::USER_TPS_BATCH30,
+            table_iii::COST_BATCH30,
+        ),
     ] {
         // Tokens per question chosen so the total matches the profiled
         // workload (195,624 tokens over 30 questions).

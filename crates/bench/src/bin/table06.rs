@@ -1,7 +1,7 @@
 //! Table VI: MAPE of the fitted latency models on 50 held-out
 //! MMLU-Redux-style generations.
 
-use edgereasoning_bench::{TableWriter, vs};
+use edgereasoning_bench::{vs, TableWriter};
 use edgereasoning_core::rig::{Rig, RigConfig};
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
@@ -28,5 +28,7 @@ fn main() {
     }
     t.print();
     t.write_csv("table06_latency_mape");
-    println!("Takeaway #1: edge inference latency fits polynomial models (total MAPE is single-digit).");
+    println!(
+        "Takeaway #1: edge inference latency fits polynomial models (total MAPE is single-digit)."
+    );
 }

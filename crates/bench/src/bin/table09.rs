@@ -23,7 +23,11 @@ fn main() {
         for kind in [EngineKind::Hft, EngineKind::Vllm, EngineKind::TrtLlm] {
             let mut engine = InferenceEngine::new(EngineConfig::for_kind(kind), 11);
             let outcome = engine
-                .run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(i, o))
+                .run(
+                    ModelId::Dsr1Llama8b,
+                    Precision::Fp16,
+                    &GenerationRequest::new(i, o),
+                )
                 .expect("fits");
             lat.push(outcome.total_latency_s());
         }

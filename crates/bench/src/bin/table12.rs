@@ -6,36 +6,56 @@ use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_models::anchors;
 use edgereasoning_models::evaluate::{evaluate, EvalOptions};
+use edgereasoning_soc::runtime::{available_threads, par_map_deterministic};
 use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::Benchmark;
 
 fn main() {
+    let mut cells = Vec::new();
+    for model in ModelId::DSR1 {
+        for prec in Precision::ALL {
+            for config in [
+                PromptConfig::Base,
+                PromptConfig::Hard(128),
+                PromptConfig::Hard(256),
+            ] {
+                cells.push((model, prec, config));
+            }
+        }
+    }
+    // Each 15k-question evaluation is pure given its options, so fanning the
+    // cells across cores cannot change the rows — only the wall clock.
+    eprintln!(
+        "evaluating {} cells on {} worker threads",
+        cells.len(),
+        available_threads()
+    );
+    let rows = par_map_deterministic(&cells, 0, |_, &(model, prec, config)| {
+        let r = evaluate(model, prec, Benchmark::Mmlu, config, EvalOptions::default());
+        let paper = anchors::find(model, Benchmark::Mmlu, config, prec);
+        [
+            model.to_string(),
+            prec.to_string(),
+            config.label(),
+            format!(
+                "{:.1} | {}",
+                r.accuracy_pct,
+                paper.map_or("-".into(), |p| format!("{:.1}", p.acc_pct))
+            ),
+            format!(
+                "{:.0} | {}",
+                r.avg_tokens_per_seq,
+                paper.map_or("-".into(), |p| format!("{:.0}", p.avg_tokens))
+            ),
+        ]
+    });
+
     let mut t = TableWriter::new(
         "Table XII — full MMLU, 15k questions (ours | paper)",
         &["model", "prec", "config", "acc %", "avg toks/q"],
     );
-    for model in ModelId::DSR1 {
-        for prec in Precision::ALL {
-            for config in [PromptConfig::Base, PromptConfig::Hard(128), PromptConfig::Hard(256)] {
-                let r = evaluate(model, prec, Benchmark::Mmlu, config, EvalOptions::default());
-                let paper = anchors::find(model, Benchmark::Mmlu, config, prec);
-                t.row(&[
-                    model.to_string(),
-                    prec.to_string(),
-                    config.label(),
-                    format!(
-                        "{:.1} | {}",
-                        r.accuracy_pct,
-                        paper.map_or("-".into(), |p| format!("{:.1}", p.acc_pct))
-                    ),
-                    format!(
-                        "{:.0} | {}",
-                        r.avg_tokens_per_seq,
-                        paper.map_or("-".into(), |p| format!("{:.0}", p.avg_tokens))
-                    ),
-                ]);
-            }
-        }
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     t.write_csv("table12_mmlu_full");

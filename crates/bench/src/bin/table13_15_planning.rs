@@ -10,13 +10,7 @@ use edgereasoning_models::evaluate::EvalOptions;
 use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::{Benchmark, PlanTask};
 
-fn run_block(
-    rig: &mut Rig,
-    title: &str,
-    csv: &str,
-    models: &[ModelId],
-    config: PromptConfig,
-) {
+fn run_block(rig: &mut Rig, title: &str, csv: &str, models: &[ModelId], config: PromptConfig) {
     let mut t = TableWriter::new(
         title,
         &["task", "model", "acc %", "avg out toks/q", "latency s"],

@@ -23,7 +23,9 @@ fn main() {
     ];
     let mut t16 = TableWriter::new(
         "Table XVI — prefill latency, CPU vs GPU (ours | paper, seconds)",
-        &["len", "1.5B CPU", "1.5B GPU", "8B CPU", "8B GPU", "14B CPU", "14B GPU"],
+        &[
+            "len", "1.5B CPU", "1.5B GPU", "8B CPU", "8B GPU", "14B CPU", "14B GPU",
+        ],
     );
     for (len, pc15, pg15, pc8, pg8, pc14, pg14) in paper_prefill {
         let mut cells = vec![format!("{len}")];
@@ -55,9 +57,10 @@ fn main() {
     );
     for (o, pc8, pg8, pc14, pg14) in paper_decode {
         let mut cells = vec![format!("{o}")];
-        for (model, p_cpu, p_gpu) in
-            [(ModelId::Dsr1Llama8b, pc8, pg8), (ModelId::Dsr1Qwen14b, pc14, pg14)]
-        {
+        for (model, p_cpu, p_gpu) in [
+            (ModelId::Dsr1Llama8b, pc8, pg8),
+            (ModelId::Dsr1Qwen14b, pc14, pg14),
+        ] {
             let ks = decode_step_kernels(&model.arch(), Precision::Fp16, 1, 512 + o / 2);
             let step = cpu.run_phase(ks.iter());
             let cpu_total = step.latency_s * o as f64;

@@ -57,7 +57,8 @@ impl TableWriter {
     /// Panics if the row width does not match the header.
     pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -81,7 +82,9 @@ impl TableWriter {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -160,6 +163,15 @@ mod tests {
         let s = t.render();
         assert!(s.contains("== T =="));
         assert!(s.contains("  1     2"));
+    }
+
+    #[test]
+    fn empty_header_renders_without_panicking() {
+        // Regression: `2 * (widths.len() - 1)` underflowed on an empty
+        // header; the separator width now saturates at zero columns.
+        let t = TableWriter::new("empty", &[]);
+        let s = t.render();
+        assert!(s.contains("== empty =="));
     }
 
     #[test]

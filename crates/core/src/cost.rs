@@ -100,7 +100,11 @@ mod tests {
         let cm = CostModel::default();
         let c = cm.per_mtok(0.0317 * 3.6e6, 4358.0, 195_624.0);
         assert!((c.energy - 0.024).abs() < 0.001, "energy {}", c.energy);
-        assert!((c.hardware - 0.278).abs() < 0.003, "hardware {}", c.hardware);
+        assert!(
+            (c.hardware - 0.278).abs() < 0.003,
+            "hardware {}",
+            c.hardware
+        );
         assert!((c.total() - 0.302).abs() < 0.004, "total {}", c.total());
     }
 

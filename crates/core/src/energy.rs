@@ -139,8 +139,9 @@ mod tests {
             w: 3.2,
             z: -1.0,
         };
-        let samples: Vec<(f64, f64)> =
-            (1..=60).map(|k| (k as f64 * 32.0, truth.predict(k as f64 * 32.0))).collect();
+        let samples: Vec<(f64, f64)> = (1..=60)
+            .map(|k| (k as f64 * 32.0, truth.predict(k as f64 * 32.0)))
+            .collect();
         let fitted = PhasePowerModel::fit(&samples).unwrap();
         for x in [64.0, 128.0, 512.0, 1600.0] {
             let rel = ((fitted.predict(x) - truth.predict(x)) / truth.predict(x)).abs();
@@ -160,8 +161,9 @@ mod tests {
     #[test]
     fn energy_fit_round_trip() {
         let truth = EnergyPerTokenModel::paper_prefill_reference(ModelId::Dsr1Llama8b).unwrap();
-        let samples: Vec<(f64, f64)> =
-            (1..=64).map(|k| (k as f64 * 64.0, truth.predict(k as f64 * 64.0))).collect();
+        let samples: Vec<(f64, f64)> = (1..=64)
+            .map(|k| (k as f64 * 64.0, truth.predict(k as f64 * 64.0)))
+            .collect();
         let fitted = EnergyPerTokenModel::fit(&samples).unwrap();
         let mape: f64 = samples
             .iter()

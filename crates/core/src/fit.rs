@@ -34,6 +34,8 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         for row in 0..n {
             if row != col {
                 let f = m[row][col] / m[col][col];
+                // Index-based: `m[row]` and `m[col]` alias the same matrix.
+                #[allow(clippy::needless_range_loop)]
                 for k in col..=n {
                     m[row][k] -= f * m[col][k];
                 }
@@ -122,7 +124,10 @@ pub fn expfit(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
     // λ spans decay lengths from ~100× the x range down to ~1/100th.
     for i in 0..240 {
         let lambda = (10.0f64.powf(-2.0 + 4.0 * i as f64 / 239.0)) / x_span;
-        let rows: Vec<Vec<f64>> = x.iter().map(|&xi| vec![(-lambda * xi).exp(), 1.0]).collect();
+        let rows: Vec<Vec<f64>> = x
+            .iter()
+            .map(|&xi| vec![(-lambda * xi).exp(), 1.0])
+            .collect();
         let Some(beta) = least_squares(&rows, y) else {
             continue;
         };
@@ -193,7 +198,11 @@ pub fn fit_const_log(x: &[f64], y: &[f64]) -> Option<PiecewiseConstLog> {
             .zip(&ys[k..])
             .map(|(&xi, &yi)| (w * xi.ln() + z - yi).powi(2))
             .sum();
-        let v = if k == 0 { xs[0] * 0.5 } else { 0.5 * (xs[k - 1] + xs[k]) };
+        let v = if k == 0 {
+            xs[0] * 0.5
+        } else {
+            0.5 * (xs[k - 1] + xs[k])
+        };
         let u = if u.is_nan() { w * v.ln() + z } else { u };
         let sse = sse_lo + sse_hi;
         if best.as_ref().is_none_or(|(e, _)| sse < *e) {
@@ -340,7 +349,10 @@ mod tests {
     #[test]
     fn expfit_recovers_decay() {
         let xs: Vec<f64> = (0..40).map(|i| i as f64 * 25.0).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 0.16 * (-0.03 * x).exp() + 0.005).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 0.16 * (-0.03 * x).exp() + 0.005)
+            .collect();
         let (a, lambda, c) = expfit(&xs, &ys).unwrap();
         assert!((a - 0.16).abs() < 0.02, "A={a}");
         assert!((lambda - 0.03).abs() < 0.005, "lambda={lambda}");

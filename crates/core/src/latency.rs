@@ -240,8 +240,9 @@ mod tests {
             b: 2.9e-4,
             c: 0.104,
         };
-        let samples: Vec<(usize, f64)> =
-            (1..=32).map(|k| (k * 128, truth.predict(k * 128))).collect();
+        let samples: Vec<(usize, f64)> = (1..=32)
+            .map(|k| (k * 128, truth.predict(k * 128)))
+            .collect();
         let fitted = PrefillLatencyModel::fit(&samples).unwrap();
         assert!((fitted.a - truth.a).abs() / truth.a < 1e-6);
         assert!((fitted.b - truth.b).abs() / truth.b < 1e-6);
@@ -250,7 +251,10 @@ mod tests {
 
     #[test]
     fn decode_fit_recovers_known_coefficients() {
-        let truth = DecodeLatencyModel { m: 6.92e-7, n: 0.092 };
+        let truth = DecodeLatencyModel {
+            m: 6.92e-7,
+            n: 0.092,
+        };
         let samples: Vec<LatencySample> = (1..=40)
             .map(|k| {
                 let i = 64 * k;

@@ -17,6 +17,9 @@
 //!   accuracy/latency/energy/cost cell reports (Tables X/XI).
 //! * [`planner`] — Pareto frontiers, latency-regime analysis, and
 //!   budget-aware planning with token-adherent models (takeaway #6).
+//! * [`study`] — deterministic parallel study driver: fans evaluation
+//!   cells out across threads with per-cell seeds derived from the cell
+//!   index, so results are bit-identical at every thread count.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod offload;
 pub mod planner;
 pub mod rig;
 pub mod speculative;
+pub mod study;
 
 pub use cost::{CloudPricing, CostBreakdown, CostModel};
 pub use energy::{EnergyPerTokenModel, PhasePowerModel};
@@ -52,3 +56,4 @@ pub use latency::{DecodeLatencyModel, LatencySample, PrefillLatencyModel, TotalL
 pub use planner::{pareto_frontier, ConfigPoint, Planner};
 pub use rig::{CellReport, MapeReport, Rig, RigConfig};
 pub use speculative::SpeculativeConfig;
+pub use study::{Study, StudyCell, StudyReport};

@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn best_under_budget_selection() {
-        let planner = Planner::new(vec![pt(1.0, 30.0, 0.01), pt(5.0, 60.0, 0.1), pt(50.0, 80.0, 0.2)]);
+        let planner = Planner::new(vec![
+            pt(1.0, 30.0, 0.01),
+            pt(5.0, 60.0, 0.1),
+            pt(50.0, 80.0, 0.2),
+        ]);
         assert_eq!(planner.best_under_latency(10.0).unwrap().accuracy_pct, 60.0);
         assert!(planner.best_under_latency(0.5).is_none());
         assert_eq!(planner.best_under_cost(0.05).unwrap().accuracy_pct, 30.0);
@@ -202,7 +206,11 @@ mod tests {
 
     #[test]
     fn regimes_cover_the_axis() {
-        let planner = Planner::new(vec![pt(1.0, 30.0, 0.01), pt(5.0, 60.0, 0.1), pt(50.0, 80.0, 0.2)]);
+        let planner = Planner::new(vec![
+            pt(1.0, 30.0, 0.01),
+            pt(5.0, 60.0, 0.1),
+            pt(50.0, 80.0, 0.2),
+        ]);
         let regimes = planner.regimes();
         assert_eq!(regimes.len(), 3);
         assert_eq!(regimes[0].1, regimes[1].0);

@@ -355,7 +355,8 @@ impl Rig {
         let decode_s = latency.decode.predict(i, o_wall);
         let avg_latency_s = prefill_s + decode_s;
 
-        let energy_j = p_pre.predict(i as f64) * prefill_s + p_dec.predict(o_wall as f64) * decode_s;
+        let energy_j =
+            p_pre.predict(i as f64) * prefill_s + p_dec.predict(o_wall as f64) * decode_s;
         // Cost counts all generated tokens across parallel sequences.
         let gen_tokens = eval.avg_tokens_per_seq * opts.parallel as f64;
         let cost = self
@@ -414,7 +415,11 @@ mod tests {
         assert!(report.decode_pct < 5.0, "decode MAPE {}", report.decode_pct);
         // Prefill is the hard part (padding steps): the paper itself sees
         // 7.6-13.4%.
-        assert!(report.prefill_pct < 20.0, "prefill MAPE {}", report.prefill_pct);
+        assert!(
+            report.prefill_pct < 20.0,
+            "prefill MAPE {}",
+            report.prefill_pct
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl SpeculativeConfig {
     /// way — which is exactly why the paper flags speculation as
     /// promising there.
     pub fn speedup(&self, draft_step_s: f64, target_step_s: f64, verify_overhead: f64) -> f64 {
-        assert!(draft_step_s > 0.0 && target_step_s > 0.0, "step times must be positive");
+        assert!(
+            draft_step_s > 0.0 && target_step_s > 0.0,
+            "step times must be positive"
+        );
         let cycle_s =
             self.draft_len as f64 * draft_step_s + target_step_s * (1.0 + verify_overhead);
         let tokens = self.expected_tokens_per_cycle();

@@ -9,7 +9,9 @@ fn main() {
             let p = e.run_prefill(model, Precision::Fp16, i);
             println!(
                 "{model:16} I={i:5}  L={:8.3} s  P={:5.1} W  E/tok={:7.4} J",
-                p.latency_s, p.avg_power_w, p.energy_j / i as f64
+                p.latency_s,
+                p.avg_power_w,
+                p.energy_j / i as f64
             );
         }
     }

@@ -15,7 +15,8 @@ fn main() {
     ] {
         let arch = model.arch();
         let ks = decode_step_kernels(&arch, Precision::Fp16, batch, ctx);
-        let mut by_class: std::collections::BTreeMap<String, (f64, usize, f64)> = Default::default();
+        let mut by_class: std::collections::BTreeMap<String, (f64, usize, f64)> =
+            Default::default();
         let mut total = 0.0;
         let mut total_p = 0.0;
         for k in &ks {
@@ -27,9 +28,13 @@ fn main() {
             total += e.latency_s;
             total_p += e.energy_j;
         }
-        println!("== {model} batch={batch} ctx={ctx}: total {:.2} ms, avg power {:.1} W", total*1e3, total_p/total);
+        println!(
+            "== {model} batch={batch} ctx={ctx}: total {:.2} ms, avg power {:.1} W",
+            total * 1e3,
+            total_p / total
+        );
         for (c, (t, n, _e)) in &by_class {
-            println!("   {c:12} n={n:4} t={:.3} ms", t*1e3);
+            println!("   {c:12} n={n:4} t={:.3} ms", t * 1e3);
         }
     }
 }

@@ -2,14 +2,17 @@
 
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
-use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
-use edgereasoning_soc::gpu::{Gpu, PhaseStats};
+use edgereasoning_kernels::phases::{
+    build_decode_attn_into, build_decode_base_into, build_prefill_into, KernelPlan,
+};
+use edgereasoning_soc::gpu::{ExecCalib, Gpu, PhaseStats};
 use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
 use serde::{Deserialize, Serialize};
 
 use crate::kv_cache::KvCacheManager;
 use crate::outcome::{InferenceOutcome, TbtSample};
+use crate::plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 use crate::request::GenerationRequest;
 use crate::EngineError;
 
@@ -142,11 +145,23 @@ impl Default for EngineConfig {
 }
 
 /// A simulated inference engine bound to one simulated device.
+///
+/// Also exported as [`SimEngine`](crate::SimEngine). Phase costs are split
+/// into a deterministic roofline aggregate — memoized in a
+/// [`PhasePlanCache`] keyed on the architecture/GPU fingerprints, precision,
+/// phase kind, batch and exact shape — and a seeded stochastic perturbation
+/// applied after lookup. Exactly one RNG draw is consumed per phase whether
+/// the lookup hits or misses, so a cached run is bit-identical to an
+/// uncached one with the same seed.
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
     config: EngineConfig,
     gpu: Gpu,
     run_rng: Rng,
+    plan_cache: PhasePlanCache,
+    scratch: KernelPlan,
+    cache_enabled: bool,
+    counters: EngineCounters,
 }
 
 impl InferenceEngine {
@@ -157,6 +172,10 @@ impl InferenceEngine {
             config,
             gpu,
             run_rng: Rng::seed_from_u64(seed ^ 0x72756e),
+            plan_cache: PhasePlanCache::new(),
+            scratch: KernelPlan::new(),
+            cache_enabled: true,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -166,9 +185,69 @@ impl InferenceEngine {
     }
 
     /// Gives mutable access to the simulated GPU (e.g. to switch power
-    /// modes mid-experiment).
+    /// modes mid-experiment). Stale cache entries are harmless: the GPU
+    /// configuration fingerprint participates in every cache key, so a
+    /// reconfigured device simply stops matching its old entries.
     pub fn gpu_mut(&mut self) -> &mut Gpu {
         &mut self.gpu
+    }
+
+    /// Enables or disables the phase-plan cache. Disabling never changes
+    /// results — only whether deterministic aggregates are recomputed.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Whether the phase-plan cache is consulted.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Execution counters accumulated since creation (or the last
+    /// [`reset_counters`](Self::reset_counters)): cache hits/misses/entries
+    /// and per-kind phase counts.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            cache_hits: self.plan_cache.hits(),
+            cache_misses: self.plan_cache.misses(),
+            cache_entries: self.plan_cache.len(),
+            ..self.counters
+        }
+    }
+
+    /// Zeroes the hit/miss and phase counters (cached entries are kept).
+    pub fn reset_counters(&mut self) {
+        self.plan_cache.reset_stats();
+        self.counters = EngineCounters::default();
+    }
+
+    /// Returns the memoized deterministic aggregate for `key`, computing
+    /// (and caching) it via `build` + the noise-free roofline on a miss.
+    fn deterministic_phase(
+        &mut self,
+        key: PhaseKey,
+        calib: &ExecCalib,
+        build: impl FnOnce(&mut KernelPlan),
+    ) -> PhaseStats {
+        match key.kind {
+            PhaseKind::Prefill => self.counters.prefill_phases += 1,
+            PhaseKind::DecodeBase => self.counters.decode_base_phases += 1,
+            PhaseKind::DecodeCtx => self.counters.decode_ctx_phases += 1,
+        }
+        if self.cache_enabled {
+            if let Some(stats) = self.plan_cache.get(&key) {
+                return stats;
+            }
+        }
+        self.scratch.clear();
+        build(&mut self.scratch);
+        let stats = self
+            .gpu
+            .run_phase_deterministic(self.scratch.kernels().iter(), calib);
+        if self.cache_enabled {
+            self.plan_cache.insert(key, stats);
+        }
+        stats
     }
 
     /// Bytes available for KV cache after loading `model` at `prec`.
@@ -224,11 +303,33 @@ impl InferenceEngine {
             .map(|_| kv.allocate(req.prompt_tokens).expect("checked fit"))
             .collect();
 
-        // --- Prefill (batch 1, shared prompt). ---
-        let prefill_ks = prefill_kernels(&arch, prec, 1, req.prompt_tokens);
-        let prefill = self.gpu.run_phase(prefill_ks.iter(), &arch.calib.prefill);
+        let arch_fp = arch.fingerprint();
+        let gpu_fp = self.gpu.config_fingerprint();
+        let key = |kind: PhaseKind, batch: usize, shape: usize| PhaseKey {
+            arch_fp,
+            gpu_fp,
+            precision: prec,
+            kind,
+            batch,
+            shape,
+        };
 
-        // --- Decode, chunked over growing context. ---
+        // --- Prefill (batch 1, shared prompt). ---
+        let prefill_det = self.deterministic_phase(
+            key(PhaseKind::Prefill, 1, req.prompt_tokens),
+            &arch.calib.prefill,
+            |plan| build_prefill_into(plan, &arch, prec, 1, req.prompt_tokens),
+        );
+        let prefill = self.gpu.perturb_phase(&prefill_det);
+
+        // --- Decode, chunked over growing context. The context-independent
+        // base aggregate is computed once per run; only the attention part
+        // varies per chunk. ---
+        let base_det = self.deterministic_phase(
+            key(PhaseKind::DecodeBase, req.batch, 0),
+            &arch.calib.decode,
+            |plan| build_decode_base_into(plan, &arch, prec, req.batch),
+        );
         let idle_w = self.gpu.power_model().idle_w;
         let host_per_step =
             self.config.host_per_step_s + self.config.host_per_seq_step_s * req.batch as f64;
@@ -239,11 +340,25 @@ impl InferenceEngine {
             let chunk = self.config.decode_chunk.min(req.max_new_tokens - produced);
             let ctx = req.prompt_tokens + produced + chunk / 2;
             for &s in &seqs {
-                let ok = kv.grow(s, req.prompt_tokens + produced + chunk);
-                debug_assert!(ok, "reservation checked up front");
+                if !kv.grow(s, req.prompt_tokens + produced + chunk) {
+                    return Err(EngineError::OutOfMemory {
+                        needed: kv.bytes_per_token()
+                            * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
+                        available: kv.free_tokens() * kv.bytes_per_token(),
+                    });
+                }
             }
-            let step_ks = decode_step_kernels(&arch, prec, req.batch, ctx);
-            let gpu_step = self.gpu.run_phase(step_ks.iter(), &arch.calib.decode);
+            let ctx_det = self.deterministic_phase(
+                key(PhaseKind::DecodeCtx, req.batch, ctx),
+                &arch.calib.decode,
+                |plan| build_decode_attn_into(plan, &arch, prec, req.batch, ctx),
+            );
+            // Merge in fixed base-then-attention order on every path so the
+            // float summation is reproducible, then draw the step's single
+            // noise sample.
+            let mut step_det = base_det;
+            step_det.merge(&ctx_det);
+            let gpu_step = self.gpu.perturb_phase(&step_det);
             // Un-overlapped host time shows up as idle-power gaps between
             // steps; fold it into the phase so TBT and power averages match
             // what an external power meter would see.
@@ -305,8 +420,19 @@ impl InferenceEngine {
         prompt_tokens: usize,
     ) -> PhaseStats {
         let arch = model.arch();
-        let ks = prefill_kernels(&arch, prec, 1, prompt_tokens);
-        let phase = self.gpu.run_phase(ks.iter(), &arch.calib.prefill);
+        let det = self.deterministic_phase(
+            PhaseKey {
+                arch_fp: arch.fingerprint(),
+                gpu_fp: self.gpu.config_fingerprint(),
+                precision: prec,
+                kind: PhaseKind::Prefill,
+                batch: 1,
+                shape: prompt_tokens,
+            },
+            &arch.calib.prefill,
+            |plan| build_prefill_into(plan, &arch, prec, 1, prompt_tokens),
+        );
+        let phase = self.gpu.perturb_phase(&det);
         let idle_w = self.gpu.power_model().idle_w;
         apply_ramp(&phase, 0.0, idle_w, self.config.power_ramp_tau_s)
     }
@@ -322,8 +448,27 @@ impl InferenceEngine {
         ctx: usize,
     ) -> PhaseStats {
         let arch = model.arch();
-        let ks = decode_step_kernels(&arch, prec, batch, ctx);
-        let mut step = self.gpu.run_phase(ks.iter(), &arch.calib.decode);
+        let arch_fp = arch.fingerprint();
+        let gpu_fp = self.gpu.config_fingerprint();
+        let key = |kind: PhaseKind, shape: usize| PhaseKey {
+            arch_fp,
+            gpu_fp,
+            precision: prec,
+            kind,
+            batch,
+            shape,
+        };
+        let base_det =
+            self.deterministic_phase(key(PhaseKind::DecodeBase, 0), &arch.calib.decode, |plan| {
+                build_decode_base_into(plan, &arch, prec, batch)
+            });
+        let ctx_det =
+            self.deterministic_phase(key(PhaseKind::DecodeCtx, ctx), &arch.calib.decode, |plan| {
+                build_decode_attn_into(plan, &arch, prec, batch, ctx)
+            });
+        let mut step_det = base_det;
+        step_det.merge(&ctx_det);
+        let mut step = self.gpu.perturb_phase(&step_det);
         let idle_w = self.gpu.power_model().idle_w;
         let host = self.config.host_per_step_s + self.config.host_per_seq_step_s * batch as f64;
         step.merge(&PhaseStats {
@@ -398,14 +543,21 @@ mod tests {
         let s14 = speedup(ModelId::Dsr1Qwen14b);
         assert!((1.4..2.6).contains(&s15), "1.5B speedup {s15}");
         assert!((2.0..3.4).contains(&s8), "8B speedup {s8}");
-        assert!(s8 >= s15 * 0.95 && s14 > 1.9, "gains grow with size: {s15} {s8} {s14}");
+        assert!(
+            s8 >= s15 * 0.95 && s14 > 1.9,
+            "gains grow with size: {s15} {s8} {s14}"
+        );
     }
 
     #[test]
     fn decode_dominates_total_latency() {
         let mut e = engine();
         let o = e
-            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(128, 512))
+            .run(
+                ModelId::Dsr1Llama8b,
+                Precision::Fp16,
+                &GenerationRequest::new(128, 512),
+            )
             .expect("fits");
         assert!(o.decode.latency_s > 50.0 * o.prefill.latency_s);
     }
@@ -414,10 +566,14 @@ mod tests {
     fn decode_latency_linear_in_output_length() {
         let mut e = engine();
         let mut run = |o: usize| {
-            e.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(512, o))
-                .expect("fits")
-                .decode
-                .latency_s
+            e.run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(512, o),
+            )
+            .expect("fits")
+            .decode
+            .latency_s
         };
         let t256 = run(256);
         let t1024 = run(1024);
@@ -428,7 +584,10 @@ mod tests {
     #[test]
     fn parallel_scaling_latency_overhead_is_modest() {
         let mut e = engine();
-        let mut tbt = |b: usize| e.probe_tbt(ModelId::Dsr1Llama8b, Precision::Fp16, b, 640).latency_s;
+        let mut tbt = |b: usize| {
+            e.probe_tbt(ModelId::Dsr1Llama8b, Precision::Fp16, b, 640)
+                .latency_s
+        };
         let t1 = tbt(1);
         let t4 = tbt(4);
         let t64 = tbt(64);
@@ -443,7 +602,9 @@ mod tests {
         // 14B FP16 weights ≈ 29.5 GB; 64-seq × 40k-token KV cache needs
         // ~100 GB more -> must fail.
         let req = GenerationRequest::new(4096, 36_000).with_batch(64);
-        let err = e.run(ModelId::Dsr1Qwen14b, Precision::Fp16, &req).unwrap_err();
+        let err = e
+            .run(ModelId::Dsr1Qwen14b, Precision::Fp16, &req)
+            .unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }), "{err}");
     }
 
@@ -451,7 +612,11 @@ mod tests {
     fn invalid_request_is_rejected() {
         let mut e = engine();
         let err = e
-            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(0, 8))
+            .run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(0, 8),
+            )
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidRequest(_)));
     }
@@ -477,7 +642,11 @@ mod tests {
     fn tbt_trace_contexts_grow() {
         let mut e = engine();
         let o = e
-            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(256, 200))
+            .run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(256, 200),
+            )
             .expect("fits");
         assert!(o.tbt_trace.len() >= 3);
         for w in o.tbt_trace.windows(2) {
@@ -486,12 +655,75 @@ mod tests {
     }
 
     #[test]
+    fn cached_and_uncached_runs_are_bit_identical() {
+        let mut cached = InferenceEngine::new(EngineConfig::vllm(), 11);
+        let mut uncached = InferenceEngine::new(EngineConfig::vllm(), 11);
+        uncached.set_cache_enabled(false);
+        let plan = [
+            (ModelId::Dsr1Qwen1_5b, Precision::Fp16, 512usize, 300usize),
+            (ModelId::Dsr1Qwen1_5b, Precision::Fp16, 512, 300), // repeat -> cache hits
+            (ModelId::Dsr1Llama8b, Precision::W4A16, 256, 128),
+            (ModelId::Dsr1Qwen1_5b, Precision::Fp16, 512, 300),
+        ];
+        for (model, prec, prompt, out) in plan {
+            let req = GenerationRequest::new(prompt, out).with_batch(2);
+            let a = cached.run(model, prec, &req).expect("fits");
+            let b = uncached.run(model, prec, &req).expect("fits");
+            assert_eq!(a, b, "cached and uncached outcomes must match exactly");
+        }
+        let c = cached.counters();
+        assert!(c.cache_hits > 0, "repeated runs must hit: {c}");
+        assert_eq!(uncached.counters().cache_hits, 0);
+        assert_eq!(uncached.counters().cache_entries, 0);
+    }
+
+    #[test]
+    fn counters_track_phases_and_hits() {
+        let mut e = engine();
+        let req = GenerationRequest::new(128, 96);
+        e.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let first = e.counters();
+        // 96 tokens at chunk 48 = 2 decode chunks.
+        assert_eq!(first.prefill_phases, 1);
+        assert_eq!(first.decode_base_phases, 1);
+        assert_eq!(first.decode_ctx_phases, 2);
+        assert_eq!(first.cache_misses, 4);
+        assert_eq!(first.cache_entries, 4);
+        e.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let second = e.counters();
+        assert_eq!(second.cache_hits, 4, "identical rerun must be fully cached");
+        assert_eq!(second.cache_misses, 4);
+        e.reset_counters();
+        let reset = e.counters();
+        assert_eq!((reset.cache_hits, reset.prefill_phases), (0, 0));
+        assert_eq!(reset.cache_entries, 4, "entries survive a counter reset");
+    }
+
+    #[test]
+    fn shared_backbones_share_cache_entries() {
+        let mut e = engine();
+        let _ = e.probe_tbt(ModelId::Dsr1Qwen1_5b, Precision::Fp16, 1, 512);
+        let miss_after_first = e.counters().cache_misses;
+        // L1-Max shares the Qwen2.5-1.5B backbone and calibration, so the
+        // same probe must be served entirely from cache.
+        let _ = e.probe_tbt(ModelId::L1Max, Precision::Fp16, 1, 512);
+        assert_eq!(e.counters().cache_misses, miss_after_first);
+        assert_eq!(e.counters().cache_hits, 2);
+    }
+
+    #[test]
     fn decode_power_exceeds_prefill_power_for_small_models() {
         // Bandwidth-bound decode draws more than the short prefill on the
         // 1.5B model (Tables XVIII/XIX).
         let mut e = engine();
         let o = e
-            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &GenerationRequest::new(512, 512))
+            .run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(512, 512),
+            )
             .expect("fits");
         assert!(o.decode.avg_power_w > o.prefill.avg_power_w);
     }

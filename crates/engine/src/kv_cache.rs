@@ -37,7 +37,7 @@ impl KvCacheManager {
         assert!(block_tokens > 0, "block size must be positive");
         let bytes_per_token = arch.kv_bytes_per_token();
         let block_bytes = bytes_per_token * block_tokens as u64;
-        let total_blocks = if block_bytes == 0 { 0 } else { cache_bytes / block_bytes };
+        let total_blocks = cache_bytes.checked_div(block_bytes).unwrap_or(0);
         Self {
             block_tokens,
             bytes_per_token,
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn capacity_accounts_bytes_per_token() {
         let m = mgr(1024); // 1 GiB
-        // 8B model: 131072 B/token -> 8192 tokens in 1 GiB.
+                           // 8B model: 131072 B/token -> 8192 tokens in 1 GiB.
         assert_eq!(m.capacity_tokens(), 8192);
         assert_eq!(m.bytes_per_token(), 131_072);
     }

@@ -42,14 +42,19 @@
 pub mod engine;
 pub mod kv_cache;
 pub mod outcome;
+pub mod plan_cache;
 pub mod request;
 pub mod serving;
 
 pub use engine::{EngineConfig, EngineKind, InferenceEngine};
 pub use kv_cache::KvCacheManager;
 pub use outcome::{InferenceOutcome, TbtSample};
+pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 pub use request::GenerationRequest;
 pub use serving::{simulate_serving, ServingConfig, ServingReport};
+
+/// Canonical alias for the cached, deterministic simulation engine.
+pub type SimEngine = InferenceEngine;
 
 /// Errors returned by the simulated engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

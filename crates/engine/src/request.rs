@@ -70,6 +70,9 @@ mod tests {
     fn validation_catches_zeros() {
         assert!(GenerationRequest::new(0, 1).validate().is_err());
         assert!(GenerationRequest::new(1, 0).validate().is_err());
-        assert!(GenerationRequest::new(1, 1).with_batch(0).validate().is_err());
+        assert!(GenerationRequest::new(1, 1)
+            .with_batch(0)
+            .validate()
+            .is_err());
     }
 }

@@ -84,7 +84,7 @@ pub fn simulate_serving(
     seed: u64,
 ) -> Result<ServingReport, EngineError> {
     cfg.validate().map_err(EngineError::InvalidRequest)?;
-    let mut rng = Rng::seed_from_u64(seed ^ 0x5e52_56);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x005e_5256);
 
     // Poisson arrivals.
     let mut arrivals = Vec::with_capacity(cfg.queries);
@@ -166,23 +166,52 @@ mod tests {
     fn low_load_is_unqueued() {
         let mut e = engine();
         // Service time ~3.5 s; one query per 100 s never queues.
-        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(0.01, 8), 1)
-            .expect("runs");
+        let r = simulate_serving(
+            &mut e,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(0.01, 8),
+            1,
+        )
+        .expect("runs");
         assert_eq!(r.completed, 60);
-        assert!(r.avg_batch < 1.05, "no batching at low load: {}", r.avg_batch);
-        assert!(r.avg_latency_s < 6.0, "latency ~ service time: {}", r.avg_latency_s);
+        assert!(
+            r.avg_batch < 1.05,
+            "no batching at low load: {}",
+            r.avg_batch
+        );
+        assert!(
+            r.avg_latency_s < 6.0,
+            "latency ~ service time: {}",
+            r.avg_latency_s
+        );
     }
 
     #[test]
     fn high_load_batches_up_and_raises_throughput() {
         let mut e = engine();
-        let slow = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(2.0, 1), 1)
-            .expect("runs");
+        let slow = simulate_serving(
+            &mut e,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(2.0, 1),
+            1,
+        )
+        .expect("runs");
         let mut e = engine();
-        let batched =
-            simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(2.0, 30), 1)
-                .expect("runs");
-        assert!(batched.avg_batch > 3.0, "load must batch: {}", batched.avg_batch);
+        let batched = simulate_serving(
+            &mut e,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(2.0, 30),
+            1,
+        )
+        .expect("runs");
+        assert!(
+            batched.avg_batch > 3.0,
+            "load must batch: {}",
+            batched.avg_batch
+        );
         assert!(batched.achieved_qps > 2.0 * slow.achieved_qps);
         assert!(batched.avg_latency_s < slow.avg_latency_s);
         // Energy per query drops with batching (Table III's mechanism).
@@ -206,10 +235,22 @@ mod tests {
     fn deterministic_across_runs() {
         let mut a = engine();
         let mut b = engine();
-        let ra = simulate_serving(&mut a, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(1.0, 8), 9)
-            .expect("runs");
-        let rb = simulate_serving(&mut b, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg(1.0, 8), 9)
-            .expect("runs");
+        let ra = simulate_serving(
+            &mut a,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(1.0, 8),
+            9,
+        )
+        .expect("runs");
+        let rb = simulate_serving(
+            &mut b,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(1.0, 8),
+            9,
+        )
+        .expect("runs");
         assert_eq!(ra, rb);
     }
 }

@@ -285,8 +285,8 @@ impl ModelArch {
     pub fn weight_bytes(&self, prec: Precision) -> u64 {
         let d = self.d_model as u64;
         let embed = self.vocab as u64 * d * if self.tied_embeddings { 1 } else { 2 };
-        let linear = self.layers as u64
-            * (self.attn_params_per_layer() + self.ffn_params_per_layer());
+        let linear =
+            self.layers as u64 * (self.attn_params_per_layer() + self.ffn_params_per_layer());
         let norms = self.layers as u64 * 2 * d + d;
         (embed as f64 * 2.0 + linear as f64 * prec.bytes_per_param() + norms as f64 * 2.0) as u64
     }
@@ -305,11 +305,54 @@ impl ModelArch {
         let per_layer = self.attn_params_per_layer() + self.ffn_params_per_layer();
         self.layers as u64 * per_layer + self.vocab as u64 * d + d
     }
+
+    /// Stable fingerprint of everything that determines this architecture's
+    /// lowered kernel costs: the structural dimensions plus the calibration
+    /// multipliers, but **not** [`ModelArch::id`]. Distinct `ModelId`s that
+    /// share a backbone (e.g. the DeepSeek-R1 1.5B distill and its L1/
+    /// DeepScaleR fine-tunes) therefore fingerprint identically and can
+    /// share cached phase plans.
+    pub fn fingerprint(&self) -> u64 {
+        edgereasoning_soc::rng::stable_hash(&[
+            self.layers as u64,
+            self.d_model as u64,
+            self.n_heads as u64,
+            self.n_kv_heads as u64,
+            self.head_dim as u64,
+            self.d_ff as u64,
+            self.vocab as u64,
+            u64::from(self.tied_embeddings),
+            self.calib.prefill.latency_scale.to_bits(),
+            self.calib.prefill.power_scale.to_bits(),
+            self.calib.decode.latency_scale.to_bits(),
+            self.calib.decode.power_scale.to_bits(),
+        ])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_ignores_id_but_tracks_shape_and_calib() {
+        // Same Qwen2.5-1.5B backbone + calibration behind four ModelIds.
+        let base = ModelId::Dsr1Qwen1_5b.arch();
+        for id in [
+            ModelId::L1Max,
+            ModelId::DeepScaleR1_5b,
+            ModelId::Qwen25_1_5bIt,
+        ] {
+            assert_eq!(base.fingerprint(), id.arch().fingerprint(), "{id}");
+        }
+        assert_ne!(
+            base.fingerprint(),
+            ModelId::Dsr1Llama8b.arch().fingerprint()
+        );
+        let mut recalibrated = base;
+        recalibrated.calib.decode.latency_scale *= 1.01;
+        assert_ne!(base.fingerprint(), recalibrated.fingerprint());
+    }
 
     #[test]
     fn param_counts_match_published_sizes() {
@@ -341,8 +384,8 @@ mod tests {
         // Linear layers shrink 3.5×; embeddings stay FP16, so the whole
         // model shrinks a bit less.
         let arch = ModelId::Dsr1Llama8b.arch();
-        let ratio = arch.weight_bytes(Precision::Fp16) as f64
-            / arch.weight_bytes(Precision::W4A16) as f64;
+        let ratio =
+            arch.weight_bytes(Precision::Fp16) as f64 / arch.weight_bytes(Precision::W4A16) as f64;
         assert!((2.6..3.5).contains(&ratio), "ratio {ratio}");
     }
 

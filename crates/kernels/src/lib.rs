@@ -44,4 +44,7 @@ pub mod phases;
 
 pub use arch::{ArchCalib, ModelArch, ModelFamily, ModelId};
 pub use dtype::Precision;
-pub use phases::{decode_step_kernels, prefill_kernels};
+pub use phases::{
+    build_decode_attn_into, build_decode_base_into, build_prefill_into, decode_step_kernels,
+    prefill_kernels, KernelPlan,
+};

@@ -5,6 +5,15 @@
 //! [`decode_step_kernels`] emits a single autoregressive step (GEMV-shaped,
 //! DRAM-bandwidth bound). The simulated engine composes these into complete
 //! generations.
+//!
+//! For hot paths the allocating entry points are thin wrappers over
+//! `build_*_into` variants that append into a caller-owned [`KernelPlan`]
+//! scratch buffer, so a simulation loop lowering thousands of steps reuses
+//! one allocation instead of building a fresh `Vec` per phase. The decode
+//! lowering is additionally split into a context-independent base
+//! ([`build_decode_base_into`]) and the per-layer attention GEMVs — the only
+//! kernels whose cost depends on `ctx` — ([`build_decode_attn_into`]), which
+//! lets the engine cache the two parts under separate keys.
 
 use edgereasoning_soc::kernel::{ComputeKind, KernelClass, KernelDesc};
 
@@ -13,6 +22,53 @@ use crate::dtype::Precision;
 
 /// Activation byte width (FP16 everywhere in this study).
 const ACT: f64 = 2.0;
+
+/// Reusable scratch buffer for lowered kernel sequences.
+///
+/// The `build_*_into` functions append to the plan without allocating once
+/// its backing storage has grown to the model's kernel count; callers clear
+/// and refill it each phase.
+#[derive(Debug, Clone, Default)]
+pub struct KernelPlan {
+    kernels: Vec<KernelDesc>,
+}
+
+impl KernelPlan {
+    /// Creates an empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all kernels but keeps the backing allocation.
+    pub fn clear(&mut self) {
+        self.kernels.clear();
+    }
+
+    /// The lowered kernel sequence.
+    #[must_use]
+    pub fn kernels(&self) -> &[KernelDesc] {
+        &self.kernels
+    }
+
+    /// Number of kernels in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the plan holds no kernels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Consumes the plan, yielding the kernels as a `Vec`.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<KernelDesc> {
+        self.kernels
+    }
+}
 
 fn linear(
     class: KernelClass,
@@ -25,8 +81,7 @@ fn linear(
     let weights = n as f64 * k as f64 * weight_bytes_per_param;
     let act_in = m as f64 * k as f64 * ACT;
     let act_out = m as f64 * n as f64 * ACT;
-    KernelDesc::gemm(class, prec.compute_kind(), m, n, k)
-        .with_bytes_f64(weights + act_in, act_out)
+    KernelDesc::gemm(class, prec.compute_kind(), m, n, k).with_bytes_f64(weights + act_in, act_out)
 }
 
 /// On-the-fly dequantization work for W4 weights (scales/zeros applied per
@@ -80,12 +135,31 @@ pub fn prefill_kernels(
     batch: usize,
     seq: usize,
 ) -> Vec<KernelDesc> {
+    let mut plan = KernelPlan::new();
+    build_prefill_into(&mut plan, arch, prec, batch, seq);
+    plan.into_vec()
+}
+
+/// Appends the kernels of one prefill pass to `plan` (see
+/// [`prefill_kernels`]); the allocation-free variant for hot loops.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `seq == 0`.
+pub fn build_prefill_into(
+    plan: &mut KernelPlan,
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+    seq: usize,
+) {
     assert!(batch > 0 && seq > 0, "batch and seq must be positive");
     let m = batch * seq;
     let d = arch.d_model;
     let da = arch.d_attn();
     let dkv = arch.d_kv();
-    let mut out = Vec::with_capacity(arch.layers * 12 + 6);
+    let out = &mut plan.kernels;
+    out.reserve(arch.layers * 12 + 6);
 
     // Embedding gather.
     out.push(KernelDesc::raw(
@@ -99,7 +173,7 @@ pub fn prefill_kernels(
     for _ in 0..arch.layers {
         out.push(rms_norm(m, d));
         // Fused QKV projection.
-        push_linear(&mut out, KernelClass::Gemm, prec, m, da + 2 * dkv, d);
+        push_linear(out, KernelClass::Gemm, prec, m, da + 2 * dkv, d);
         // RoPE.
         out.push(KernelDesc::raw(
             KernelClass::Elementwise,
@@ -121,20 +195,26 @@ pub fn prefill_kernels(
         // calibrated against.
         let occupancy = ((da as f64 / 4096.0).powi(2)).clamp(0.05, 1.0);
         out.push(
-            KernelDesc::gemm(KernelClass::Attention, prec.compute_kind(), seq, seq, arch.head_dim)
-                .with_bytes_f64(
-                    m as f64 * (da + 2 * dkv) as f64 * ACT,
-                    m as f64 * da as f64 * ACT,
-                )
-                .with_occupancy(occupancy),
+            KernelDesc::gemm(
+                KernelClass::Attention,
+                prec.compute_kind(),
+                seq,
+                seq,
+                arch.head_dim,
+            )
+            .with_bytes_f64(
+                m as f64 * (da + 2 * dkv) as f64 * ACT,
+                m as f64 * da as f64 * ACT,
+            )
+            .with_occupancy(occupancy),
         );
         let attn = out.last_mut().expect("just pushed");
         attn.flops = 4.0 * batch as f64 * (seq as f64).powi(2) * da as f64;
         // Output projection.
-        push_linear(&mut out, KernelClass::Gemm, prec, m, d, da);
+        push_linear(out, KernelClass::Gemm, prec, m, d, da);
         out.push(rms_norm(m, d));
         // Gated FFN: fused gate+up, then down.
-        push_linear(&mut out, KernelClass::Gemm, prec, m, 2 * arch.d_ff, d);
+        push_linear(out, KernelClass::Gemm, prec, m, 2 * arch.d_ff, d);
         out.push(KernelDesc::raw(
             KernelClass::Elementwise,
             ComputeKind::CudaFp32,
@@ -142,7 +222,7 @@ pub fn prefill_kernels(
             2.0 * m as f64 * arch.d_ff as f64 * ACT,
             m as f64 * arch.d_ff as f64 * ACT,
         ));
-        push_linear(&mut out, KernelClass::Gemm, prec, m, d, arch.d_ff);
+        push_linear(out, KernelClass::Gemm, prec, m, d, arch.d_ff);
     }
 
     // Final norm + LM head on the last token of each sequence only (vLLM
@@ -156,7 +236,6 @@ pub fn prefill_kernels(
         batch as f64 * arch.vocab as f64 * 4.0,
         batch as f64 * 16.0,
     ));
-    out
 }
 
 /// Kernels of a single decode step for `batch` concurrent sequences, each
@@ -171,12 +250,34 @@ pub fn decode_step_kernels(
     batch: usize,
     ctx: usize,
 ) -> Vec<KernelDesc> {
-    assert!(batch > 0 && ctx > 0, "batch and ctx must be positive");
+    let mut plan = KernelPlan::new();
+    build_decode_base_into(&mut plan, arch, prec, batch);
+    build_decode_attn_into(&mut plan, arch, prec, batch, ctx);
+    plan.into_vec()
+}
+
+/// Appends the context-independent kernels of one decode step to `plan`:
+/// everything except the per-layer attention GEMVs (projections, norms,
+/// RoPE, KV append, FFN, LM head, sampling). These kernels depend only on
+/// `(arch, prec, batch)`, so their aggregate cost can be computed once and
+/// reused across every step and context length of a generation.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn build_decode_base_into(
+    plan: &mut KernelPlan,
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+) {
+    assert!(batch > 0, "batch must be positive");
     let m = batch;
     let d = arch.d_model;
     let da = arch.d_attn();
     let dkv = arch.d_kv();
-    let mut out = Vec::with_capacity(arch.layers * 12 + 6);
+    let out = &mut plan.kernels;
+    out.reserve(arch.layers * 12 + 6);
 
     // Embedding row gather for the new token(s).
     out.push(KernelDesc::raw(
@@ -189,7 +290,7 @@ pub fn decode_step_kernels(
 
     for _ in 0..arch.layers {
         out.push(rms_norm(m, d));
-        push_linear(&mut out, KernelClass::Gemv, prec, m, da + 2 * dkv, d);
+        push_linear(out, KernelClass::Gemv, prec, m, da + 2 * dkv, d);
         // RoPE on the new token.
         out.push(KernelDesc::raw(
             KernelClass::Elementwise,
@@ -206,23 +307,9 @@ pub fn decode_step_kernels(
             0.0,
             m as f64 * 2.0 * dkv as f64 * ACT,
         ));
-        // Streaming flash-decode attention over the KV cache: each sequence
-        // reads its own `ctx` K/V rows — this is the per-context-token
-        // decode slope (the paper's coefficient `m`). Unlike prefill
-        // attention it is a GEMV-shaped, bandwidth-bound kernel.
-        out.push(
-            KernelDesc::gemm(KernelClass::Gemv, prec.compute_kind(), m, ctx, arch.head_dim)
-                .with_bytes_f64(
-                    m as f64 * ctx as f64 * 2.0 * dkv as f64 * ACT
-                        + m as f64 * da as f64 * ACT,
-                    m as f64 * da as f64 * ACT,
-                ),
-        );
-        let attn = out.last_mut().expect("just pushed");
-        attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
-        push_linear(&mut out, KernelClass::Gemv, prec, m, d, da);
+        push_linear(out, KernelClass::Gemv, prec, m, d, da);
         out.push(rms_norm(m, d));
-        push_linear(&mut out, KernelClass::Gemv, prec, m, 2 * arch.d_ff, d);
+        push_linear(out, KernelClass::Gemv, prec, m, 2 * arch.d_ff, d);
         out.push(KernelDesc::raw(
             KernelClass::Elementwise,
             ComputeKind::CudaFp32,
@@ -230,7 +317,7 @@ pub fn decode_step_kernels(
             2.0 * m as f64 * arch.d_ff as f64 * ACT,
             m as f64 * arch.d_ff as f64 * ACT,
         ));
-        push_linear(&mut out, KernelClass::Gemv, prec, m, d, arch.d_ff);
+        push_linear(out, KernelClass::Gemv, prec, m, d, arch.d_ff);
     }
 
     out.push(rms_norm(m, d));
@@ -243,7 +330,50 @@ pub fn decode_step_kernels(
         m as f64 * arch.vocab as f64 * 4.0,
         m as f64 * 16.0,
     ));
-    out
+}
+
+/// Appends the per-layer decode attention kernels — the only part of a
+/// decode step whose cost depends on `ctx` — to `plan`.
+///
+/// Streaming flash-decode attention over the KV cache: each sequence reads
+/// its own `ctx` K/V rows — this is the per-context-token decode slope (the
+/// paper's coefficient `m`). Unlike prefill attention it is a GEMV-shaped,
+/// bandwidth-bound kernel.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or `ctx == 0`.
+pub fn build_decode_attn_into(
+    plan: &mut KernelPlan,
+    arch: &ModelArch,
+    prec: Precision,
+    batch: usize,
+    ctx: usize,
+) {
+    assert!(batch > 0 && ctx > 0, "batch and ctx must be positive");
+    let m = batch;
+    let da = arch.d_attn();
+    let dkv = arch.d_kv();
+    let out = &mut plan.kernels;
+    out.reserve(arch.layers);
+
+    for _ in 0..arch.layers {
+        out.push(
+            KernelDesc::gemm(
+                KernelClass::Gemv,
+                prec.compute_kind(),
+                m,
+                ctx,
+                arch.head_dim,
+            )
+            .with_bytes_f64(
+                m as f64 * ctx as f64 * 2.0 * dkv as f64 * ACT + m as f64 * da as f64 * ACT,
+                m as f64 * da as f64 * ACT,
+            ),
+        );
+        let attn = out.last_mut().expect("just pushed");
+        attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +383,11 @@ mod tests {
 
     #[test]
     fn decode_step_reads_all_weights_once() {
-        for id in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Llama8b, ModelId::Dsr1Qwen14b] {
+        for id in [
+            ModelId::Dsr1Qwen1_5b,
+            ModelId::Dsr1Llama8b,
+            ModelId::Dsr1Qwen14b,
+        ] {
             let arch = id.arch();
             let step = decode_step_kernels(&arch, Precision::Fp16, 1, 512);
             let read: f64 = step.iter().map(|k| k.bytes_read).sum();
@@ -320,7 +454,10 @@ mod tests {
         assert!(w4.len() > fp16.len(), "dequant kernels must appear");
         let rd = |ks: &[KernelDesc]| ks.iter().map(|k| k.bytes_read).sum::<f64>();
         let ratio = rd(&fp16) / rd(&w4);
-        assert!(ratio > 2.2, "W4 must cut weight reads substantially: {ratio}");
+        assert!(
+            ratio > 2.2,
+            "W4 must cut weight reads substantially: {ratio}"
+        );
     }
 
     #[test]
@@ -335,7 +472,10 @@ mod tests {
         assert!(growth < 3.0, "weight reads must amortize, grew {growth}x");
         let fl = |ks: &[KernelDesc]| ks.iter().map(|k| k.flops).sum::<f64>();
         let fgrowth = fl(&b32) / fl(&b1);
-        assert!((fgrowth - 32.0).abs() < 1.0, "flops grow with batch: {fgrowth}");
+        assert!(
+            (fgrowth - 32.0).abs() < 1.0,
+            "flops grow with batch: {fgrowth}"
+        );
     }
 
     #[test]
@@ -343,6 +483,43 @@ mod tests {
     fn zero_seq_panics() {
         let arch = ModelId::Dsr1Qwen1_5b.arch();
         let _ = prefill_kernels(&arch, Precision::Fp16, 1, 0);
+    }
+
+    #[test]
+    fn decode_split_concatenation_matches_monolithic() {
+        let arch = ModelId::Dsr1Llama8b.arch();
+        for prec in [Precision::Fp16, Precision::W4A16] {
+            let whole = decode_step_kernels(&arch, prec, 4, 777);
+            let mut plan = KernelPlan::new();
+            build_decode_base_into(&mut plan, &arch, prec, 4);
+            let base_len = plan.len();
+            build_decode_attn_into(&mut plan, &arch, prec, 4, 777);
+            assert_eq!(
+                plan.len() - base_len,
+                arch.layers,
+                "one attn kernel per layer"
+            );
+            assert_eq!(plan.kernels(), &whole[..]);
+            // Only the attention part depends on ctx.
+            let mut other = KernelPlan::new();
+            build_decode_base_into(&mut other, &arch, prec, 4);
+            assert_eq!(other.kernels(), &plan.kernels()[..base_len]);
+        }
+    }
+
+    #[test]
+    fn kernel_plan_reuse_keeps_capacity_and_content() {
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let mut plan = KernelPlan::new();
+        build_prefill_into(&mut plan, &arch, Precision::Fp16, 2, 256);
+        let first = plan.kernels().to_vec();
+        let cap_hint = plan.len();
+        plan.clear();
+        assert!(plan.is_empty());
+        build_prefill_into(&mut plan, &arch, Precision::Fp16, 2, 256);
+        assert_eq!(plan.kernels(), &first[..]);
+        assert_eq!(plan.len(), cap_hint);
+        assert_eq!(first, prefill_kernels(&arch, Precision::Fp16, 2, 256));
     }
 
     #[test]

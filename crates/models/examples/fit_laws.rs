@@ -10,8 +10,16 @@ use edgereasoning_workloads::suite::Benchmark;
 fn sse(model: ModelId, skill: f64, scale: f64, derail: f64) -> f64 {
     let rows = anchors::mmlu_redux_rows();
     let mut err = 0.0;
-    for r in rows.iter().filter(|r| r.model == model && r.precision == edgereasoning_kernels::dtype::Precision::Fp16) {
-        let law = AccuracyLaw { skill, scale, tau: 90.0, derail_per_k: derail, salvage: 0.10 };
+    for r in rows.iter().filter(|r| {
+        r.model == model && r.precision == edgereasoning_kernels::dtype::Precision::Fp16
+    }) {
+        let law = AccuracyLaw {
+            skill,
+            scale,
+            tau: 90.0,
+            derail_per_k: derail,
+            salvage: 0.10,
+        };
         let prof = output_profile(r.model, r.bench, r.config, r.precision);
         let pred = 100.0 * expected_accuracy_for(&law, &prof, Benchmark::MmluRedux);
         err += (pred - r.acc_pct).powi(2);
@@ -21,26 +29,45 @@ fn sse(model: ModelId, skill: f64, scale: f64, derail: f64) -> f64 {
 
 fn fit(model: ModelId, allow_derail: bool) -> (f64, f64, f64, f64) {
     let (mut best, mut bs, mut bsc, mut bd) = (f64::INFINITY, 0.0, 0.0, 0.0);
-    let mut lo_s = -7.0; let mut hi_s = 2.0;
-    let mut lo_c = 0.0;  let mut hi_c = 3.0;
-    let mut lo_d = 0.0;  let mut hi_d = if allow_derail { 2.5 } else { 0.0 };
+    let mut lo_s = -7.0;
+    let mut hi_s = 2.0;
+    let mut lo_c = 0.0;
+    let mut hi_c = 3.0;
+    let mut lo_d = 0.0;
+    let mut hi_d = if allow_derail { 2.5 } else { 0.0 };
     for _round in 0..4 {
         let (ls, hs, lc, hc, ld, hd) = (lo_s, hi_s, lo_c, hi_c, lo_d, hi_d);
         for i in 0..=16 {
             let skill = ls + (hs - ls) * i as f64 / 16.0;
             for j in 0..=16 {
                 let scale = lc + (hc - lc) * j as f64 / 16.0;
-                for k in 0..=(if allow_derail {12} else {0}) {
-                    let derail = if allow_derail { ld + (hd - ld) * k as f64 / 12.0 } else { 0.0 };
+                for k in 0..=(if allow_derail { 12 } else { 0 }) {
+                    let derail = if allow_derail {
+                        ld + (hd - ld) * k as f64 / 12.0
+                    } else {
+                        0.0
+                    };
                     let e = sse(model, skill, scale, derail);
-                    if e < best { best = e; bs = skill; bsc = scale; bd = derail; }
+                    if e < best {
+                        best = e;
+                        bs = skill;
+                        bsc = scale;
+                        bd = derail;
+                    }
                 }
             }
         }
-        let w_s = (hs - ls) / 8.0; let w_c = (hc - lc) / 8.0; let w_d = (hd - ld) / 6.0;
-        lo_s = bs - w_s; hi_s = bs + w_s;
-        lo_c = (bsc - w_c).max(0.0); hi_c = bsc + w_c;
-        if allow_derail { lo_d = (bd - w_d).max(0.0); hi_d = bd + w_d; }
+        let w_s = (hs - ls) / 8.0;
+        let w_c = (hc - lc) / 8.0;
+        let w_d = (hd - ld) / 6.0;
+        lo_s = bs - w_s;
+        hi_s = bs + w_s;
+        lo_c = (bsc - w_c).max(0.0);
+        hi_c = bsc + w_c;
+        if allow_derail {
+            lo_d = (bd - w_d).max(0.0);
+            hi_d = bd + w_d;
+        }
     }
     (bs, bsc, bd, best)
 }
@@ -56,13 +83,29 @@ fn main() {
         (ModelId::Gemma7bIt, false),
     ] {
         let (s, c, d, e) = fit(model, derail);
-        println!("{model:16} skill={s:7.3} scale={c:6.3} derail={d:6.3}  rmse/row={:5.2}", (e / 6.0).sqrt());
+        println!(
+            "{model:16} skill={s:7.3} scale={c:6.3} derail={d:6.3}  rmse/row={:5.2}",
+            (e / 6.0).sqrt()
+        );
         // residuals
-        for r in anchors::mmlu_redux_rows().iter().filter(|r| r.model == model && r.precision == edgereasoning_kernels::dtype::Precision::Fp16) {
-            let law = AccuracyLaw { skill: s, scale: c, tau: 90.0, derail_per_k: d, salvage: 0.10 };
+        for r in anchors::mmlu_redux_rows().iter().filter(|r| {
+            r.model == model && r.precision == edgereasoning_kernels::dtype::Precision::Fp16
+        }) {
+            let law = AccuracyLaw {
+                skill: s,
+                scale: c,
+                tau: 90.0,
+                derail_per_k: d,
+                salvage: 0.10,
+            };
             let prof = output_profile(r.model, r.bench, r.config, r.precision);
             let pred = 100.0 * expected_accuracy_for(&law, &prof, Benchmark::MmluRedux);
-            println!("    {:9} paper {:5.1}  pred {:5.1}", r.config.label(), r.acc_pct, pred);
+            println!(
+                "    {:9} paper {:5.1}  pred {:5.1}",
+                r.config.label(),
+                r.acc_pct,
+                pred
+            );
         }
     }
 }

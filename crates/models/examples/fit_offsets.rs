@@ -10,7 +10,13 @@ use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::Benchmark;
 
 /// Prediction with explicit offset, bypassing the in-code offset tables.
-fn pred(model: ModelId, bench: Benchmark, config: PromptConfig, prec: Precision, offset: f64) -> f64 {
+fn pred(
+    model: ModelId,
+    bench: Benchmark,
+    config: PromptConfig,
+    prec: Precision,
+    offset: f64,
+) -> f64 {
     let mut l = law(model);
     l.skill += offset;
     let f = bench_scale_factor(bench);
@@ -24,11 +30,16 @@ fn solve(model: ModelId, rows: &[(Benchmark, PromptConfig, Precision, f64)]) -> 
     let mut best = (f64::INFINITY, 0.0);
     let mut off = -6.0;
     while off <= 6.0 {
-        let e: f64 = rows.iter().map(|&(b, c, p, t)| {
-            let w = if c == PromptConfig::Base { 6.0 } else { 1.0 };
-            w * (pred(model, b, c, p, off) - t).powi(2)
-        }).sum();
-        if e < best.0 { best = (e, off); }
+        let e: f64 = rows
+            .iter()
+            .map(|&(b, c, p, t)| {
+                let w = if c == PromptConfig::Base { 6.0 } else { 1.0 };
+                w * (pred(model, b, c, p, off) - t).powi(2)
+            })
+            .sum();
+        if e < best.0 {
+            best = (e, off);
+        }
         off += 0.02;
     }
     best.1
@@ -36,17 +47,27 @@ fn solve(model: ModelId, rows: &[(Benchmark, PromptConfig, Precision, f64)]) -> 
 
 fn main() {
     println!("== MMLU offsets ==");
-    for model in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Llama8b, ModelId::Dsr1Qwen14b] {
-        let rows: Vec<_> = anchors::TABLE_XII.iter()
+    for model in [
+        ModelId::Dsr1Qwen1_5b,
+        ModelId::Dsr1Llama8b,
+        ModelId::Dsr1Qwen14b,
+    ] {
+        let rows: Vec<_> = anchors::TABLE_XII
+            .iter()
             .filter(|r| r.model == model && r.precision == Precision::Fp16)
             // The paper's 14B MMLU hard-budget rows contradict its own
             // MMLU-Redux behaviour; fit the headline Base row only.
             .filter(|r| model != ModelId::Dsr1Qwen14b || r.config == PromptConfig::Base)
-            .map(|r| (r.bench, r.config, r.precision, r.acc_pct)).collect();
+            .map(|r| (r.bench, r.config, r.precision, r.acc_pct))
+            .collect();
         let off = solve(model, &rows);
         println!("{model:16} mmlu_offset={off:6.2}");
         for (b, c, p, t) in &rows {
-            println!("   {:8} paper {t:5.1} pred {:5.1}", c.label(), pred(model, *b, *c, *p, off));
+            println!(
+                "   {:8} paper {t:5.1} pred {:5.1}",
+                c.label(),
+                pred(model, *b, *c, *p, off)
+            );
         }
     }
     println!("== Quant deltas (relative to our fp16 prediction) ==");
@@ -55,29 +76,60 @@ fn main() {
         (ModelId::Dsr1Llama8b, 61.7, 57.9),
         (ModelId::Dsr1Qwen14b, 80.6, 80.1),
     ] {
-        let our_fp16 = pred(model, Benchmark::MmluRedux, PromptConfig::Base, Precision::Fp16, 0.0);
+        let our_fp16 = pred(
+            model,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            Precision::Fp16,
+            0.0,
+        );
         let target = our_fp16 * quant_paper / fp16_paper;
-        let rows = [(Benchmark::MmluRedux, PromptConfig::Base, Precision::W4A16, target)];
+        let rows = [(
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            Precision::W4A16,
+            target,
+        )];
         let d = solve(model, &rows);
         println!("{model:16} quant_delta={d:6.2}  (target {target:.1}, our fp16 {our_fp16:.1})");
     }
     println!("== Planning offsets (base + hard-512 rows) ==");
-    for model in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Llama8b, ModelId::Dsr1Qwen14b] {
-        let rows: Vec<_> = anchors::TABLE_XIII.iter().chain(anchors::TABLE_XIV).filter(|r| r.model == model)
-            .map(|r| (r.bench, r.config, r.precision, r.acc_pct)).collect();
+    for model in [
+        ModelId::Dsr1Qwen1_5b,
+        ModelId::Dsr1Llama8b,
+        ModelId::Dsr1Qwen14b,
+    ] {
+        let rows: Vec<_> = anchors::TABLE_XIII
+            .iter()
+            .chain(anchors::TABLE_XIV)
+            .filter(|r| r.model == model)
+            .map(|r| (r.bench, r.config, r.precision, r.acc_pct))
+            .collect();
         let off = solve(model, &rows);
         println!("{model:16} plan_offset={off:6.2}");
         for (b, c, p, t) in &rows {
-            println!("   {:22} {:8} paper {t:5.1} pred {:5.1}", format!("{b}"), c.label(), pred(model, *b, *c, *p, off));
+            println!(
+                "   {:22} {:8} paper {t:5.1} pred {:5.1}",
+                format!("{b}"),
+                c.label(),
+                pred(model, *b, *c, *p, off)
+            );
         }
     }
     for model in [ModelId::Qwen25_1_5bIt, ModelId::Qwen25_14bIt] {
-        let rows: Vec<_> = anchors::TABLE_XV.iter().filter(|r| r.model == model)
-            .map(|r| (r.bench, r.config, r.precision, r.acc_pct)).collect();
+        let rows: Vec<_> = anchors::TABLE_XV
+            .iter()
+            .filter(|r| r.model == model)
+            .map(|r| (r.bench, r.config, r.precision, r.acc_pct))
+            .collect();
         let off = solve(model, &rows);
         println!("{model:16} plan_offset={off:6.2}");
         for (b, c, p, t) in &rows {
-            println!("   {:22} paper {t:5.1} pred {:5.1}", format!("{b}"), pred(model, *b, *c, *p, off));
+            println!(
+                "   {:22} paper {t:5.1} pred {:5.1}",
+                format!("{b}"),
+                pred(model, *b, *c, *p, off)
+            );
         }
     }
     println!("== Math offsets ==");

@@ -159,7 +159,9 @@ pub fn quant_skill_delta(model: ModelId, prec: Precision) -> f64 {
         return 0.0;
     }
     match model {
-        ModelId::Dsr1Qwen1_5b | ModelId::L1Max | ModelId::DeepScaleR1_5b
+        ModelId::Dsr1Qwen1_5b
+        | ModelId::L1Max
+        | ModelId::DeepScaleR1_5b
         | ModelId::Qwen25_1_5bIt => -0.04,
         _ => 0.0,
     }
@@ -208,11 +210,17 @@ mod tests {
 
     #[test]
     fn quant_deltas_only_apply_to_w4() {
-        assert_eq!(quant_skill_delta(ModelId::Dsr1Llama8b, Precision::Fp16), 0.0);
+        assert_eq!(
+            quant_skill_delta(ModelId::Dsr1Llama8b, Precision::Fp16),
+            0.0
+        );
         // 1.5B-class models carry a small residual delta; the larger
         // models' losses are fully explained by shorter outputs.
         assert!(quant_skill_delta(ModelId::Dsr1Qwen1_5b, Precision::W4A16) < 0.0);
-        assert_eq!(quant_skill_delta(ModelId::Dsr1Qwen14b, Precision::W4A16), 0.0);
+        assert_eq!(
+            quant_skill_delta(ModelId::Dsr1Qwen14b, Precision::W4A16),
+            0.0
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct PaperRow {
     pub cost_per_mtok: Option<f64>,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the paper's column order
 const fn row(
     model: ModelId,
     bench: Benchmark,
@@ -63,109 +64,694 @@ use PromptConfig::{Base, Direct, Hard, NoReason, Soft};
 
 /// Table X — MMLU-Redux base / quantized / direct rows (3 000 questions).
 pub const TABLE_X: &[PaperRow] = &[
-    row(Dsr1Qwen1_5b, MmluRedux, Base, Fp16, 38.3, 740.2, Some(18.92), Some(0.024)),
-    row(Dsr1Llama8b, MmluRedux, Base, Fp16, 61.7, 811.1, Some(87.16), Some(0.111)),
-    row(Dsr1Qwen14b, MmluRedux, Base, Fp16, 80.6, 1317.8, Some(259.02), Some(0.215)),
-    row(L1Max, MmluRedux, Base, Fp16, 43.8, 312.6, Some(7.50), Some(0.013)),
-    row(Dsr1Qwen1_5b, MmluRedux, Base, W4A16, 37.9, 698.5, Some(9.93), Some(0.015)),
-    row(Dsr1Llama8b, MmluRedux, Base, W4A16, 57.9, 549.1, Some(14.69), Some(0.053)),
-    row(Dsr1Qwen14b, MmluRedux, Base, W4A16, 80.1, 1235.8, None, None),
-    row(Qwen25_7bIt, MmluRedux, Direct, Fp16, 60.9, 40.2, Some(4.26), Some(0.019)),
-    row(Gemma7bIt, MmluRedux, Direct, Fp16, 33.9, 44.7, Some(4.71), Some(0.020)),
-    row(Llama31_8bIt, MmluRedux, Direct, Fp16, 58.3, 63.5, Some(6.60), Some(0.027)),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Base,
+        Fp16,
+        38.3,
+        740.2,
+        Some(18.92),
+        Some(0.024),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Base,
+        Fp16,
+        61.7,
+        811.1,
+        Some(87.16),
+        Some(0.111),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Base,
+        Fp16,
+        80.6,
+        1317.8,
+        Some(259.02),
+        Some(0.215),
+    ),
+    row(
+        L1Max,
+        MmluRedux,
+        Base,
+        Fp16,
+        43.8,
+        312.6,
+        Some(7.50),
+        Some(0.013),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Base,
+        W4A16,
+        37.9,
+        698.5,
+        Some(9.93),
+        Some(0.015),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Base,
+        W4A16,
+        57.9,
+        549.1,
+        Some(14.69),
+        Some(0.053),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Base,
+        W4A16,
+        80.1,
+        1235.8,
+        None,
+        None,
+    ),
+    row(
+        Qwen25_7bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        60.9,
+        40.2,
+        Some(4.26),
+        Some(0.019),
+    ),
+    row(
+        Gemma7bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        33.9,
+        44.7,
+        Some(4.71),
+        Some(0.020),
+    ),
+    row(
+        Llama31_8bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        58.3,
+        63.5,
+        Some(6.60),
+        Some(0.027),
+    ),
 ];
 
 /// Table XI — MMLU-Redux budgeted decoding (hard / soft / NR).
 pub const TABLE_XI: &[PaperRow] = &[
-    row(Dsr1Llama8b, MmluRedux, Soft(128), Fp16, 60.4, 437.0, Some(46.939), Some(0.096)),
-    row(Dsr1Llama8b, MmluRedux, Soft(256), Fp16, 64.3, 933.0, Some(97.908), Some(0.109)),
-    row(Dsr1Llama8b, MmluRedux, NoReason, Fp16, 51.0, 182.9, Some(18.661), Some(0.061)),
-    row(Dsr1Llama8b, MmluRedux, Hard(128), Fp16, 37.9, 76.3, Some(7.888), Some(0.031)),
-    row(Dsr1Llama8b, MmluRedux, Hard(256), Fp16, 41.2, 143.6, Some(14.661), Some(0.048)),
-    row(Dsr1Qwen1_5b, MmluRedux, Soft(128), Fp16, 35.5, 1474.0, Some(38.001), Some(0.028)),
-    row(Dsr1Qwen1_5b, MmluRedux, Soft(256), Fp16, 39.4, 734.8, Some(18.175), Some(0.021)),
-    row(Dsr1Qwen1_5b, MmluRedux, NoReason, Fp16, 41.0, 234.9, Some(5.644), Some(0.012)),
-    row(Dsr1Qwen1_5b, MmluRedux, Hard(128), Fp16, 15.9, 91.5, Some(2.221), Some(0.005)),
-    row(Dsr1Qwen1_5b, MmluRedux, Hard(256), Fp16, 23.2, 144.1, Some(3.468), Some(0.007)),
-    row(Dsr1Qwen14b, MmluRedux, Soft(128), Fp16, 76.9, 599.0, Some(118.091), Some(0.189)),
-    row(Dsr1Qwen14b, MmluRedux, Soft(256), Fp16, 77.2, 374.2, Some(70.917), Some(0.152)),
-    row(Dsr1Qwen14b, MmluRedux, NoReason, Fp16, 69.0, 180.7, Some(34.201), Some(0.115)),
-    row(Dsr1Qwen14b, MmluRedux, Hard(128), Fp16, 46.1, 78.2, Some(15.013), Some(0.064)),
-    row(Dsr1Qwen14b, MmluRedux, Hard(256), Fp16, 58.6, 112.9, Some(21.485), Some(0.082)),
-    row(L1Max, MmluRedux, Soft(128), Fp16, 17.8, 54.3, Some(1.353), Some(0.004)),
-    row(L1Max, MmluRedux, Soft(256), Fp16, 17.1, 62.3, Some(1.552), Some(0.005)),
-    row(L1Max, MmluRedux, Hard(128), Fp16, 16.2, 40.7, Some(1.019), Some(0.003)),
-    row(L1Max, MmluRedux, Hard(256), Fp16, 18.3, 48.9, Some(1.213), Some(0.003)),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Soft(128),
+        Fp16,
+        60.4,
+        437.0,
+        Some(46.939),
+        Some(0.096),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Soft(256),
+        Fp16,
+        64.3,
+        933.0,
+        Some(97.908),
+        Some(0.109),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        NoReason,
+        Fp16,
+        51.0,
+        182.9,
+        Some(18.661),
+        Some(0.061),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Hard(128),
+        Fp16,
+        37.9,
+        76.3,
+        Some(7.888),
+        Some(0.031),
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Hard(256),
+        Fp16,
+        41.2,
+        143.6,
+        Some(14.661),
+        Some(0.048),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Soft(128),
+        Fp16,
+        35.5,
+        1474.0,
+        Some(38.001),
+        Some(0.028),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Soft(256),
+        Fp16,
+        39.4,
+        734.8,
+        Some(18.175),
+        Some(0.021),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        NoReason,
+        Fp16,
+        41.0,
+        234.9,
+        Some(5.644),
+        Some(0.012),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Hard(128),
+        Fp16,
+        15.9,
+        91.5,
+        Some(2.221),
+        Some(0.005),
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Hard(256),
+        Fp16,
+        23.2,
+        144.1,
+        Some(3.468),
+        Some(0.007),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Soft(128),
+        Fp16,
+        76.9,
+        599.0,
+        Some(118.091),
+        Some(0.189),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Soft(256),
+        Fp16,
+        77.2,
+        374.2,
+        Some(70.917),
+        Some(0.152),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        NoReason,
+        Fp16,
+        69.0,
+        180.7,
+        Some(34.201),
+        Some(0.115),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Hard(128),
+        Fp16,
+        46.1,
+        78.2,
+        Some(15.013),
+        Some(0.064),
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Hard(256),
+        Fp16,
+        58.6,
+        112.9,
+        Some(21.485),
+        Some(0.082),
+    ),
+    row(
+        L1Max,
+        MmluRedux,
+        Soft(128),
+        Fp16,
+        17.8,
+        54.3,
+        Some(1.353),
+        Some(0.004),
+    ),
+    row(
+        L1Max,
+        MmluRedux,
+        Soft(256),
+        Fp16,
+        17.1,
+        62.3,
+        Some(1.552),
+        Some(0.005),
+    ),
+    row(
+        L1Max,
+        MmluRedux,
+        Hard(128),
+        Fp16,
+        16.2,
+        40.7,
+        Some(1.019),
+        Some(0.003),
+    ),
+    row(
+        L1Max,
+        MmluRedux,
+        Hard(256),
+        Fp16,
+        18.3,
+        48.9,
+        Some(1.213),
+        Some(0.003),
+    ),
 ];
 
 /// Table XII — full MMLU (15 000 questions), base / budget / quantized.
 pub const TABLE_XII: &[PaperRow] = &[
     row(Dsr1Qwen1_5b, Mmlu, Base, Fp16, 41.67, 1141.6, None, None),
     row(Dsr1Qwen1_5b, Mmlu, Hard(128), Fp16, 24.60, 88.7, None, None),
-    row(Dsr1Qwen1_5b, Mmlu, Hard(256), Fp16, 29.60, 113.7, None, None),
+    row(
+        Dsr1Qwen1_5b,
+        Mmlu,
+        Hard(256),
+        Fp16,
+        29.60,
+        113.7,
+        None,
+        None,
+    ),
     row(Dsr1Qwen1_5b, Mmlu, Base, W4A16, 37.73, 984.4, None, None),
-    row(Dsr1Qwen1_5b, Mmlu, Hard(128), W4A16, 24.60, 86.9, None, None),
-    row(Dsr1Qwen1_5b, Mmlu, Hard(256), W4A16, 29.10, 120.4, None, None),
+    row(
+        Dsr1Qwen1_5b,
+        Mmlu,
+        Hard(128),
+        W4A16,
+        24.60,
+        86.9,
+        None,
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        Mmlu,
+        Hard(256),
+        W4A16,
+        29.10,
+        120.4,
+        None,
+        None,
+    ),
     row(Dsr1Llama8b, Mmlu, Base, Fp16, 60.38, 345.6, None, None),
     row(Dsr1Llama8b, Mmlu, Hard(128), Fp16, 31.03, 101.5, None, None),
     row(Dsr1Llama8b, Mmlu, Hard(256), Fp16, 41.80, 169.3, None, None),
     row(Dsr1Llama8b, Mmlu, Base, W4A16, 60.44, 455.4, None, None),
     row(Dsr1Llama8b, Mmlu, Hard(128), W4A16, 32.10, 97.7, None, None),
-    row(Dsr1Llama8b, Mmlu, Hard(256), W4A16, 43.50, 157.1, None, None),
+    row(
+        Dsr1Llama8b,
+        Mmlu,
+        Hard(256),
+        W4A16,
+        43.50,
+        157.1,
+        None,
+        None,
+    ),
     row(Dsr1Qwen14b, Mmlu, Base, Fp16, 86.59, 1145.4, None, None),
     row(Dsr1Qwen14b, Mmlu, Hard(128), Fp16, 28.30, 193.4, None, None),
     row(Dsr1Qwen14b, Mmlu, Hard(256), Fp16, 37.70, 185.7, None, None),
     row(Dsr1Qwen14b, Mmlu, Base, W4A16, 86.69, 1148.4, None, None),
-    row(Dsr1Qwen14b, Mmlu, Hard(128), W4A16, 27.10, 109.6, None, None),
-    row(Dsr1Qwen14b, Mmlu, Hard(256), W4A16, 37.10, 162.0, None, None),
+    row(
+        Dsr1Qwen14b,
+        Mmlu,
+        Hard(128),
+        W4A16,
+        27.10,
+        109.6,
+        None,
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        Mmlu,
+        Hard(256),
+        W4A16,
+        37.10,
+        162.0,
+        None,
+        None,
+    ),
 ];
 
 /// Table XIII — Natural-Plan baselines (reasoning models, Base config).
 pub const TABLE_XIII: &[PaperRow] = &[
-    row(Dsr1Qwen1_5b, NaturalPlan(Calendar), Base, Fp16, 0.60, 2792.0, Some(8.90), None),
-    row(Dsr1Qwen1_5b, NaturalPlan(Meeting), Base, Fp16, 1.00, 3880.0, Some(19.90), None),
-    row(Dsr1Qwen1_5b, NaturalPlan(Trip), Base, Fp16, 1.25, 2490.0, Some(7.88), None),
-    row(Dsr1Llama8b, NaturalPlan(Calendar), Base, Fp16, 9.00, 2798.0, Some(21.10), None),
-    row(Dsr1Llama8b, NaturalPlan(Meeting), Base, Fp16, 10.00, 2866.0, Some(24.50), None),
-    row(Dsr1Llama8b, NaturalPlan(Trip), Base, Fp16, 7.88, 2251.0, Some(17.10), None),
-    row(Dsr1Qwen14b, NaturalPlan(Calendar), Base, Fp16, 11.70, 2297.0, Some(30.00), None),
-    row(Dsr1Qwen14b, NaturalPlan(Meeting), Base, Fp16, 19.30, 1494.0, Some(22.10), None),
-    row(Dsr1Qwen14b, NaturalPlan(Trip), Base, Fp16, 13.88, 2340.0, Some(30.40), None),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Calendar),
+        Base,
+        Fp16,
+        0.60,
+        2792.0,
+        Some(8.90),
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Meeting),
+        Base,
+        Fp16,
+        1.00,
+        3880.0,
+        Some(19.90),
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Trip),
+        Base,
+        Fp16,
+        1.25,
+        2490.0,
+        Some(7.88),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Calendar),
+        Base,
+        Fp16,
+        9.00,
+        2798.0,
+        Some(21.10),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Meeting),
+        Base,
+        Fp16,
+        10.00,
+        2866.0,
+        Some(24.50),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Trip),
+        Base,
+        Fp16,
+        7.88,
+        2251.0,
+        Some(17.10),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Calendar),
+        Base,
+        Fp16,
+        11.70,
+        2297.0,
+        Some(30.00),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Meeting),
+        Base,
+        Fp16,
+        19.30,
+        1494.0,
+        Some(22.10),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Trip),
+        Base,
+        Fp16,
+        13.88,
+        2340.0,
+        Some(30.40),
+        None,
+    ),
 ];
 
 /// Table XIV — Natural-Plan budgeting (NR + hard limit at 512 tokens).
 pub const TABLE_XIV: &[PaperRow] = &[
-    row(Dsr1Qwen1_5b, NaturalPlan(Calendar), Hard(512), Fp16, 2.00, 511.0, Some(2.840), None),
-    row(Dsr1Qwen1_5b, NaturalPlan(Meeting), Hard(512), Fp16, 1.90, 425.0, Some(1.350), None),
-    row(Dsr1Qwen1_5b, NaturalPlan(Trip), Hard(512), Fp16, 0.00, 507.0, Some(1.420), None),
-    row(Dsr1Llama8b, NaturalPlan(Calendar), Hard(512), Fp16, 8.10, 67.0, Some(0.552), None),
-    row(Dsr1Llama8b, NaturalPlan(Meeting), Hard(512), Fp16, 11.90, 284.0, Some(2.510), None),
-    row(Dsr1Llama8b, NaturalPlan(Trip), Hard(512), Fp16, 3.90, 398.0, Some(3.094), None),
-    row(Dsr1Qwen14b, NaturalPlan(Calendar), Hard(512), Fp16, 12.60, 40.0, Some(0.615), None),
-    row(Dsr1Qwen14b, NaturalPlan(Meeting), Hard(512), Fp16, 19.00, 341.0, Some(5.223), None),
-    row(Dsr1Qwen14b, NaturalPlan(Trip), Hard(512), Fp16, 10.90, 380.0, Some(4.984), None),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Calendar),
+        Hard(512),
+        Fp16,
+        2.00,
+        511.0,
+        Some(2.840),
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Meeting),
+        Hard(512),
+        Fp16,
+        1.90,
+        425.0,
+        Some(1.350),
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        NaturalPlan(Trip),
+        Hard(512),
+        Fp16,
+        0.00,
+        507.0,
+        Some(1.420),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Calendar),
+        Hard(512),
+        Fp16,
+        8.10,
+        67.0,
+        Some(0.552),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Meeting),
+        Hard(512),
+        Fp16,
+        11.90,
+        284.0,
+        Some(2.510),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        NaturalPlan(Trip),
+        Hard(512),
+        Fp16,
+        3.90,
+        398.0,
+        Some(3.094),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Calendar),
+        Hard(512),
+        Fp16,
+        12.60,
+        40.0,
+        Some(0.615),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Meeting),
+        Hard(512),
+        Fp16,
+        19.00,
+        341.0,
+        Some(5.223),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        NaturalPlan(Trip),
+        Hard(512),
+        Fp16,
+        10.90,
+        380.0,
+        Some(4.984),
+        None,
+    ),
 ];
 
 /// Table XV — Natural-Plan direct models (Qwen2.5-it).
 pub const TABLE_XV: &[PaperRow] = &[
-    row(Qwen25_1_5bIt, NaturalPlan(Calendar), Direct, Fp16, 5.30, 22.0, Some(0.087), None),
-    row(Qwen25_1_5bIt, NaturalPlan(Meeting), Direct, Fp16, 9.40, 271.0, Some(1.369), None),
-    row(Qwen25_1_5bIt, NaturalPlan(Trip), Direct, Fp16, 2.50, 242.0, Some(0.804), None),
-    row(Qwen25_14bIt, NaturalPlan(Calendar), Direct, Fp16, 31.90, 28.0, Some(0.464), None),
-    row(Qwen25_14bIt, NaturalPlan(Meeting), Direct, Fp16, 27.20, 283.0, Some(4.408), None),
-    row(Qwen25_14bIt, NaturalPlan(Trip), Direct, Fp16, 6.44, 259.0, Some(3.440), None),
+    row(
+        Qwen25_1_5bIt,
+        NaturalPlan(Calendar),
+        Direct,
+        Fp16,
+        5.30,
+        22.0,
+        Some(0.087),
+        None,
+    ),
+    row(
+        Qwen25_1_5bIt,
+        NaturalPlan(Meeting),
+        Direct,
+        Fp16,
+        9.40,
+        271.0,
+        Some(1.369),
+        None,
+    ),
+    row(
+        Qwen25_1_5bIt,
+        NaturalPlan(Trip),
+        Direct,
+        Fp16,
+        2.50,
+        242.0,
+        Some(0.804),
+        None,
+    ),
+    row(
+        Qwen25_14bIt,
+        NaturalPlan(Calendar),
+        Direct,
+        Fp16,
+        31.90,
+        28.0,
+        Some(0.464),
+        None,
+    ),
+    row(
+        Qwen25_14bIt,
+        NaturalPlan(Meeting),
+        Direct,
+        Fp16,
+        27.20,
+        283.0,
+        Some(4.408),
+        None,
+    ),
+    row(
+        Qwen25_14bIt,
+        NaturalPlan(Trip),
+        Direct,
+        Fp16,
+        6.44,
+        259.0,
+        Some(3.440),
+        None,
+    ),
 ];
 
 /// Table II — 150-question MMLU-Redux comparison (accuracy / time / TPS /
 /// perf-per-watt / energy-per-question). Latency column is the paper's
 /// average decode time.
 pub const TABLE_II: &[PaperRow] = &[
-    row(Gemma7bIt, MmluRedux, Direct, Fp16, 33.9, 44.7, Some(7.1), None),
-    row(Llama31_8bIt, MmluRedux, Direct, Fp16, 58.3, 63.5, Some(2.5), None),
-    row(Qwen25_7bIt, MmluRedux, Direct, Fp16, 60.8, 40.2, Some(0.6), None),
-    row(Dsr1Qwen1_5b, MmluRedux, Base, Fp16, 38.3, 740.2, Some(45.0), None),
-    row(Dsr1Llama8b, MmluRedux, Base, Fp16, 61.7, 811.1, Some(143.3), None),
-    row(Dsr1Qwen14b, MmluRedux, Base, Fp16, 80.6, 1317.8, Some(207.0), None),
+    row(
+        Gemma7bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        33.9,
+        44.7,
+        Some(7.1),
+        None,
+    ),
+    row(
+        Llama31_8bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        58.3,
+        63.5,
+        Some(2.5),
+        None,
+    ),
+    row(
+        Qwen25_7bIt,
+        MmluRedux,
+        Direct,
+        Fp16,
+        60.8,
+        40.2,
+        Some(0.6),
+        None,
+    ),
+    row(
+        Dsr1Qwen1_5b,
+        MmluRedux,
+        Base,
+        Fp16,
+        38.3,
+        740.2,
+        Some(45.0),
+        None,
+    ),
+    row(
+        Dsr1Llama8b,
+        MmluRedux,
+        Base,
+        Fp16,
+        61.7,
+        811.1,
+        Some(143.3),
+        None,
+    ),
+    row(
+        Dsr1Qwen14b,
+        MmluRedux,
+        Base,
+        Fp16,
+        80.6,
+        1317.8,
+        Some(207.0),
+        None,
+    ),
 ];
 
 /// All MMLU-Redux behaviour rows (Tables X + XI), the calibration set for
@@ -194,9 +780,9 @@ pub fn find(
     config: PromptConfig,
     precision: Precision,
 ) -> Option<PaperRow> {
-    all_rows()
-        .into_iter()
-        .find(|r| r.model == model && r.bench == bench && r.config == config && r.precision == precision)
+    all_rows().into_iter().find(|r| {
+        r.model == model && r.bench == bench && r.config == config && r.precision == precision
+    })
 }
 
 /// Table III constants — edge vs cloud cost study (DeepScaleR-1.5B).

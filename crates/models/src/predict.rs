@@ -81,7 +81,8 @@ fn expected_given_difficulty(
 /// one Newton step against [`normal_cdf`]).
 pub fn probit(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
-    // Acklam coefficients.
+    // Acklam coefficients, kept digit-for-digit as published.
+    #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,

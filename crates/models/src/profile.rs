@@ -7,7 +7,7 @@
 //! published per-configuration tables; under hard budgets the underlying
 //! natural length is recovered by inverting `E[min(L, T)] = observed`.
 
-use edgereasoning_kernels::arch::{ModelId, ModelFamily};
+use edgereasoning_kernels::arch::{ModelFamily, ModelId};
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::stats::normal_cdf;
@@ -145,8 +145,13 @@ fn base_mean_tokens(model: ModelId, bench: Benchmark) -> f64 {
     if let Some(r) = anchors::find(model, bench, PromptConfig::Base, Precision::Fp16) {
         return r.avg_tokens;
     }
-    let redux = anchors::find(model, Benchmark::MmluRedux, PromptConfig::Base, Precision::Fp16)
-        .map(|r| r.avg_tokens);
+    let redux = anchors::find(
+        model,
+        Benchmark::MmluRedux,
+        PromptConfig::Base,
+        Precision::Fp16,
+    )
+    .map(|r| r.avg_tokens);
     match bench.params().domain {
         // Math reasoning chains are far longer than MMLU's (the paper's
         // AIME profiling: ~6.5k tokens/question for DeepScaleR-1.5B).
@@ -236,7 +241,8 @@ mod tests {
     #[test]
     fn expected_min_below_both_mean_and_cap() {
         let e = expected_min(150.0, 0.5, 128.0);
-        assert!(e < 128.0 && e < 150.0, "E[min] = {e}");
+        // Below the cap, hence also below the (larger) natural mean.
+        assert!(e < 128.0, "E[min] = {e}");
     }
 
     #[test]
@@ -292,7 +298,10 @@ mod tests {
         }
         assert!(truncated > 0);
         let mean = sum / N as f64;
-        assert!((mean - 76.3).abs() < 4.0, "sampled mean {mean} vs observed 76.3");
+        assert!(
+            (mean - 76.3).abs() < 4.0,
+            "sampled mean {mean} vs observed 76.3"
+        );
     }
 
     #[test]

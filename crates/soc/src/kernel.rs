@@ -117,7 +117,10 @@ impl KernelDesc {
     ///
     /// Panics if `occupancy` is not in `(0, 1]`.
     pub fn with_occupancy(mut self, occupancy: f64) -> Self {
-        assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy must be in (0, 1]");
+        assert!(
+            occupancy > 0.0 && occupancy <= 1.0,
+            "occupancy must be in (0, 1]"
+        );
         self.occupancy = occupancy;
         self
     }
@@ -179,7 +182,13 @@ mod tests {
 
     #[test]
     fn zero_traffic_means_infinite_intensity() {
-        let k = KernelDesc::raw(KernelClass::Elementwise, ComputeKind::CudaFp32, 100.0, 0.0, 0.0);
+        let k = KernelDesc::raw(
+            KernelClass::Elementwise,
+            ComputeKind::CudaFp32,
+            100.0,
+            0.0,
+            0.0,
+        );
         assert!(k.arithmetic_intensity().is_infinite());
     }
 }

@@ -50,6 +50,7 @@ pub mod gpu;
 pub mod kernel;
 pub mod power;
 pub mod rng;
+pub mod runtime;
 pub mod spec;
 pub mod stats;
 
@@ -58,4 +59,5 @@ pub use gpu::{Gpu, KernelExec, PhaseStats};
 pub use kernel::{ComputeKind, KernelClass, KernelDesc};
 pub use power::{EnergyMeter, PowerGovernor, PowerModel};
 pub use rng::Rng;
+pub use runtime::{available_threads, item_seed, par_map_deterministic, splitmix64};
 pub use spec::{CpuSpec, GpuSpec, OrinSpec, PowerMode};

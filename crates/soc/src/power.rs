@@ -193,7 +193,10 @@ mod tests {
         let pm = PowerModel::default();
         let p = pm.instantaneous_w(0.0, pm.energy_per_flop_fp16, 204.8e9, 1.0, 60.0);
         assert!((p - (4.3 + 204.8e9 * 0.110e-9)).abs() < 1e-9);
-        assert!(p > 25.0 && p < 29.0, "decode-like draw should be ~27 W, got {p}");
+        assert!(
+            p > 25.0 && p < 29.0,
+            "decode-like draw should be ~27 W, got {p}"
+        );
     }
 
     #[test]

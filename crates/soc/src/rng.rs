@@ -56,10 +56,7 @@ impl Rng {
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -81,7 +78,10 @@ impl Rng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -231,7 +231,9 @@ mod tests {
     fn lognormal_mean_std_matches_moments() {
         let mut rng = Rng::seed_from_u64(11);
         const N: usize = 100_000;
-        let xs: Vec<f64> = (0..N).map(|_| rng.lognormal_mean_std(800.0, 400.0)).collect();
+        let xs: Vec<f64> = (0..N)
+            .map(|_| rng.lognormal_mean_std(800.0, 400.0))
+            .collect();
         let mean = xs.iter().sum::<f64>() / N as f64;
         assert!(
             (mean - 800.0).abs() / 800.0 < 0.02,

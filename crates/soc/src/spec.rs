@@ -83,7 +83,11 @@ pub struct TileQuant {
 
 impl Default for TileQuant {
     fn default() -> Self {
-        Self { m: 128, n: 64, k: 32 }
+        Self {
+            m: 128,
+            n: 64,
+            k: 32,
+        }
     }
 }
 

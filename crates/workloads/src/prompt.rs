@@ -45,10 +45,10 @@ impl PromptConfig {
     /// injected thinking block, on top of the question itself.
     pub fn prompt_overhead_tokens(self) -> usize {
         match self {
-            PromptConfig::Base => 24,       // CoT system prompt
-            PromptConfig::Hard(_) => 40,    // + length instruction
+            PromptConfig::Base => 24,    // CoT system prompt
+            PromptConfig::Hard(_) => 40, // + length instruction
             PromptConfig::Soft(_) => 40,
-            PromptConfig::NoReason => 46,   // + pre-filled think block
+            PromptConfig::NoReason => 46, // + pre-filled think block
             PromptConfig::Direct => 12,
         }
     }
@@ -87,15 +87,21 @@ mod tests {
     #[test]
     fn only_hard_budgets_truncate() {
         assert_eq!(PromptConfig::Hard(256).max_decode_tokens(), Some(256));
-        for c in [PromptConfig::Base, PromptConfig::Soft(128), PromptConfig::NoReason] {
+        for c in [
+            PromptConfig::Base,
+            PromptConfig::Soft(128),
+            PromptConfig::NoReason,
+        ] {
             assert_eq!(c.max_decode_tokens(), None);
         }
     }
 
     #[test]
     fn overheads_are_positive_and_config_dependent() {
-        assert!(PromptConfig::NoReason.prompt_overhead_tokens()
-            > PromptConfig::Direct.prompt_overhead_tokens());
+        assert!(
+            PromptConfig::NoReason.prompt_overhead_tokens()
+                > PromptConfig::Direct.prompt_overhead_tokens()
+        );
         for c in PromptConfig::REASONING_SWEEP {
             assert!(c.prompt_overhead_tokens() > 0);
         }

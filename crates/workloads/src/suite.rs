@@ -247,8 +247,14 @@ mod tests {
 
     #[test]
     fn math_benchmarks_are_exact_match() {
-        assert!(Benchmark::Aime2024.generate(1).iter().all(|q| q.choices.is_none()));
-        assert!(Benchmark::MmluRedux.generate(1).iter().all(|q| q.choices == Some(4)));
+        assert!(Benchmark::Aime2024
+            .generate(1)
+            .iter()
+            .all(|q| q.choices.is_none()));
+        assert!(Benchmark::MmluRedux
+            .generate(1)
+            .iter()
+            .all(|q| q.choices == Some(4)));
     }
 
     #[test]
@@ -261,8 +267,12 @@ mod tests {
     #[test]
     fn planning_prompts_are_long() {
         let qs = Benchmark::NaturalPlan(PlanTask::Meeting).generate(2);
-        let mean = stats::mean(&qs.iter().map(|q| q.prompt_tokens as f64).collect::<Vec<_>>())
-            .unwrap();
+        let mean = stats::mean(
+            &qs.iter()
+                .map(|q| q.prompt_tokens as f64)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         assert!(mean > 700.0, "planning prompts should be long, got {mean}");
     }
 

@@ -20,7 +20,10 @@ fn main() {
     // Characterize one representative on-device workload (DeepScaleR-class
     // 1.5B reasoning model, FP16, batch 1 vs batch 8).
     println!("Workload: {robots} robots x {queries_per_day} queries/day, {reasoning_tokens} reasoning tokens each\n");
-    println!("{:>6} {:>12} {:>12} {:>14} {:>16}", "batch", "tok/s", "W", "$/1M tokens", "$/fleet-year");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>16}",
+        "batch", "tok/s", "W", "$/1M tokens", "$/fleet-year"
+    );
     let yearly_tokens = (robots * queries_per_day * reasoning_tokens) as f64 * 365.0;
     for batch in [1usize, 8, 30] {
         let outcome = rig.run_generation(
@@ -40,14 +43,17 @@ fn main() {
     }
 
     let cloud = CloudPricing::o1_preview();
-    let cloud_yearly =
-        cloud.output_per_mtok * yearly_tokens / 1e6
-            + cloud.input_per_mtok * (robots * queries_per_day * prompt_tokens) as f64 * 365.0 / 1e6;
+    let cloud_yearly = cloud.output_per_mtok * yearly_tokens / 1e6
+        + cloud.input_per_mtok * (robots * queries_per_day * prompt_tokens) as f64 * 365.0 / 1e6;
     println!("\ncloud (o1-preview list price): ${cloud_yearly:.0}/fleet-year");
     println!(
         "edge at batch 8 is ~{:.0}x cheaper — the economics that motivate the paper.",
         cloud_yearly
-            / (cost_model.per_mtok(1.0, 1.0, 1.0).total().max(f64::MIN_POSITIVE) * 0.0
+            / (cost_model
+                .per_mtok(1.0, 1.0, 1.0)
+                .total()
+                .max(f64::MIN_POSITIVE)
+                * 0.0
                 + {
                     let outcome = rig.run_generation(
                         ModelId::DeepScaleR1_5b,

@@ -72,7 +72,12 @@ fn main() {
         } else {
             format!("{start:.1}-{end:.1} s")
         };
-        println!("  {band:>16}: {} {} [{}]", p.model, p.precision, p.config.label());
+        println!(
+            "  {band:>16}: {} {} [{}]",
+            p.model,
+            p.precision,
+            p.config.label()
+        );
     }
 
     println!("\nbest configuration under cost budgets ($/1M tokens, energy):");

@@ -29,8 +29,7 @@ fn main() {
         (ModelId::Dsr1Qwen14b, PromptConfig::Base),
     ];
     for (model, config) in cells {
-        let acc =
-            100.0 * expected_accuracy(model, Precision::Fp16, Benchmark::MmluRedux, config);
+        let acc = 100.0 * expected_accuracy(model, Precision::Fp16, Benchmark::MmluRedux, config);
         let latency = rig.characterize_latency(model, Precision::Fp16);
         let tokens = edgereasoning::models::profile::output_profile(
             model,

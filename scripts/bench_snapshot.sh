@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the Criterion benches and snapshots the medians into a JSON file
+# (default BENCH_PR1.json at the repo root).
+#
+# The vendored criterion harness (compat/criterion) emits one JSON object
+# per benchmark — {"name", "median_ns", "mean_ns", "samples"} — on the
+# file named by $CRITERION_LITE_JSON; this script wraps those lines into a
+# JSON array so the snapshot is a single valid document.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+CRITERION_LITE_JSON="$tmp" cargo bench -p edgereasoning-bench --bench simulator
+CRITERION_LITE_JSON="$tmp" cargo bench -p edgereasoning-bench --bench analytics
+
+{
+  echo '['
+  sed '$!s/$/,/' "$tmp"
+  echo ']'
+} >"$out"
+echo "wrote $out ($(grep -c median_ns "$out") benchmarks)"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: format, lint, build, test.
+#
+# Every step works without network access — all dependencies resolve to
+# path crates inside the workspace (see compat/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (tier-1: facade calibration/properties/takeaways)"
+cargo test --release -q
+
+echo "==> cargo test -q --workspace"
+cargo test --release -q --workspace
+
+echo "CI OK"

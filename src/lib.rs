@@ -51,13 +51,20 @@ pub use edgereasoning_workloads as workloads;
 
 /// Convenience re-exports of the most common types.
 pub mod prelude {
-    pub use edgereasoning_core::latency::{DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel};
+    pub use edgereasoning_core::latency::{
+        DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel,
+    };
     pub use edgereasoning_core::rig::{Rig, RigConfig};
+    pub use edgereasoning_core::study::{Study, StudyCell, StudyReport};
+    pub use edgereasoning_engine::plan_cache::{EngineCounters, PhasePlanCache};
     pub use edgereasoning_engine::request::GenerationRequest;
+    pub use edgereasoning_engine::SimEngine;
     pub use edgereasoning_kernels::arch::ModelId;
     pub use edgereasoning_kernels::dtype::Precision;
+    pub use edgereasoning_kernels::phases::KernelPlan;
     pub use edgereasoning_models::evaluate::{evaluate, EvalOptions, EvalResult};
-    pub use edgereasoning_workloads::prompt::PromptConfig;
+    pub use edgereasoning_soc::runtime::{available_threads, item_seed, par_map_deterministic};
     pub use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+    pub use edgereasoning_workloads::prompt::PromptConfig;
     pub use edgereasoning_workloads::suite::Benchmark;
 }

@@ -86,7 +86,13 @@ fn mmlu_full_base_rows_reproduce() {
         (ModelId::Dsr1Llama8b, 60.38),
         (ModelId::Dsr1Qwen14b, 86.59),
     ] {
-        let r = evaluate(model, Precision::Fp16, Benchmark::Mmlu, PromptConfig::Base, opts);
+        let r = evaluate(
+            model,
+            Precision::Fp16,
+            Benchmark::Mmlu,
+            PromptConfig::Base,
+            opts,
+        );
         assert!(
             (r.accuracy_pct - paper).abs() < 2.0,
             "{model}: {:.1} vs {paper}",

@@ -3,10 +3,16 @@
 use edgereasoning::core::fit::{polyfit, solve_linear};
 use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel};
 use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
+use edgereasoning::core::rig::RigConfig;
+use edgereasoning::core::study::{Study, StudyCell};
+use edgereasoning::engine::engine::EngineConfig;
 use edgereasoning::engine::kv_cache::KvCacheManager;
+use edgereasoning::engine::request::GenerationRequest;
+use edgereasoning::engine::SimEngine;
 use edgereasoning::kernels::arch::ModelId;
 use edgereasoning::kernels::dtype::Precision;
 use edgereasoning::kernels::phases::{decode_step_kernels, prefill_kernels};
+use edgereasoning::models::evaluate::{evaluate, EvalOptions};
 use edgereasoning::models::profile::{expected_min, natural_mean_for_observed};
 use edgereasoning::soc::gpu::{ExecCalib, Gpu};
 use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
@@ -14,6 +20,7 @@ use edgereasoning::soc::power::ramp_avg_factor;
 use edgereasoning::soc::rng::Rng;
 use edgereasoning::soc::spec::{OrinSpec, PowerMode};
 use edgereasoning::workloads::prompt::PromptConfig;
+use edgereasoning::workloads::suite::Benchmark;
 use proptest::prelude::*;
 
 fn test_gpu() -> Gpu {
@@ -222,5 +229,79 @@ proptest! {
         let total: f64 = (0..n).map(|_| rng.lognormal_mean_std(mean, mean * 0.5)).sum();
         let got = total / n as f64;
         prop_assert!((got / mean - 1.0).abs() < 0.06, "mean {mean}: got {got}");
+    }
+
+    /// The phase-plan cache is invisible to results: a cache-disabled
+    /// engine produces bit-identical outcomes for any request shape.
+    #[test]
+    fn plan_cache_never_changes_outcomes(
+        prompt in 1usize..2048, output in 1usize..512, batch in 1usize..8, seed in 0u64..64
+    ) {
+        let mut cached = SimEngine::new(EngineConfig::vllm(), seed);
+        let mut uncached = SimEngine::new(EngineConfig::vllm(), seed);
+        uncached.set_cache_enabled(false);
+        let req = GenerationRequest::new(prompt, output).with_batch(batch);
+        // Run twice so the second cached run replays warm entries.
+        for _ in 0..2 {
+            let a = cached.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req);
+            let b = uncached.run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Parallel dataset evaluation is bit-identical to sequential at every
+/// thread count: per-question RNG streams are seeded from the question
+/// index, never from thread identity or arrival order.
+#[test]
+fn parallel_evaluate_bit_identical_to_sequential() {
+    let base = EvalOptions::default().with_parallel(4).with_subset(150);
+    let sequential = evaluate(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Soft(256),
+        base.with_threads(1),
+    );
+    for threads in [0usize, 2, 3, 5, 8] {
+        let parallel = evaluate(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Soft(256),
+            base.with_threads(threads),
+        );
+        assert_eq!(sequential, parallel, "results differ at {threads} threads");
+    }
+}
+
+/// A cached parallel study equals the sequential run exactly — the full
+/// acceptance property: caching plus threading change only the wall clock.
+#[test]
+fn parallel_study_bit_identical_to_sequential() {
+    let cells = [
+        StudyCell::new(
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+        ),
+        StudyCell::new(
+            ModelId::Dsr1Qwen1_5b,
+            Precision::W4A16,
+            Benchmark::MmluRedux,
+            PromptConfig::Hard(128),
+        ),
+    ];
+    let opts = EvalOptions::default().with_subset(60);
+    let study = Study::new(RigConfig::default());
+    let sequential = study.run(&cells, opts);
+    for threads in [0usize, 2, 4] {
+        let parallel = study.clone().with_threads(threads).run(&cells, opts);
+        assert_eq!(
+            sequential.reports, parallel.reports,
+            "differ at {threads} threads"
+        );
+        assert_eq!(sequential.counters, parallel.counters);
     }
 }

@@ -21,7 +21,11 @@ fn takeaway_1_polynomial_latency_fits() {
     let mut rig = rig();
     for model in ModelId::DSR1 {
         let mape = rig.validate_latency(model, Precision::Fp16, 50);
-        assert!(mape.total_pct < 3.0, "{model}: total MAPE {}", mape.total_pct);
+        assert!(
+            mape.total_pct < 3.0,
+            "{model}: total MAPE {}",
+            mape.total_pct
+        );
     }
 }
 
@@ -30,13 +34,9 @@ fn takeaway_1_polynomial_latency_fits() {
 fn takeaway_2_decode_dominates() {
     let mut rig = rig();
     for model in ModelId::DSR1 {
-        let outcome = rig.run_generation(
-            model,
-            Precision::Fp16,
-            &GenerationRequest::new(128, 512),
-        );
-        let share = outcome.decode.latency_s
-            / (outcome.decode.latency_s + outcome.prefill.latency_s);
+        let outcome = rig.run_generation(model, Precision::Fp16, &GenerationRequest::new(128, 512));
+        let share =
+            outcome.decode.latency_s / (outcome.decode.latency_s + outcome.prefill.latency_s);
         assert!(share > 0.97, "{model}: decode share {share}");
     }
 }
@@ -46,12 +46,22 @@ fn takeaway_2_decode_dominates() {
 #[test]
 fn takeaway_3_power_grows_with_length() {
     let mut rig = rig();
-    let (_, decode) = rig.engine_mut().run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(512, 64))
+    let (_, decode) = rig
+        .engine_mut()
+        .run(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            &GenerationRequest::new(512, 64),
+        )
         .map(|o| (o.prefill, o.decode))
         .expect("fits");
     let long = rig
         .engine_mut()
-        .run(ModelId::Dsr1Llama8b, Precision::Fp16, &GenerationRequest::new(512, 1024))
+        .run(
+            ModelId::Dsr1Llama8b,
+            Precision::Fp16,
+            &GenerationRequest::new(512, 1024),
+        )
         .expect("fits")
         .decode;
     assert!(
@@ -87,7 +97,9 @@ fn takeaway_4_only_small_models_are_realtime() {
             avg_tokens: r.eval.avg_tokens_per_seq,
         });
     }
-    let fast = planner.best_under_latency(1.2).expect("something fits 1.2 s");
+    let fast = planner
+        .best_under_latency(1.2)
+        .expect("something fits 1.2 s");
     let arch = fast.model.arch();
     assert!(
         arch.param_count() < 2_000_000_000,
@@ -100,9 +112,27 @@ fn takeaway_4_only_small_models_are_realtime() {
 #[test]
 fn takeaway_5_prompt_control_cuts_tokens() {
     let opts = EvalOptions::default().with_subset(500);
-    let base = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
-    let nr = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::NoReason, opts);
-    let hard = evaluate(ModelId::Dsr1Llama8b, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(128), opts);
+    let base = evaluate(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Base,
+        opts,
+    );
+    let nr = evaluate(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::NoReason,
+        opts,
+    );
+    let hard = evaluate(
+        ModelId::Dsr1Llama8b,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(128),
+        opts,
+    );
     assert!(nr.avg_tokens_per_seq < base.avg_tokens_per_seq * 0.35);
     assert!(hard.avg_tokens_per_seq < base.avg_tokens_per_seq * 0.15);
 }
@@ -122,8 +152,7 @@ fn takeaway_6_budget_planning_meets_deadline() {
             &GenerationRequest::new(256, budget),
         );
         assert!(
-            outcome.total_latency_s() - rig.config().engine.request_overhead_s
-                <= deadline * 1.05,
+            outcome.total_latency_s() - rig.config().engine.request_overhead_s <= deadline * 1.05,
             "deadline {deadline}: ran {:.2}",
             outcome.total_latency_s()
         );
@@ -136,9 +165,27 @@ fn takeaway_6_budget_planning_meets_deadline() {
 fn takeaway_7_sequential_scaling() {
     let opts = EvalOptions::default().with_subset(1500);
     let m = ModelId::Dsr1Qwen14b;
-    let h128 = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(128), opts);
-    let h256 = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Hard(256), opts);
-    let base = evaluate(m, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+    let h128 = evaluate(
+        m,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(128),
+        opts,
+    );
+    let h256 = evaluate(
+        m,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Hard(256),
+        opts,
+    );
+    let base = evaluate(
+        m,
+        Precision::Fp16,
+        Benchmark::MmluRedux,
+        PromptConfig::Base,
+        opts,
+    );
     assert!(h128.accuracy_pct < h256.accuracy_pct);
     assert!(h256.accuracy_pct < base.accuracy_pct);
 }
@@ -186,10 +233,19 @@ fn takeaway_9_parallel_scaling_cheap_accuracy() {
         PromptConfig::Hard(128),
         opts.with_parallel(8),
     );
-    assert!(voted.accuracy_pct > single.accuracy_pct * 1.25, "{} vs {}", voted.accuracy_pct, single.accuracy_pct);
+    assert!(
+        voted.accuracy_pct > single.accuracy_pct * 1.25,
+        "{} vs {}",
+        voted.accuracy_pct,
+        single.accuracy_pct
+    );
 
     let t1 = rig
-        .run_generation(ModelId::Dsr1Qwen14b, Precision::Fp16, &GenerationRequest::new(512, 128))
+        .run_generation(
+            ModelId::Dsr1Qwen14b,
+            Precision::Fp16,
+            &GenerationRequest::new(512, 128),
+        )
         .decode
         .latency_s;
     let t8 = rig
@@ -219,7 +275,10 @@ fn takeaway_10_utilization_rises_with_sf() {
     let u1 = util(1, &mut rig);
     let u16 = util(16, &mut rig);
     let u64 = util(64, &mut rig);
-    assert!(u16 > 4.0 * u1, "compute utilization must scale: {u1} -> {u16}");
+    assert!(
+        u16 > 4.0 * u1,
+        "compute utilization must scale: {u1} -> {u16}"
+    );
     assert!(u64 > u16);
 }
 
@@ -231,8 +290,20 @@ fn takeaway_11_quantization() {
     let opts = EvalOptions::default().with_subset(1500);
     let mut speedups = Vec::new();
     for model in [ModelId::Dsr1Qwen1_5b, ModelId::Dsr1Qwen14b] {
-        let fp = rig.cell_report(model, Precision::Fp16, Benchmark::MmluRedux, PromptConfig::Base, opts);
-        let w4 = rig.cell_report(model, Precision::W4A16, Benchmark::MmluRedux, PromptConfig::Base, opts);
+        let fp = rig.cell_report(
+            model,
+            Precision::Fp16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            opts,
+        );
+        let w4 = rig.cell_report(
+            model,
+            Precision::W4A16,
+            Benchmark::MmluRedux,
+            PromptConfig::Base,
+            opts,
+        );
         speedups.push(fp.avg_latency_s / w4.avg_latency_s);
         assert!(
             w4.eval.accuracy_pct > fp.eval.accuracy_pct - 5.0,
@@ -240,7 +311,10 @@ fn takeaway_11_quantization() {
         );
     }
     assert!(speedups[0] > 1.3, "1.5B speedup {}", speedups[0]);
-    assert!(speedups[1] > speedups[0], "gains must grow with size: {speedups:?}");
+    assert!(
+        speedups[1] > speedups[0],
+        "gains must grow with size: {speedups:?}"
+    );
 }
 
 /// §V-G: vLLM ≈ TRT-LLM, both faster than HF Transformers.
@@ -257,7 +331,11 @@ fn engine_ranking_matches_table_ix() {
         );
     }
     let (hft, vllm, trt) = (lat[0], lat[1], lat[2]);
-    assert!(hft / vllm > 1.05 && hft / vllm < 1.25, "HFT/vLLM {}", hft / vllm);
+    assert!(
+        hft / vllm > 1.05 && hft / vllm < 1.25,
+        "HFT/vLLM {}",
+        hft / vllm
+    );
     assert!((trt / vllm - 1.0).abs() < 0.05, "TRT ≈ vLLM");
 }
 
@@ -282,7 +360,13 @@ fn batching_cuts_cost_order_of_magnitude() {
     };
     let c1 = cost(1, &mut rig);
     let c30 = cost(30, &mut rig);
-    assert!(c1 / c30 > 8.0, "batch-30 must be ~10x cheaper: {c1} vs {c30}");
+    assert!(
+        c1 / c30 > 8.0,
+        "batch-30 must be ~10x cheaper: {c1} vs {c30}"
+    );
     // Paper: $0.302 vs $0.027.
-    assert!((c1 / 0.302 - 1.0).abs() < 0.4, "batch-1 cost {c1} vs paper 0.302");
+    assert!(
+        (c1 / 0.302 - 1.0).abs() < 0.4,
+        "batch-1 cost {c1} vs paper 0.302"
+    );
 }
