@@ -3,7 +3,7 @@
 //! deployed planner runs online.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use edgereasoning_core::fit::{fit_const_log, fit_exp_log, polyfit};
+use edgereasoning_core::fit::{fit_const_log, fit_exp_log, oracle, polyfit};
 use edgereasoning_core::latency::{
     DecodeLatencyModel, LatencySample, PrefillLatencyModel, TotalLatencyModel,
 };
@@ -44,6 +44,11 @@ fn bench_fitting(c: &mut Criterion) {
         .collect();
     g.bench_function("piecewise_exp_log", |b| {
         b.iter(|| fit_exp_log(black_box(&xs), black_box(&pe)))
+    });
+    // The retained naive implementation, for a like-for-like speedup
+    // readout (same λ grid and refinement, O(λ·n²) design matrices).
+    g.bench_function("piecewise_exp_log_oracle", |b| {
+        b.iter(|| oracle::fit_exp_log(black_box(&xs), black_box(&pe)))
     });
     let samples: Vec<LatencySample> = (1..=100)
         .map(|k| LatencySample {

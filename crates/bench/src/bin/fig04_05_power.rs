@@ -3,17 +3,69 @@
 //! MAPE.
 
 use edgereasoning_bench::{vs, TableWriter};
+use edgereasoning_core::energy::EnergyPerTokenModel;
 use edgereasoning_core::rig::{Rig, RigConfig};
 use edgereasoning_engine::request::GenerationRequest;
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::gpu::PhaseStats;
+use edgereasoning_soc::runtime::{available_threads, item_seed, par_map_deterministic};
 use edgereasoning_soc::stats;
 
+/// Everything one model contributes to the figures/tables, produced by an
+/// independent item-seeded rig so the three models fan across cores.
+struct ModelCharacterization {
+    prefill_sweep: Vec<(usize, PhaseStats)>,
+    decode_sweep: Vec<(usize, PhaseStats)>,
+    power: (
+        edgereasoning_core::energy::PhasePowerModel,
+        edgereasoning_core::energy::PhasePowerModel,
+    ),
+    energy: (EnergyPerTokenModel, EnergyPerTokenModel),
+    /// Table VIII series: (pred decode, actual decode, pred total, actual total).
+    mape_series: (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>),
+}
+
 fn main() {
-    let mut rig = Rig::new(RigConfig::default());
+    let base = RigConfig::default();
+    let lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
+    let outputs: Vec<usize> = (1..=24).map(|k| k * 64).collect();
+
+    eprintln!(
+        "characterizing {} models on {} worker threads",
+        ModelId::DSR1.len(),
+        available_threads()
+    );
+    let per_model = par_map_deterministic(&ModelId::DSR1, 0, |idx, &model| {
+        let mut rig = Rig::new(base.clone().with_seed(item_seed(base.seed, idx as u64)));
+        let prefill_sweep = rig.sweep_prefill(model, Precision::Fp16, &lengths);
+        let decode_sweep = rig.sweep_decode(model, Precision::Fp16, 512, &outputs);
+        let power = rig.characterize_power(model, Precision::Fp16);
+        let energy = rig.characterize_energy(model, Precision::Fp16);
+        let latency = rig.characterize_latency(model, Precision::Fp16);
+
+        // Table VIII inputs: held-out generations vs fitted predictions.
+        let (mut pred_d, mut act_d, mut pred_t, mut act_t) = (vec![], vec![], vec![], vec![]);
+        for k in 1..=20usize {
+            let (i, o) = (100 + k * 37, 50 + k * 53);
+            let outcome = rig.run_generation(model, Precision::Fp16, &GenerationRequest::new(i, o));
+            let dec_pred = power.1.predict(o as f64) * latency.decode.predict(i, o);
+            let pre_pred = power.0.predict(i as f64) * latency.prefill.predict(i);
+            pred_d.push(dec_pred);
+            act_d.push(outcome.decode.energy_j);
+            pred_t.push(dec_pred + pre_pred);
+            act_t.push(outcome.total_energy_j());
+        }
+        ModelCharacterization {
+            prefill_sweep,
+            decode_sweep,
+            power,
+            energy,
+            mape_series: (pred_d, act_d, pred_t, act_t),
+        }
+    });
 
     // --- Fig. 4: prefill power (a) and energy/token (b) vs input length. ---
-    let lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
     let mut fig4 = TableWriter::new(
         "Fig. 4 — prefill power (W) and energy/token (J) vs input length",
         &[
@@ -26,26 +78,21 @@ fn main() {
             "E/tok 14B",
         ],
     );
-    let mut sweeps = Vec::new();
-    for model in ModelId::DSR1 {
-        sweeps.push(rig.sweep_prefill(model, Precision::Fp16, &lengths));
-    }
     for (k, &i) in lengths.iter().enumerate() {
         fig4.row(&[
             format!("{i}"),
-            format!("{:.1}", sweeps[0][k].1.avg_power_w),
-            format!("{:.1}", sweeps[1][k].1.avg_power_w),
-            format!("{:.1}", sweeps[2][k].1.avg_power_w),
-            format!("{:.4}", sweeps[0][k].1.energy_j / i as f64),
-            format!("{:.4}", sweeps[1][k].1.energy_j / i as f64),
-            format!("{:.4}", sweeps[2][k].1.energy_j / i as f64),
+            format!("{:.1}", per_model[0].prefill_sweep[k].1.avg_power_w),
+            format!("{:.1}", per_model[1].prefill_sweep[k].1.avg_power_w),
+            format!("{:.1}", per_model[2].prefill_sweep[k].1.avg_power_w),
+            format!("{:.4}", per_model[0].prefill_sweep[k].1.energy_j / i as f64),
+            format!("{:.4}", per_model[1].prefill_sweep[k].1.energy_j / i as f64),
+            format!("{:.4}", per_model[2].prefill_sweep[k].1.energy_j / i as f64),
         ]);
     }
     fig4.write_csv("fig04_prefill_power_energy");
     println!("(Fig. 4 series written to outputs/fig04_prefill_power_energy.csv)");
 
     // --- Fig. 5: decode power and energy/token vs output length (I=512). ---
-    let outputs: Vec<usize> = (1..=24).map(|k| k * 64).collect();
     let mut fig5 = TableWriter::new(
         "Fig. 5 — decode power (W) and energy/token (J) vs output length (I=512)",
         &[
@@ -58,19 +105,15 @@ fn main() {
             "E/tok 14B",
         ],
     );
-    let mut dsweeps = Vec::new();
-    for model in ModelId::DSR1 {
-        dsweeps.push(rig.sweep_decode(model, Precision::Fp16, 512, &outputs));
-    }
     for (k, &o) in outputs.iter().enumerate() {
         fig5.row(&[
             format!("{o}"),
-            format!("{:.1}", dsweeps[0][k].1.avg_power_w),
-            format!("{:.1}", dsweeps[1][k].1.avg_power_w),
-            format!("{:.1}", dsweeps[2][k].1.avg_power_w),
-            format!("{:.4}", dsweeps[0][k].1.energy_j / o as f64),
-            format!("{:.4}", dsweeps[1][k].1.energy_j / o as f64),
-            format!("{:.4}", dsweeps[2][k].1.energy_j / o as f64),
+            format!("{:.1}", per_model[0].decode_sweep[k].1.avg_power_w),
+            format!("{:.1}", per_model[1].decode_sweep[k].1.avg_power_w),
+            format!("{:.1}", per_model[2].decode_sweep[k].1.avg_power_w),
+            format!("{:.4}", per_model[0].decode_sweep[k].1.energy_j / o as f64),
+            format!("{:.4}", per_model[1].decode_sweep[k].1.energy_j / o as f64),
+            format!("{:.4}", per_model[2].decode_sweep[k].1.energy_j / o as f64),
         ]);
     }
     fig5.write_csv("fig05_decode_power_energy");
@@ -78,8 +121,8 @@ fn main() {
 
     // 1.5B vs 14B decode efficiency (paper: ~7x energy/token gap).
     let last = outputs.len() - 1;
-    let e15 = dsweeps[0][last].1.energy_j / outputs[last] as f64;
-    let e14 = dsweeps[2][last].1.energy_j / outputs[last] as f64;
+    let e15 = per_model[0].decode_sweep[last].1.energy_j / outputs[last] as f64;
+    let e14 = per_model[2].decode_sweep[last].1.energy_j / outputs[last] as f64;
     println!(
         "Decode energy/token 14B vs 1.5B: {:.1}x (paper: ~7x)\n",
         e14 / e15
@@ -95,9 +138,9 @@ fn main() {
             "energy: A | lambda | C | alpha | beta",
         ],
     );
-    for model in ModelId::DSR1 {
-        let (p_pre, p_dec) = rig.characterize_power(model, Precision::Fp16);
-        let (e_pre, e_dec) = rig.characterize_energy(model, Precision::Fp16);
+    for (k, model) in ModelId::DSR1.into_iter().enumerate() {
+        let (p_pre, p_dec) = per_model[k].power;
+        let (e_pre, e_dec) = per_model[k].energy;
         for (phase, p, e) in [("prefill", p_pre, e_pre), ("decode", p_dec, e_dec)] {
             fits.row(&[
                 model.to_string(),
@@ -127,24 +170,12 @@ fn main() {
         "Table VIII — energy-model MAPE (ours vs paper, %)",
         &["model", "decode", "total"],
     );
-    for (model, p_dec, p_tot) in paper_mape {
-        let latency = rig.characterize_latency(model, Precision::Fp16);
-        let (p_pre, p_dec_model) = rig.characterize_power(model, Precision::Fp16);
-        let (mut pred_d, mut act_d, mut pred_t, mut act_t) = (vec![], vec![], vec![], vec![]);
-        for k in 1..=20usize {
-            let (i, o) = (100 + k * 37, 50 + k * 53);
-            let outcome = rig.run_generation(model, Precision::Fp16, &GenerationRequest::new(i, o));
-            let dec_pred = p_dec_model.predict(o as f64) * latency.decode.predict(i, o);
-            let pre_pred = p_pre.predict(i as f64) * latency.prefill.predict(i);
-            pred_d.push(dec_pred);
-            act_d.push(outcome.decode.energy_j);
-            pred_t.push(dec_pred + pre_pred);
-            act_t.push(outcome.total_energy_j());
-        }
+    for (k, (model, p_dec, p_tot)) in paper_mape.into_iter().enumerate() {
+        let (pred_d, act_d, pred_t, act_t) = &per_model[k].mape_series;
         t8.row(&[
             model.to_string(),
-            vs(p_dec, stats::mape(&pred_d, &act_d).expect("nonempty")),
-            vs(p_tot, stats::mape(&pred_t, &act_t).expect("nonempty")),
+            vs(p_dec, stats::mape(pred_d, act_d).expect("nonempty")),
+            vs(p_tot, stats::mape(pred_t, act_t).expect("nonempty")),
         ]);
     }
     t8.print();

@@ -7,15 +7,21 @@ use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_models::anchors;
 use edgereasoning_models::evaluate::EvalOptions;
+use edgereasoning_soc::runtime::{item_seed, par_map_deterministic};
 use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::{Benchmark, PlanTask};
 
-fn run_block(rig: &mut Rig, title: &str, csv: &str, models: &[ModelId], config: PromptConfig) {
+fn run_block(base: &RigConfig, title: &str, csv: &str, models: &[ModelId], config: PromptConfig) {
     let mut t = TableWriter::new(
         title,
         &["task", "model", "acc %", "avg out toks/q", "latency s"],
     );
-    for &model in models {
+    // Each model's curve fits and cell reports are independent: fan them
+    // across cores with one item-seeded rig per model (deterministic at
+    // any thread count; per-rig caches still dedupe the per-model work).
+    let blocks = par_map_deterministic(models, 0, |idx, &model| {
+        let mut rig = Rig::new(base.clone().with_seed(item_seed(base.seed, idx as u64)));
+        let mut rows = Vec::new();
         for task in PlanTask::ALL {
             let bench = Benchmark::NaturalPlan(task);
             let r = rig.cell_report(
@@ -26,7 +32,7 @@ fn run_block(rig: &mut Rig, title: &str, csv: &str, models: &[ModelId], config: 
                 EvalOptions::default(),
             );
             let paper = anchors::find(model, bench, config, Precision::Fp16);
-            t.row(&[
+            rows.push([
                 task.to_string(),
                 model.to_string(),
                 format!(
@@ -48,6 +54,10 @@ fn run_block(rig: &mut Rig, title: &str, csv: &str, models: &[ModelId], config: 
                 ),
             ]);
         }
+        rows
+    });
+    for row in blocks.iter().flatten() {
+        t.row(row);
     }
     t.print();
     t.write_csv(csv);
@@ -61,23 +71,22 @@ fn main() {
         edgereasoning_engine::engine::EngineConfig::vllm()
             .with_gpu(edgereasoning_soc::spec::GpuSpec::h100_sxm()),
     );
-    let mut rig = Rig::new(server);
     run_block(
-        &mut rig,
+        &server,
         "Table XIII — Natural-Plan baselines (reasoning models, ours | paper)",
         "table13_planning_base",
         &ModelId::DSR1,
         PromptConfig::Base,
     );
     run_block(
-        &mut rig,
+        &server,
         "Table XIV — Natural-Plan budgeting (hard limit 512, ours | paper)",
         "table14_planning_budget",
         &ModelId::DSR1,
         PromptConfig::Hard(512),
     );
     run_block(
-        &mut rig,
+        &server,
         "Table XV — Natural-Plan direct models (ours | paper)",
         "table15_planning_direct",
         &[ModelId::Qwen25_1_5bIt, ModelId::Qwen25_14bIt],

@@ -10,7 +10,7 @@
 use edgereasoning_kernels::arch::ModelId;
 use serde::{Deserialize, Serialize};
 
-use crate::fit::{least_squares, polyfit_weighted};
+use crate::fit::{least_squares_fixed, polyfit_weighted};
 
 /// Tensor-core padding quantum used by the paper (128 tokens).
 pub const PAD: usize = 128;
@@ -119,16 +119,14 @@ impl DecodeLatencyModel {
         if samples.len() < 2 {
             return None;
         }
-        let rows: Vec<Vec<f64>> = samples
-            .iter()
-            .map(|s| {
-                let i = s.input_tokens as f64;
-                let o = s.output_tokens as f64;
-                vec![i * o + o * (o - 1.0) / 2.0, o]
-            })
-            .collect();
-        let ys: Vec<f64> = samples.iter().map(|s| s.latency_s).collect();
-        let beta = least_squares(&rows, &ys)?;
+        // Allocation-free: the 2-parameter normal equations accumulate
+        // directly on the stack (same row values and accumulation order as
+        // the previous design-matrix path, so fits are bit-identical).
+        let beta = least_squares_fixed(samples.iter().map(|s| {
+            let i = s.input_tokens as f64;
+            let o = s.output_tokens as f64;
+            ([i * o + o * (o - 1.0) / 2.0, o], s.latency_s)
+        }))?;
         Some(Self {
             m: beta[0],
             n: beta[1],

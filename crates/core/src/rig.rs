@@ -98,6 +98,7 @@ pub struct Rig {
     engine: InferenceEngine,
     latency_cache: HashMap<(ModelId, Precision), TotalLatencyModel>,
     power_cache: HashMap<(ModelId, Precision), (PhasePowerModel, PhasePowerModel)>,
+    energy_cache: HashMap<(ModelId, Precision), (EnergyPerTokenModel, EnergyPerTokenModel)>,
 }
 
 impl Rig {
@@ -109,6 +110,7 @@ impl Rig {
             engine,
             latency_cache: HashMap::new(),
             power_cache: HashMap::new(),
+            energy_cache: HashMap::new(),
         }
     }
 
@@ -270,11 +272,15 @@ impl Rig {
     }
 
     /// Characterizes energy-per-token models for both phases (Figs. 4b/5b).
+    /// Cached per (model, prec) like the latency and power models.
     pub fn characterize_energy(
         &mut self,
         model: ModelId,
         prec: Precision,
     ) -> (EnergyPerTokenModel, EnergyPerTokenModel) {
+        if let Some(m) = self.energy_cache.get(&(model, prec)) {
+            return *m;
+        }
         let lengths: Vec<usize> = (1..=32).map(|k| k * 128).collect();
         let prefill_samples: Vec<(f64, f64)> = self
             .sweep_prefill(model, prec, &lengths)
@@ -290,7 +296,9 @@ impl Rig {
             .map(|(o, p)| (o as f64, p.energy_j / o as f64))
             .collect();
         let decode = EnergyPerTokenModel::fit(&decode_samples).expect("decode energy fit");
-        (prefill, decode)
+        let pair = (prefill, decode);
+        self.energy_cache.insert((model, prec), pair);
+        pair
     }
 
     /// Validates a fitted latency model on held-out generations whose

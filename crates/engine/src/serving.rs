@@ -45,6 +45,9 @@ impl ServingConfig {
         if self.max_batch == 0 || self.queries == 0 {
             return Err("max_batch and queries must be positive".into());
         }
+        if self.prompt_tokens == 0 || self.output_tokens == 0 {
+            return Err("prompt_tokens and output_tokens must be positive".into());
+        }
         Ok(())
     }
 }
@@ -229,6 +232,27 @@ mod tests {
             simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &bad, 1),
             Err(EngineError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn zero_token_configs_are_rejected_up_front() {
+        for bad in [
+            ServingConfig {
+                prompt_tokens: 0,
+                ..cfg(1.0, 8)
+            },
+            ServingConfig {
+                output_tokens: 0,
+                ..cfg(1.0, 8)
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must fail validation");
+            let mut e = engine();
+            assert!(matches!(
+                simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &bad, 1),
+                Err(EngineError::InvalidRequest(_))
+            ));
+        }
     }
 
     #[test]

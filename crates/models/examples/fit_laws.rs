@@ -5,6 +5,7 @@ use edgereasoning_models::accuracy::AccuracyLaw;
 use edgereasoning_models::anchors;
 use edgereasoning_models::predict::expected_accuracy_for;
 use edgereasoning_models::profile::output_profile;
+use edgereasoning_soc::runtime::{available_threads, par_map_deterministic};
 use edgereasoning_workloads::suite::Benchmark;
 
 fn sse(model: ModelId, skill: f64, scale: f64, derail: f64) -> f64 {
@@ -73,7 +74,7 @@ fn fit(model: ModelId, allow_derail: bool) -> (f64, f64, f64, f64) {
 }
 
 fn main() {
-    for (model, derail) in [
+    let targets = [
         (ModelId::Dsr1Qwen1_5b, true),
         (ModelId::Dsr1Llama8b, false),
         (ModelId::Dsr1Qwen14b, false),
@@ -81,8 +82,17 @@ fn main() {
         (ModelId::Qwen25_7bIt, false),
         (ModelId::Llama31_8bIt, false),
         (ModelId::Gemma7bIt, false),
-    ] {
-        let (s, c, d, e) = fit(model, derail);
+    ];
+    // Each model's 17³-point grid refinement is independent and fully
+    // deterministic (no RNG): fan the models across cores and print in
+    // order afterwards.
+    eprintln!(
+        "fitting {} models on {} worker threads",
+        targets.len(),
+        available_threads()
+    );
+    let fits = par_map_deterministic(&targets, 0, |_, &(model, derail)| fit(model, derail));
+    for (&(model, _), (s, c, d, e)) in targets.iter().zip(fits) {
         println!(
             "{model:16} skill={s:7.3} scale={c:6.3} derail={d:6.3}  rmse/row={:5.2}",
             (e / 6.0).sqrt()

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Compares two bench snapshots produced by scripts/bench_snapshot.sh and
+# flags regressions: any benchmark present in both files whose median
+# slowed down by more than the threshold (default 20%) fails the script.
+#
+# Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold_pct]
+set -euo pipefail
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 BASELINE.json CANDIDATE.json [threshold_pct]" >&2
+  exit 2
+fi
+base="$1"
+cand="$2"
+threshold="${3:-20}"
+
+python3 - "$base" "$cand" "$threshold" <<'EOF'
+import json
+import sys
+
+base_path, cand_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        return {row["name"]: row["median_ns"] for row in json.load(f)}
+
+base = load(base_path)
+cand = load(cand_path)
+shared = sorted(base.keys() & cand.keys())
+if not shared:
+    sys.exit(f"no shared benchmarks between {base_path} and {cand_path}")
+
+regressions = []
+width = max(len(n) for n in shared)
+print(f"{'benchmark':<{width}}  {'base':>12}  {'candidate':>12}  change")
+for name in shared:
+    b, c = base[name], cand[name]
+    pct = (c - b) / b * 100.0 if b else float("inf")
+    marker = ""
+    if pct > threshold:
+        marker = "  << REGRESSION"
+        regressions.append((name, pct))
+    print(f"{name:<{width}}  {b:>10}ns  {c:>10}ns  {pct:+7.1f}%{marker}")
+
+only_base = sorted(base.keys() - cand.keys())
+only_cand = sorted(cand.keys() - base.keys())
+for name in only_base:
+    print(f"{name}: only in {base_path}")
+for name in only_cand:
+    print(f"{name}: only in {cand_path}")
+
+if regressions:
+    print(f"\n{len(regressions)} benchmark(s) regressed more than {threshold:.0f}%:")
+    for name, pct in regressions:
+        print(f"  {name}: {pct:+.1f}%")
+    sys.exit(1)
+print(f"\nOK: no benchmark regressed more than {threshold:.0f}%")
+EOF

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo check --benches (bench bins must not rot)"
+cargo check --workspace --benches --release
+
 echo "==> cargo test -q (tier-1: facade calibration/properties/takeaways)"
 cargo test --release -q
 

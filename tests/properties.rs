@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) on the core invariants of the stack.
 
-use edgereasoning::core::fit::{polyfit, solve_linear};
+use edgereasoning::core::fit::{
+    expfit, fit_const_log, fit_exp_log, logfit, oracle, polyfit, solve_linear,
+};
 use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, TotalLatencyModel};
 use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
 use edgereasoning::core::rig::RigConfig;
@@ -18,6 +20,7 @@ use edgereasoning::soc::gpu::{ExecCalib, Gpu};
 use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
 use edgereasoning::soc::power::ramp_avg_factor;
 use edgereasoning::soc::rng::Rng;
+use edgereasoning::soc::runtime::{item_seed, par_map_deterministic};
 use edgereasoning::soc::spec::{OrinSpec, PowerMode};
 use edgereasoning::workloads::prompt::PromptConfig;
 use edgereasoning::workloads::suite::Benchmark;
@@ -231,6 +234,116 @@ proptest! {
         prop_assert!((got / mean - 1.0).abs() < 0.06, "mean {mean}: got {got}");
     }
 
+    /// The allocation-free fitters are *bit-identical* to the retained
+    /// naive oracles on randomized exponential-decay data: they accumulate
+    /// the same normal equations in the same order and run the same
+    /// elimination, so even the rounding agrees.
+    #[test]
+    fn fast_simple_fitters_bit_match_oracles(
+        a in 0.01f64..2.0, lam in 0.005f64..0.08, c in 0.0f64..0.5,
+        noise in 0.0f64..0.02, seed in 0u64..1000, n in 8usize..18
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let xs: Vec<f64> = (1..=n).map(|k| k as f64 * 50.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| a * (-lam * x).exp() + c + noise * (rng.next_f64() - 0.5))
+            .collect();
+        match (expfit(&xs, &ys), oracle::expfit(&xs, &ys)) {
+            (Some((fa, fl, fc)), Some((oa, ol, oc))) => {
+                prop_assert_eq!(fa.to_bits(), oa.to_bits());
+                prop_assert_eq!(fl.to_bits(), ol.to_bits());
+                prop_assert_eq!(fc.to_bits(), oc.to_bits());
+            }
+            (f, o) => prop_assert!(f.is_none() && o.is_none(), "Some/None mismatch"),
+        }
+        let lys: Vec<f64> = xs
+            .iter()
+            .map(|&x| a * x.ln() + c + noise * (rng.next_f64() - 0.5))
+            .collect();
+        match (logfit(&xs, &lys), oracle::logfit(&xs, &lys)) {
+            (Some((fw, fz)), Some((ow, oz))) => {
+                prop_assert_eq!(fw.to_bits(), ow.to_bits());
+                prop_assert_eq!(fz.to_bits(), oz.to_bits());
+            }
+            (f, o) => prop_assert!(f.is_none() && o.is_none(), "Some/None mismatch"),
+        }
+        match (polyfit(&xs, &lys, 2), oracle::polyfit(&xs, &lys, 2)) {
+            (Some(fc2), Some(oc2)) => {
+                for (f, o) in fc2.iter().zip(&oc2) {
+                    prop_assert_eq!(f.to_bits(), o.to_bits());
+                }
+            }
+            (f, o) => prop_assert!(f.is_none() && o.is_none(), "Some/None mismatch"),
+        }
+    }
+
+    /// The sufficient-statistic `fit_exp_log` matches the naive oracle on
+    /// randomized piecewise data by fit quality: both scan the same (λ, k)
+    /// candidate grid, so their selected models' residual SSEs agree up to
+    /// the cancellation error of the expanded O(1) SSE formula.
+    #[test]
+    fn fast_exp_log_matches_oracle_quality(
+        a in 0.05f64..0.5, lam in 0.01f64..0.06, c in 0.001f64..0.05,
+        alpha in 0.005f64..0.05, noise in 0.0f64..0.01, seed in 0u64..1000,
+        n in 10usize..18
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let split = 0.4 * (n as f64) * 64.0;
+        let beta = a * (-lam * split).exp() + c - alpha * split.ln();
+        let xs: Vec<f64> = (1..=n).map(|k| k as f64 * 64.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let clean = if x <= split {
+                    a * (-lam * x).exp() + c
+                } else {
+                    alpha * x.ln() + beta
+                };
+                clean + noise * (rng.next_f64() - 0.5)
+            })
+            .collect();
+        let sse = |m: &edgereasoning::core::fit::PiecewiseExpLog| -> f64 {
+            xs.iter().zip(&ys).map(|(&x, &y)| (m.predict(x) - y).powi(2)).sum()
+        };
+        let fast = fit_exp_log(&xs, &ys).expect("fast fit");
+        let naive = oracle::fit_exp_log(&xs, &ys).expect("oracle fit");
+        let (fs, os) = (sse(&fast), sse(&naive));
+        let syy: f64 = ys.iter().map(|&y| y * y).sum();
+        let tol = 1e-9 * syy + 1e-12;
+        prop_assert!(fs <= os + tol, "fast SSE {fs} worse than oracle {os}");
+        prop_assert!(os <= fs + tol, "oracle SSE {os} worse than fast {fs}");
+    }
+
+    /// Same property for the piecewise const/log transition search.
+    #[test]
+    fn fast_const_log_matches_oracle_quality(
+        u in 1.0f64..10.0, w in 0.2f64..2.0, noise in 0.0f64..0.1,
+        seed in 0u64..1000, n in 8usize..18
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let split = 0.4 * (n as f64) * 100.0;
+        let z = u - w * split.ln();
+        let xs: Vec<f64> = (1..=n).map(|k| k as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let clean = if x <= split { u } else { w * x.ln() + z };
+                clean + noise * (rng.next_f64() - 0.5)
+            })
+            .collect();
+        let sse = |m: &edgereasoning::core::fit::PiecewiseConstLog| -> f64 {
+            xs.iter().zip(&ys).map(|(&x, &y)| (m.predict(x) - y).powi(2)).sum()
+        };
+        let fast = fit_const_log(&xs, &ys).expect("fast fit");
+        let naive = oracle::fit_const_log(&xs, &ys).expect("oracle fit");
+        let (fs, os) = (sse(&fast), sse(&naive));
+        let syy: f64 = ys.iter().map(|&y| y * y).sum();
+        let tol = 1e-9 * syy + 1e-12;
+        prop_assert!(fs <= os + tol, "fast SSE {fs} worse than oracle {os}");
+        prop_assert!(os <= fs + tol, "oracle SSE {os} worse than fast {fs}");
+    }
+
     /// The phase-plan cache is invisible to results: a cache-disabled
     /// engine produces bit-identical outcomes for any request shape.
     #[test]
@@ -272,6 +385,54 @@ fn parallel_evaluate_bit_identical_to_sequential() {
             base.with_threads(threads),
         );
         assert_eq!(sequential, parallel, "results differ at {threads} threads");
+    }
+}
+
+/// A parallel `fit_exp_log` sweep is bit-identical at every thread count:
+/// each dataset is derived from its item seed (never from thread identity)
+/// and the fit itself is pure, so fanning curve fits across cores — as the
+/// fig02/fig03/fig04_05 and table bins do — changes only the wall clock.
+#[test]
+fn parallel_fit_sweep_bit_identical_at_every_thread_count() {
+    let items: Vec<u64> = (0..12).collect();
+    let run = |threads: usize| {
+        par_map_deterministic(&items, threads, |i, _| {
+            let mut rng = Rng::seed_from_u64(item_seed(0xf17, i as u64));
+            let lam = 0.015 + 0.002 * i as f64;
+            let xs: Vec<f64> = (1..=40).map(|k| k as f64 * 64.0).collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|&x| {
+                    let clean = if x <= 768.0 {
+                        0.2 * (-lam * x).exp() + 0.004
+                    } else {
+                        0.011 * x.ln() - 0.06
+                    };
+                    clean + 0.0005 * (rng.next_f64() - 0.5)
+                })
+                .collect();
+            fit_exp_log(&xs, &ys).expect("fit")
+        })
+    };
+    let sequential = run(1);
+    for threads in [2usize, 3, 0] {
+        let parallel = run(threads);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            for (name, a, b) in [
+                ("a", s.a, p.a),
+                ("lambda", s.lambda, p.lambda),
+                ("c", s.c, p.c),
+                ("v", s.v, p.v),
+                ("alpha", s.alpha, p.alpha),
+                ("beta", s.beta, p.beta),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} differs at {threads} threads: {a} vs {b}"
+                );
+            }
+        }
     }
 }
 
