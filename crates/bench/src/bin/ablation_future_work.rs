@@ -102,13 +102,7 @@ fn main() {
             &mut engine,
             ModelId::Dsr1Qwen1_5b,
             Precision::Fp16,
-            &ServingConfig {
-                arrival_qps: qps,
-                max_batch: 30,
-                queries: 120,
-                prompt_tokens: 128,
-                output_tokens: 128,
-            },
+            &ServingConfig::new(qps, 30, 120, 128, 128),
             7,
         )
         .expect("serving run");

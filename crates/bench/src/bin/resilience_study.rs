@@ -1,0 +1,188 @@
+//! Resilience study: SLO attainment vs energy under injected platform
+//! faults (thermal clock caps, DRAM contention, power-mode drops, kernel
+//! stalls — `soc::faults`), comparing the fail-fast engine against the
+//! degraded-mode serving stack (KV preemption-and-recompute, bounded-queue
+//! shedding, retry with backoff, batch/token degradation).
+//!
+//! Each cell runs the same Poisson query stream on a memory-pressured
+//! engine (KV budget sized so single queries fit but full batches do not)
+//! under the same per-(model, intensity) fault schedule, once per policy:
+//!
+//! * `failfast` — the baseline engine: an over-committed batch aborts and
+//!   its queries are dropped; only the deadline SLO is tracked.
+//! * `preempt` — `OomPolicy::PreemptRecompute` plus the full serving
+//!   ladder (queue bound, 2 retries with backoff, degradation).
+//!
+//! Writes `outputs/resilience_study.csv` (`--smoke` runs a tiny
+//! single-model grid and writes `outputs/resilience_study_smoke.csv`
+//! instead, for CI).
+
+use edgereasoning_bench::TableWriter;
+use edgereasoning_engine::engine::{EngineConfig, InferenceEngine, OomPolicy};
+use edgereasoning_engine::plan_cache::EngineCounters;
+use edgereasoning_engine::serving::{simulate_serving, ServingConfig, ServingReport};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::faults::FaultSchedule;
+use edgereasoning_soc::runtime::{available_threads, item_seed, par_map_deterministic};
+
+const SEED: u64 = 0x5e51;
+/// KV tokens that fit beyond weights: ~4 concurrent 256-token queries.
+const KV_TOKENS: u64 = 1000;
+const MAX_BATCH: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    model: ModelId,
+    qps: f64,
+    deadline_s: f64,
+    intensity: f64,
+    policy: OomPolicy,
+    queries: usize,
+    /// Seed stream shared by both policies of one (model, intensity) point
+    /// so they face identical fault schedules and engine noise.
+    pair_seed: u64,
+}
+
+/// An engine whose KV budget holds [`KV_TOKENS`] tokens beyond weights.
+fn pressured(model: ModelId, policy: OomPolicy) -> EngineConfig {
+    let mut config = EngineConfig::vllm().with_oom_policy(policy);
+    let arch = model.arch();
+    let budget = arch.weight_bytes(Precision::Fp16) + KV_TOKENS * arch.kv_bytes_per_token();
+    config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+    config
+}
+
+fn run_cell(cell: &Cell) -> (ServingReport, EngineCounters) {
+    let mut engine = InferenceEngine::new(pressured(cell.model, cell.policy), cell.pair_seed);
+    let horizon_s = 2.0 * cell.queries as f64 / cell.qps;
+    engine.set_fault_schedule(FaultSchedule::generate(
+        cell.pair_seed,
+        cell.intensity,
+        horizon_s,
+    ));
+    let mut cfg = ServingConfig::new(cell.qps, MAX_BATCH, cell.queries, 128, 128)
+        .with_deadline(cell.deadline_s);
+    if cell.policy == OomPolicy::PreemptRecompute {
+        cfg = cfg
+            .with_queue_capacity(4 * MAX_BATCH)
+            .with_retries(2, 2.0)
+            .with_degradation(true);
+    }
+    let report = simulate_serving(&mut engine, cell.model, Precision::Fp16, &cfg, SEED)
+        .expect("serving simulation must not abort");
+    (report, engine.counters())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // (model, offered qps, deadline) — qps/deadline scale with model size.
+    let models: &[(ModelId, f64, f64)] = if smoke {
+        &[(ModelId::Dsr1Qwen1_5b, 1.0, 60.0)]
+    } else {
+        &[
+            (ModelId::Dsr1Qwen1_5b, 1.0, 60.0),
+            (ModelId::Dsr1Llama8b, 0.3, 240.0),
+        ]
+    };
+    // Fault rates are per 100 s: short smoke horizons need a higher
+    // intensity for any disturbance to land inside the run at all.
+    let intensities: &[f64] = if smoke {
+        &[0.0, 8.0]
+    } else {
+        &[0.0, 0.5, 1.0, 2.0]
+    };
+    let queries = if smoke { 12 } else { 48 };
+
+    let mut cells = Vec::new();
+    for (mi, &(model, qps, deadline_s)) in models.iter().enumerate() {
+        for (ii, &intensity) in intensities.iter().enumerate() {
+            let pair_seed = item_seed(SEED, (mi * 100 + ii) as u64);
+            for policy in [OomPolicy::FailFast, OomPolicy::PreemptRecompute] {
+                cells.push(Cell {
+                    model,
+                    qps,
+                    deadline_s,
+                    intensity,
+                    policy,
+                    queries,
+                    pair_seed,
+                });
+            }
+        }
+    }
+
+    eprintln!(
+        "running {} resilience cells on {} worker threads",
+        cells.len(),
+        available_threads()
+    );
+    let results = par_map_deterministic(&cells, 0, |_, cell| run_cell(cell));
+
+    let mut table = TableWriter::new(
+        "Resilience — SLO attainment vs energy under injected faults (128/128 tokens)",
+        &[
+            "model",
+            "intensity",
+            "policy",
+            "completed",
+            "failed",
+            "shed",
+            "retries",
+            "preemptions",
+            "deadline_misses",
+            "slo_attainment",
+            "p99_s",
+            "avg_latency_s",
+            "degraded_s",
+            "J_per_query",
+            "wall_s",
+        ],
+    );
+    let mut counters = EngineCounters::default();
+    for (cell, (r, c)) in cells.iter().zip(&results) {
+        counters.absorb(c);
+        table.row(&[
+            cell.model.to_string(),
+            format!("{:.1}", cell.intensity),
+            cell.policy.to_string(),
+            format!("{}", r.completed),
+            format!("{}", r.failed_queries),
+            format!("{}", r.shed_queries),
+            format!("{}", r.retries),
+            format!("{}", r.preemptions),
+            format!("{}", r.deadline_misses),
+            format!("{:.3}", r.slo_attainment),
+            format!("{:.1}", r.p99_latency_s),
+            format!("{:.1}", r.avg_latency_s),
+            format!("{:.1}", r.degraded_s),
+            format!("{:.1}", r.energy_per_query_j),
+            format!("{:.1}", r.wall_s),
+        ]);
+    }
+    table.print();
+    table.write_csv(if smoke {
+        "resilience_study_smoke"
+    } else {
+        "resilience_study"
+    });
+
+    // The headline comparison: at every (model, intensity) point the
+    // degraded-mode stack should attain at least the fail-fast SLO.
+    for pair in results.chunks(2).zip(cells.chunks(2)) {
+        let ([(ff, _), (pr, _)], [cell, _]) = pair else {
+            unreachable!("cells come in failfast/preempt pairs");
+        };
+        println!(
+            "{} @ intensity {:.1}: SLO {:.3} (failfast) vs {:.3} (preempt), \
+             energy/query {:.1} J vs {:.1} J",
+            cell.model,
+            cell.intensity,
+            ff.slo_attainment,
+            pr.slo_attainment,
+            ff.energy_per_query_j,
+            pr.energy_per_query_j,
+        );
+    }
+    println!("engine {counters}");
+}

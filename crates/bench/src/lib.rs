@@ -23,6 +23,7 @@
 //! | `table13_15_planning` | Tables XIII–XV — Natural-Plan |
 //! | `table16_17_cpu` | Tables XVI/XVII — CPU vs GPU latency |
 //! | `ablation_power_modes` | Extension: 15 W/30 W/50 W/MAXN power modes |
+//! | `resilience_study` | Extension: SLO attainment vs energy under injected faults |
 //!
 //! Run everything with `scripts` or individually:
 //! `cargo run --release -p edgereasoning-bench --bin fig06_07_08`.

@@ -124,6 +124,14 @@ impl Rig {
         &mut self.engine
     }
 
+    /// Installs a platform-disturbance schedule on the underlying engine
+    /// (see `edgereasoning_soc::faults`). Note that the fitted-model caches
+    /// are keyed per (model, precision) only: install the schedule *before*
+    /// characterizing, or the cached fits will describe the clean device.
+    pub fn set_fault_schedule(&mut self, schedule: edgereasoning_soc::faults::FaultSchedule) {
+        self.engine.set_fault_schedule(schedule);
+    }
+
     /// Runs one generation on the simulated device.
     ///
     /// # Panics
@@ -170,6 +178,11 @@ impl Rig {
 
     /// Decode sweep at fixed input length: measured `(output_tokens,
     /// PhaseStats)` per output length (Fig. 3a / Fig. 5 raw data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep point does not fit device memory; use
+    /// [`Rig::try_sweep_decode`] to handle that case.
     pub fn sweep_decode(
         &mut self,
         model: ModelId,
@@ -177,15 +190,28 @@ impl Rig {
         input_tokens: usize,
         outputs: &[usize],
     ) -> Vec<(usize, PhaseStats)> {
+        self.try_sweep_decode(model, prec, input_tokens, outputs)
+            .expect("sweep request fits")
+    }
+
+    /// Decode sweep surfacing engine errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] hit by a sweep point (e.g. OOM
+    /// on a tight memory budget).
+    pub fn try_sweep_decode(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        input_tokens: usize,
+        outputs: &[usize],
+    ) -> Result<Vec<(usize, PhaseStats)>, EngineError> {
         outputs
             .iter()
             .map(|&o| {
                 let req = GenerationRequest::new(input_tokens, o);
-                let outcome = self
-                    .engine
-                    .run(model, prec, &req)
-                    .expect("sweep request fits");
-                (o, outcome.decode)
+                self.engine.run(model, prec, &req).map(|o2| (o, o2.decode))
             })
             .collect()
     }
@@ -206,6 +232,11 @@ impl Rig {
     /// Characterizes and fits the total latency model for a model, exactly
     /// following §IV-A: prefill sweep on multiples of 64 up to 4k, decode
     /// fit over ~100 mixed input/output points. Cached per (model, prec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep point does not fit device memory (the standard
+    /// grids fit every supported model at the default budget).
     pub fn characterize_latency(&mut self, model: ModelId, prec: Precision) -> TotalLatencyModel {
         if let Some(m) = self.latency_cache.get(&(model, prec)) {
             return *m;
@@ -243,6 +274,10 @@ impl Rig {
 
     /// Characterizes and fits phase power models (prefill power vs input
     /// length, decode power vs output length at I=512 — Figs. 4a/5a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep point does not fit device memory.
     pub fn characterize_power(
         &mut self,
         model: ModelId,
@@ -273,6 +308,10 @@ impl Rig {
 
     /// Characterizes energy-per-token models for both phases (Figs. 4b/5b).
     /// Cached per (model, prec) like the latency and power models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep point does not fit device memory.
     pub fn characterize_energy(
         &mut self,
         model: ModelId,
@@ -304,6 +343,11 @@ impl Rig {
     /// Validates a fitted latency model on held-out generations whose
     /// input/output lengths are drawn from a benchmark cell (the paper's
     /// 50-question MMLU-Redux hold-out, Table VI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holdout` is 0 or a hold-out generation does not fit
+    /// device memory.
     pub fn validate_latency(
         &mut self,
         model: ModelId,

@@ -2,15 +2,18 @@
 
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
+use std::collections::VecDeque;
+
 use edgereasoning_kernels::phases::{
     build_decode_attn_into, build_decode_base_into, build_prefill_into, KernelPlan,
 };
-use edgereasoning_soc::gpu::{ExecCalib, Gpu, PhaseStats};
+use edgereasoning_soc::faults::FaultSchedule;
+use edgereasoning_soc::gpu::{Derate, ExecCalib, Gpu, PhaseStats};
 use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
 use serde::{Deserialize, Serialize};
 
-use crate::kv_cache::KvCacheManager;
+use crate::kv_cache::{KvCacheManager, SeqId};
 use crate::outcome::{InferenceOutcome, TbtSample};
 use crate::plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 use crate::request::GenerationRequest;
@@ -36,6 +39,29 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Vllm => write!(f, "vLLM"),
             EngineKind::Hft => write!(f, "HFT"),
             EngineKind::TrtLlm => write!(f, "TRT-LLM"),
+        }
+    }
+}
+
+/// What the engine does when the KV cache runs out mid-generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OomPolicy {
+    /// Abort the whole request with [`EngineError::OutOfMemory`] — the
+    /// original behaviour, and still the default.
+    #[default]
+    FailFast,
+    /// vLLM-style recompute preemption: evict the lowest-priority
+    /// sequences, requeue them, and re-prefill their lost context later.
+    /// Every sequence eventually completes as long as a *single* sequence
+    /// fits end to end; the price is recomputation latency and energy.
+    PreemptRecompute,
+}
+
+impl std::fmt::Display for OomPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OomPolicy::FailFast => write!(f, "failfast"),
+            OomPolicy::PreemptRecompute => write!(f, "preempt"),
         }
     }
 }
@@ -71,6 +97,8 @@ pub struct EngineConfig {
     /// draw near-idle power until clocks ramp; see
     /// [`edgereasoning_soc::power::ramp_avg_factor`].
     pub power_ramp_tau_s: f64,
+    /// Behaviour when the KV cache runs out mid-generation.
+    pub oom_policy: OomPolicy,
 }
 
 impl EngineConfig {
@@ -87,6 +115,7 @@ impl EngineConfig {
             decode_chunk: 48,
             run_noise: 0.005,
             power_ramp_tau_s: 10.0,
+            oom_policy: OomPolicy::FailFast,
         }
     }
 
@@ -136,6 +165,12 @@ impl EngineConfig {
         self.soc.gpu = gpu;
         self
     }
+
+    /// Sets the mid-generation OOM policy, builder-style.
+    pub fn with_oom_policy(mut self, policy: OomPolicy) -> Self {
+        self.oom_policy = policy;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -162,6 +197,8 @@ pub struct InferenceEngine {
     scratch: KernelPlan,
     cache_enabled: bool,
     counters: EngineCounters,
+    faults: FaultSchedule,
+    clock_s: f64,
 }
 
 impl InferenceEngine {
@@ -176,7 +213,47 @@ impl InferenceEngine {
             scratch: KernelPlan::new(),
             cache_enabled: true,
             counters: EngineCounters::default(),
+            faults: FaultSchedule::none(),
+            clock_s: 0.0,
         }
+    }
+
+    /// Installs a platform-disturbance schedule. The empty schedule
+    /// ([`FaultSchedule::none`]) restores bit-exact fault-free behaviour.
+    pub fn set_fault_schedule(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+        if self.faults.is_empty() {
+            self.gpu.set_derate(Derate::IDENTITY);
+        }
+    }
+
+    /// The installed disturbance schedule.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// Positions the engine on the simulated wall clock (what disturbance
+    /// windows are matched against). The serving loop advances this before
+    /// every batch; standalone runs default to `t = 0`.
+    pub fn set_clock_s(&mut self, t: f64) {
+        self.clock_s = t;
+    }
+
+    /// Current position on the simulated wall clock, seconds.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Applies the disturbance schedule at instant `t` to the GPU.
+    /// Returns whether a non-identity derate is active. With an empty
+    /// schedule this is a no-op that never touches the GPU.
+    fn apply_faults_at(&mut self, t: f64) -> bool {
+        if self.faults.is_empty() {
+            return false;
+        }
+        let derate = self.faults.derate_at(t, self.gpu.mode());
+        self.gpu.set_derate(derate);
+        !derate.is_identity()
     }
 
     /// Returns the engine configuration.
@@ -278,7 +355,9 @@ impl InferenceEngine {
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidRequest`] for zero-sized fields and
-    /// [`EngineError::OutOfMemory`] when weights + KV cache do not fit.
+    /// [`EngineError::OutOfMemory`] when weights + KV cache do not fit
+    /// (under [`OomPolicy::PreemptRecompute`], only when even a single
+    /// sequence cannot fit end to end).
     pub fn run(
         &mut self,
         model: ModelId,
@@ -286,6 +365,23 @@ impl InferenceEngine {
         req: &GenerationRequest,
     ) -> Result<InferenceOutcome, EngineError> {
         req.validate().map_err(EngineError::InvalidRequest)?;
+        match self.config.oom_policy {
+            OomPolicy::FailFast => self.run_fail_fast(model, prec, req),
+            OomPolicy::PreemptRecompute => self.run_preempt_recompute(model, prec, req),
+        }
+    }
+
+    /// The historical all-or-nothing path: the whole request is reserved up
+    /// front and any mid-run KV exhaustion aborts the generation. With an
+    /// empty fault schedule this path is bit-identical to the pre-fault
+    /// engine: phase costs, RNG draw order and float summation order are
+    /// unchanged.
+    fn run_fail_fast(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        req: &GenerationRequest,
+    ) -> Result<InferenceOutcome, EngineError> {
         let arch = model.arch();
         let cache_bytes = self.kv_budget_bytes(model, prec)?;
         let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens);
@@ -293,19 +389,18 @@ impl InferenceEngine {
         // Reserve the whole request up front (vLLM would admit and preempt;
         // for a single request the effect is the same).
         if !kv.would_fit(req.batch, req.prompt_tokens + req.max_new_tokens) {
-            return Err(EngineError::OutOfMemory {
-                needed: kv.bytes_per_token()
-                    * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
-                available: kv.free_tokens() * kv.bytes_per_token(),
-            });
+            return Err(oom_error(&kv, req));
         }
-        let seqs: Vec<_> = (0..req.batch)
-            .map(|_| kv.allocate(req.prompt_tokens).expect("checked fit"))
-            .collect();
+        let mut seqs = Vec::with_capacity(req.batch);
+        for _ in 0..req.batch {
+            match kv.allocate(req.prompt_tokens) {
+                Some(id) => seqs.push(id),
+                None => return Err(oom_error(&kv, req)),
+            }
+        }
 
         let arch_fp = arch.fingerprint();
-        let gpu_fp = self.gpu.config_fingerprint();
-        let key = |kind: PhaseKind, batch: usize, shape: usize| PhaseKey {
+        let mk_key = |gpu_fp: u64, kind: PhaseKind, batch: usize, shape: usize| PhaseKey {
             arch_fp,
             gpu_fp,
             precision: prec,
@@ -313,26 +408,40 @@ impl InferenceEngine {
             batch,
             shape,
         };
+        let t0 = self.clock_s;
+        let mut elapsed = 0.0f64;
+        let mut throttled_s = 0.0f64;
+        let idle_w = self.gpu.power_model().idle_w;
 
         // --- Prefill (batch 1, shared prompt). ---
+        let throttled = self.apply_faults_at(t0);
+        let gpu_fp = self.gpu.config_fingerprint();
         let prefill_det = self.deterministic_phase(
-            key(PhaseKind::Prefill, 1, req.prompt_tokens),
+            mk_key(gpu_fp, PhaseKind::Prefill, 1, req.prompt_tokens),
             &arch.calib.prefill,
             |plan| build_prefill_into(plan, &arch, prec, 1, req.prompt_tokens),
         );
-        let prefill = self.gpu.perturb_phase(&prefill_det);
+        let mut prefill = self.gpu.perturb_phase(&prefill_det);
+        if throttled {
+            self.counters.throttled_phases += 1;
+            throttled_s += prefill.latency_s;
+        }
+        let (n_stalls, stall_s) = self.faults.stalls_in(t0, t0 + prefill.latency_s);
+        if n_stalls > 0 {
+            self.counters.stalls += n_stalls as u64;
+            if stall_s > 0.0 {
+                prefill.merge(&idle_gap(stall_s, idle_w));
+            }
+        }
+        elapsed += prefill.latency_s;
 
         // --- Decode, chunked over growing context. The context-independent
-        // base aggregate is computed once per run; only the attention part
-        // varies per chunk. ---
-        let base_det = self.deterministic_phase(
-            key(PhaseKind::DecodeBase, req.batch, 0),
-            &arch.calib.decode,
-            |plan| build_decode_base_into(plan, &arch, prec, req.batch),
-        );
-        let idle_w = self.gpu.power_model().idle_w;
+        // base aggregate is computed once per GPU operating point (i.e.
+        // once per run unless a disturbance window changes the derate);
+        // only the attention part varies per chunk. ---
         let host_per_step =
             self.config.host_per_step_s + self.config.host_per_seq_step_s * req.batch as f64;
+        let mut base_cache: Option<(u64, PhaseStats)> = None;
         let mut decode = PhaseStats::default();
         let mut trace = Vec::new();
         let mut produced = 0usize;
@@ -340,16 +449,26 @@ impl InferenceEngine {
             let chunk = self.config.decode_chunk.min(req.max_new_tokens - produced);
             let ctx = req.prompt_tokens + produced + chunk / 2;
             for &s in &seqs {
-                if !kv.grow(s, req.prompt_tokens + produced + chunk) {
-                    return Err(EngineError::OutOfMemory {
-                        needed: kv.bytes_per_token()
-                            * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
-                        available: kv.free_tokens() * kv.bytes_per_token(),
-                    });
+                if !kv.grow(s, req.prompt_tokens + produced + chunk)? {
+                    return Err(oom_error(&kv, req));
                 }
             }
+            let throttled = self.apply_faults_at(t0 + elapsed);
+            let gpu_fp = self.gpu.config_fingerprint();
+            let base_det = match base_cache {
+                Some((fp, stats)) if fp == gpu_fp => stats,
+                _ => {
+                    let stats = self.deterministic_phase(
+                        mk_key(gpu_fp, PhaseKind::DecodeBase, req.batch, 0),
+                        &arch.calib.decode,
+                        |plan| build_decode_base_into(plan, &arch, prec, req.batch),
+                    );
+                    base_cache = Some((gpu_fp, stats));
+                    stats
+                }
+            };
             let ctx_det = self.deterministic_phase(
-                key(PhaseKind::DecodeCtx, req.batch, ctx),
+                mk_key(gpu_fp, PhaseKind::DecodeCtx, req.batch, ctx),
                 &arch.calib.decode,
                 |plan| build_decode_attn_into(plan, &arch, prec, req.batch, ctx),
             );
@@ -362,25 +481,253 @@ impl InferenceEngine {
             // Un-overlapped host time shows up as idle-power gaps between
             // steps; fold it into the phase so TBT and power averages match
             // what an external power meter would see.
-            let host_gap = PhaseStats {
-                latency_s: host_per_step,
-                energy_j: host_per_step * idle_w,
-                avg_power_w: idle_w,
-                ..PhaseStats::default()
-            };
             let mut step = gpu_step;
-            step.merge(&host_gap);
+            step.merge(&idle_gap(host_per_step, idle_w));
             trace.push(TbtSample {
                 ctx,
                 tbt_s: step.latency_s,
             });
+            let span = step.latency_s * chunk as f64;
+            if throttled {
+                self.counters.throttled_phases += 1;
+                throttled_s += span;
+            }
             decode.merge(&step.repeated(chunk));
+            let (n_stalls, stall_s) = self.faults.stalls_in(t0 + elapsed, t0 + elapsed + span);
+            if n_stalls > 0 {
+                self.counters.stalls += n_stalls as u64;
+                if stall_s > 0.0 {
+                    decode.merge(&idle_gap(stall_s, idle_w));
+                }
+            }
+            elapsed += span + stall_s;
             produced += chunk;
         }
         for s in seqs {
-            kv.release(s);
+            kv.release(s)?;
         }
 
+        Ok(self.finalize(model, prec, req, prefill, decode, trace, 0, 0, throttled_s))
+    }
+
+    /// vLLM-style recompute preemption. Sequences run as "cohorts" sharing
+    /// a progress point; when the KV cache cannot grow every live sequence,
+    /// tail sequences are evicted (their blocks freed, their progress
+    /// remembered) and requeued. A requeued cohort pays a batch-1
+    /// prefill-shaped pass per sequence to rebuild its lost context before
+    /// resuming decode. Termination is guaranteed by the admission check:
+    /// a single sequence always fits end to end, so every cohort completes
+    /// at least one sequence.
+    fn run_preempt_recompute(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        req: &GenerationRequest,
+    ) -> Result<InferenceOutcome, EngineError> {
+        let arch = model.arch();
+        let cache_bytes = self.kv_budget_bytes(model, prec)?;
+        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens);
+        let total_tokens = req.prompt_tokens + req.max_new_tokens;
+        // Even a lone sequence must fit end to end, else no amount of
+        // preemption can ever complete the request.
+        if !kv.would_fit(1, total_tokens) {
+            return Err(oom_error(&kv, req));
+        }
+
+        let arch_fp = arch.fingerprint();
+        let mk_key = |gpu_fp: u64, kind: PhaseKind, batch: usize, shape: usize| PhaseKey {
+            arch_fp,
+            gpu_fp,
+            precision: prec,
+            kind,
+            batch,
+            shape,
+        };
+        let t0 = self.clock_s;
+        let mut elapsed = 0.0f64;
+        let mut throttled_s = 0.0f64;
+        let idle_w = self.gpu.power_model().idle_w;
+        let mut prefill = PhaseStats::default();
+        let mut decode = PhaseStats::default();
+        let mut trace = Vec::new();
+        let mut preemptions = 0usize;
+        let mut recomputed_tokens = 0usize;
+        let mut first_cohort = true;
+        // (gpu_fp, batch) -> context-independent decode base aggregate.
+        let mut base_cache: Option<(u64, usize, PhaseStats)> = None;
+
+        // Cohorts of (sequence count, tokens already produced).
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        queue.push_back((req.batch, 0));
+
+        while let Some((mut count, produced0)) = queue.pop_front() {
+            // Coalesce cohorts at the same progress point into one batch.
+            while let Some(&(c, p)) = queue.front() {
+                if p != produced0 {
+                    break;
+                }
+                count += c;
+                queue.pop_front();
+            }
+            let ctx0 = req.prompt_tokens + produced0;
+            // Admit as many sequences as currently fit; the rest wait.
+            let mut live: Vec<SeqId> = Vec::with_capacity(count);
+            for i in 0..count {
+                match kv.allocate(ctx0) {
+                    Some(id) => live.push(id),
+                    None => {
+                        queue.push_back((count - i, produced0));
+                        break;
+                    }
+                }
+            }
+            if live.is_empty() {
+                // Unreachable (the cache is empty at cohort start and one
+                // sequence always fits) — but never spin on it.
+                return Err(oom_error(&kv, req));
+            }
+
+            // Prefill (first cohort) or context recomputation (requeued
+            // cohorts): recompute is charged as a batch-1 prefill over the
+            // whole lost context, once per recovered sequence.
+            let throttled = self.apply_faults_at(t0 + elapsed);
+            let gpu_fp = self.gpu.config_fingerprint();
+            if first_cohort {
+                first_cohort = false;
+                let det = self.deterministic_phase(
+                    mk_key(gpu_fp, PhaseKind::Prefill, 1, req.prompt_tokens),
+                    &arch.calib.prefill,
+                    |plan| build_prefill_into(plan, &arch, prec, 1, req.prompt_tokens),
+                );
+                prefill = self.gpu.perturb_phase(&det);
+                if throttled {
+                    self.counters.throttled_phases += 1;
+                    throttled_s += prefill.latency_s;
+                }
+                elapsed += prefill.latency_s;
+            } else {
+                let det = self.deterministic_phase(
+                    mk_key(gpu_fp, PhaseKind::Prefill, 1, ctx0),
+                    &arch.calib.prefill,
+                    |plan| build_prefill_into(plan, &arch, prec, 1, ctx0),
+                );
+                let recompute = self.gpu.perturb_phase(&det).repeated(live.len());
+                if throttled {
+                    self.counters.throttled_phases += 1;
+                    throttled_s += recompute.latency_s;
+                }
+                recomputed_tokens += ctx0 * live.len();
+                self.counters.recomputed_tokens += (ctx0 * live.len()) as u64;
+                if recompute.latency_s > 0.0 {
+                    decode.merge(&recompute);
+                }
+                elapsed += recompute.latency_s;
+            }
+
+            let mut produced = produced0;
+            while produced < req.max_new_tokens {
+                let chunk = self.config.decode_chunk.min(req.max_new_tokens - produced);
+                let ctx = req.prompt_tokens + produced + chunk / 2;
+                let target = req.prompt_tokens + produced + chunk;
+                // Grow every live sequence; under pressure, evict tail
+                // victims back onto the queue (vLLM recompute preemption).
+                let mut idx = 0;
+                while idx < live.len() {
+                    if kv.grow(live[idx], target)? {
+                        idx += 1;
+                        continue;
+                    }
+                    if live.len() == 1 {
+                        // Unreachable per the admission invariant.
+                        return Err(oom_error(&kv, req));
+                    }
+                    if let Some(victim) = live.pop() {
+                        kv.release(victim)?;
+                        queue.push_back((1, produced));
+                        preemptions += 1;
+                        self.counters.preemptions += 1;
+                    }
+                }
+                let batch = live.len();
+                let host_per_step =
+                    self.config.host_per_step_s + self.config.host_per_seq_step_s * batch as f64;
+                let throttled = self.apply_faults_at(t0 + elapsed);
+                let gpu_fp = self.gpu.config_fingerprint();
+                let base_det = match base_cache {
+                    Some((fp, b, stats)) if fp == gpu_fp && b == batch => stats,
+                    _ => {
+                        let stats = self.deterministic_phase(
+                            mk_key(gpu_fp, PhaseKind::DecodeBase, batch, 0),
+                            &arch.calib.decode,
+                            |plan| build_decode_base_into(plan, &arch, prec, batch),
+                        );
+                        base_cache = Some((gpu_fp, batch, stats));
+                        stats
+                    }
+                };
+                let ctx_det = self.deterministic_phase(
+                    mk_key(gpu_fp, PhaseKind::DecodeCtx, batch, ctx),
+                    &arch.calib.decode,
+                    |plan| build_decode_attn_into(plan, &arch, prec, batch, ctx),
+                );
+                let mut step_det = base_det;
+                step_det.merge(&ctx_det);
+                let gpu_step = self.gpu.perturb_phase(&step_det);
+                let mut step = gpu_step;
+                step.merge(&idle_gap(host_per_step, idle_w));
+                trace.push(TbtSample {
+                    ctx,
+                    tbt_s: step.latency_s,
+                });
+                let span = step.latency_s * chunk as f64;
+                if throttled {
+                    self.counters.throttled_phases += 1;
+                    throttled_s += span;
+                }
+                decode.merge(&step.repeated(chunk));
+                let (n_stalls, stall_s) = self.faults.stalls_in(t0 + elapsed, t0 + elapsed + span);
+                if n_stalls > 0 {
+                    self.counters.stalls += n_stalls as u64;
+                    if stall_s > 0.0 {
+                        decode.merge(&idle_gap(stall_s, idle_w));
+                    }
+                }
+                elapsed += span + stall_s;
+                produced += chunk;
+            }
+            for s in live {
+                kv.release(s)?;
+            }
+        }
+
+        Ok(self.finalize(
+            model,
+            prec,
+            req,
+            prefill,
+            decode,
+            trace,
+            preemptions,
+            recomputed_tokens,
+            throttled_s,
+        ))
+    }
+
+    /// Shared run tail: one run-level jitter draw, the DVFS power ramp, and
+    /// outcome assembly. Identical float operations to the pre-fault engine.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize(
+        &mut self,
+        model: ModelId,
+        prec: Precision,
+        req: &GenerationRequest,
+        prefill: PhaseStats,
+        decode: PhaseStats,
+        trace: Vec<TbtSample>,
+        preemptions: usize,
+        recomputed_tokens: usize,
+        throttled_s: f64,
+    ) -> InferenceOutcome {
         // Run-level wall-clock variability (scheduling, thermals) that
         // per-kernel noise averages away over hundreds of launches.
         let jitter = self.run_rng.jitter(self.config.run_noise);
@@ -399,7 +746,7 @@ impl InferenceEngine {
         let prefill = apply_ramp(&prefill, 0.0, idle_w, tau);
         let decode = apply_ramp(&decode, prefill.latency_s, idle_w, tau);
 
-        Ok(InferenceOutcome {
+        InferenceOutcome {
             model,
             precision: prec,
             batch: req.batch,
@@ -409,7 +756,10 @@ impl InferenceEngine {
             decode,
             host_s: self.config.request_overhead_s,
             tbt_trace: trace,
-        })
+            preemptions,
+            recomputed_tokens,
+            throttled_s,
+        }
     }
 
     /// Runs only a prefill pass (used by the §IV characterization sweeps).
@@ -478,6 +828,25 @@ impl InferenceEngine {
             ..PhaseStats::default()
         });
         step
+    }
+}
+
+/// The out-of-memory error for a request against the current cache state.
+fn oom_error(kv: &KvCacheManager, req: &GenerationRequest) -> EngineError {
+    EngineError::OutOfMemory {
+        needed: kv.bytes_per_token()
+            * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
+        available: kv.free_tokens() * kv.bytes_per_token(),
+    }
+}
+
+/// An idle-power gap of `latency_s` seconds (host work, kernel stalls).
+fn idle_gap(latency_s: f64, idle_w: f64) -> PhaseStats {
+    PhaseStats {
+        latency_s,
+        energy_j: latency_s * idle_w,
+        avg_power_w: idle_w,
+        ..PhaseStats::default()
     }
 }
 
@@ -726,5 +1095,142 @@ mod tests {
             )
             .expect("fits");
         assert!(o.decode.avg_power_w > o.prefill.avg_power_w);
+    }
+
+    use edgereasoning_soc::faults::{Disturbance, FaultKind, FaultSchedule};
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let req = GenerationRequest::new(384, 256).with_batch(2);
+        let mut plain = InferenceEngine::new(EngineConfig::vllm(), 21);
+        let mut hooked = InferenceEngine::new(EngineConfig::vllm(), 21);
+        hooked.set_fault_schedule(FaultSchedule::none());
+        hooked.set_clock_s(1234.5);
+        let a = plain
+            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
+            .expect("fits");
+        let b = hooked
+            .run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
+            .expect("fits");
+        assert_eq!(a, b, "no-op schedule must not perturb a single bit");
+    }
+
+    #[test]
+    fn thermal_throttle_slows_the_run_and_is_counted() {
+        let req = GenerationRequest::new(256, 256);
+        let mut base = InferenceEngine::new(EngineConfig::vllm(), 5);
+        let clean = base
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let mut faulted = InferenceEngine::new(EngineConfig::vllm(), 5);
+        faulted.set_fault_schedule(FaultSchedule::from_events(vec![Disturbance {
+            start_s: 0.0,
+            duration_s: 1e6,
+            kind: FaultKind::ThermalThrottle { freq_scale: 0.5 },
+        }]));
+        let hot = faulted
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        assert!(
+            hot.total_latency_s() > clean.total_latency_s() * 1.3,
+            "a 0.5x clock cap must slow the run: {} vs {}",
+            hot.total_latency_s(),
+            clean.total_latency_s()
+        );
+        assert!(hot.throttled_s > 0.0);
+        assert!(faulted.counters().throttled_phases > 0);
+        // Same seed + same schedule must stay deterministic.
+        let mut again = InferenceEngine::new(EngineConfig::vllm(), 5);
+        again.set_fault_schedule(faulted.fault_schedule().clone());
+        let rerun = again
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        assert_eq!(hot, rerun);
+    }
+
+    #[test]
+    fn kernel_stall_inserts_idle_time() {
+        let req = GenerationRequest::new(256, 256);
+        let mut base = InferenceEngine::new(EngineConfig::vllm(), 5);
+        let clean = base
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let mut faulted = InferenceEngine::new(EngineConfig::vllm(), 5);
+        faulted.set_fault_schedule(FaultSchedule::from_events(vec![Disturbance {
+            start_s: 0.5,
+            duration_s: 2.0,
+            kind: FaultKind::KernelStall,
+        }]));
+        let stalled = faulted
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let extra = stalled.total_latency_s() - clean.total_latency_s();
+        assert!(
+            (extra - 2.0).abs() < 0.2,
+            "a 2 s stall must add ~2 s: added {extra}"
+        );
+        assert_eq!(faulted.counters().stalls, 1);
+        assert!(stalled.total_energy_j() > clean.total_energy_j());
+    }
+
+    /// An engine whose KV budget holds `kv_tokens` tokens beyond weights.
+    fn pressured(policy: OomPolicy, kv_tokens: u64) -> InferenceEngine {
+        let mut config = EngineConfig::vllm().with_oom_policy(policy);
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+        config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+        InferenceEngine::new(config, 3)
+    }
+
+    #[test]
+    fn preempt_recompute_completes_what_failfast_aborts() {
+        // Batch 8 x 256 tokens needs 2048 KV tokens; only ~1600 fit.
+        let req = GenerationRequest::new(128, 128).with_batch(8);
+        let err = pressured(OomPolicy::FailFast, 1600)
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }), "{err}");
+
+        let mut pr = pressured(OomPolicy::PreemptRecompute, 1600);
+        let o = pr
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("preemption must complete the batch");
+        assert_eq!(o.generated_tokens, 128);
+        assert_eq!(o.batch, 8);
+        assert!(o.preemptions > 0, "pressure must preempt: {o:?}");
+        assert!(o.recomputed_tokens > 0);
+        assert_eq!(pr.counters().preemptions, o.preemptions as u64);
+        // The degraded run costs more wall time than an unconstrained one.
+        let unconstrained = InferenceEngine::new(
+            EngineConfig::vllm().with_oom_policy(OomPolicy::PreemptRecompute),
+            3,
+        )
+        .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+        .expect("fits");
+        assert!(o.total_latency_s() > unconstrained.total_latency_s());
+        assert_eq!(unconstrained.preemptions, 0);
+    }
+
+    #[test]
+    fn preempt_policy_is_inert_when_memory_suffices() {
+        let req = GenerationRequest::new(256, 192).with_batch(2);
+        let mut ff = InferenceEngine::new(EngineConfig::vllm(), 13);
+        let mut pr = InferenceEngine::new(
+            EngineConfig::vllm().with_oom_policy(OomPolicy::PreemptRecompute),
+            13,
+        );
+        let a = ff
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let b = pr
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        assert_eq!(a.generated_tokens, b.generated_tokens);
+        assert_eq!(b.preemptions, 0);
+        assert_eq!(b.recomputed_tokens, 0);
+        // Phase aggregates agree closely (the preempting scheduler books
+        // per-cohort prefill but identical decode work).
+        let rel = (b.total_latency_s() / a.total_latency_s() - 1.0).abs();
+        assert!(rel < 0.05, "policies should agree without pressure: {rel}");
     }
 }

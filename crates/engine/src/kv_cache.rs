@@ -15,6 +15,33 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SeqId(u64);
 
+impl std::fmt::Display for SeqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seq#{}", self.0)
+    }
+}
+
+/// A misuse of the KV-cache allocator, reported as a typed error instead of
+/// a panic so the serving path can degrade gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvError {
+    /// The sequence id was never issued by this manager.
+    UnknownSequence(SeqId),
+    /// The sequence id was issued but already released.
+    DoubleFree(SeqId),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::UnknownSequence(id) => write!(f, "unknown sequence {id}"),
+            KvError::DoubleFree(id) => write!(f, "double free of {id}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
 /// A paged KV-cache allocator for one model instance.
 #[derive(Debug, Clone)]
 pub struct KvCacheManager {
@@ -72,6 +99,16 @@ impl KvCacheManager {
         (tokens as u64).div_ceil(self.block_tokens as u64)
     }
 
+    /// Looks up a live sequence, classifying failure as a double free (the
+    /// id was issued before) or an unknown sequence (it never was).
+    fn held_blocks(&self, seq: SeqId) -> Result<u64, KvError> {
+        match self.seqs.get(&seq) {
+            Some(&held) => Ok(held),
+            None if seq.0 < self.next_id => Err(KvError::DoubleFree(seq)),
+            None => Err(KvError::UnknownSequence(seq)),
+        }
+    }
+
     /// Allocates a new sequence holding `tokens` of context.
     ///
     /// Returns `None` (allocation failure) when not enough blocks remain.
@@ -89,35 +126,33 @@ impl KvCacheManager {
 
     /// Grows a sequence to hold `new_tokens` total context.
     ///
-    /// Returns `false` (and leaves the allocation unchanged) on failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not live.
-    pub fn grow(&mut self, seq: SeqId, new_tokens: usize) -> bool {
-        let held = *self.seqs.get(&seq).expect("unknown sequence");
+    /// Returns `Ok(false)` (and leaves the allocation unchanged) when not
+    /// enough blocks remain, and [`KvError`] when `seq` is not live.
+    pub fn grow(&mut self, seq: SeqId, new_tokens: usize) -> Result<bool, KvError> {
+        let held = self.held_blocks(seq)?;
         let need = self.blocks_for(new_tokens);
         if need <= held {
-            return true;
+            return Ok(true);
         }
         let extra = need - held;
         if extra > self.free_blocks {
-            return false;
+            return Ok(false);
         }
         self.free_blocks -= extra;
         self.seqs.insert(seq, need);
-        true
+        Ok(true)
     }
 
     /// Releases a sequence's blocks.
     ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not live (double free).
-    pub fn release(&mut self, seq: SeqId) {
-        let held = self.seqs.remove(&seq).expect("unknown sequence");
+    /// Returns [`KvError::DoubleFree`] when `seq` was already released and
+    /// [`KvError::UnknownSequence`] when it never existed.
+    pub fn release(&mut self, seq: SeqId) -> Result<(), KvError> {
+        self.held_blocks(seq)?;
+        let held = self.seqs.remove(&seq).unwrap_or(0);
         self.free_blocks += held;
         debug_assert!(self.free_blocks <= self.total_blocks);
+        Ok(())
     }
 
     /// Number of live sequences.
@@ -155,12 +190,12 @@ mod tests {
         let seq = m.allocate(100).expect("fits");
         // 100 tokens -> 7 blocks of 16 -> 112 tokens reserved.
         assert_eq!(m.free_tokens(), 8192 - 112);
-        assert!(m.grow(seq, 200));
+        assert_eq!(m.grow(seq, 200), Ok(true));
         assert_eq!(m.free_tokens(), 8192 - 208);
         // Growing within the reservation is free.
-        assert!(m.grow(seq, 205));
+        assert_eq!(m.grow(seq, 205), Ok(true));
         assert_eq!(m.free_tokens(), 8192 - 208);
-        m.release(seq);
+        m.release(seq).expect("live");
         assert_eq!(m.free_tokens(), 8192);
         assert_eq!(m.live_sequences(), 0);
     }
@@ -173,7 +208,7 @@ mod tests {
         assert_eq!(m.capacity_tokens(), 32);
         let a = m.allocate(32).expect("exactly fits");
         assert!(m.allocate(1).is_none());
-        m.release(a);
+        m.release(a).expect("live");
         assert!(m.allocate(1).is_some());
     }
 
@@ -182,9 +217,9 @@ mod tests {
         let mut m = mgr(4);
         let a = m.allocate(16).expect("fits");
         let before = m.free_tokens();
-        assert!(!m.grow(a, 64));
+        assert_eq!(m.grow(a, 64), Ok(false));
         assert_eq!(m.free_tokens(), before);
-        assert!(m.grow(a, 32));
+        assert_eq!(m.grow(a, 32), Ok(true));
     }
 
     #[test]
@@ -195,11 +230,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown sequence")]
-    fn double_release_panics() {
+    fn double_release_is_a_typed_error() {
         let mut m = mgr(4);
         let a = m.allocate(1).expect("fits");
-        m.release(a);
-        m.release(a);
+        let before = m.free_tokens();
+        m.release(a).expect("first release succeeds");
+        assert_eq!(m.release(a), Err(KvError::DoubleFree(a)));
+        assert_eq!(m.grow(a, 2), Err(KvError::DoubleFree(a)));
+        // The failed release must not corrupt accounting.
+        assert_eq!(m.free_tokens(), before + m.block_tokens() as u64);
+    }
+
+    #[test]
+    fn foreign_sequence_is_unknown() {
+        let mut donor = mgr(4);
+        let _ = donor.allocate(1).expect("fits");
+        let foreign = donor.allocate(1).expect("fits");
+        // A manager that only ever issued id 0 has never seen id 1.
+        let mut m = mgr(4);
+        let _ = m.allocate(1).expect("fits");
+        assert_eq!(m.release(foreign), Err(KvError::UnknownSequence(foreign)));
+        assert_eq!(m.grow(foreign, 4), Err(KvError::UnknownSequence(foreign)));
     }
 }

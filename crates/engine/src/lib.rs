@@ -38,6 +38,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The engine is the hot serving path: misuse must surface as typed errors,
+// never as panics (tests keep their expect/unwrap for brevity).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
 pub mod kv_cache;
@@ -46,8 +49,8 @@ pub mod plan_cache;
 pub mod request;
 pub mod serving;
 
-pub use engine::{EngineConfig, EngineKind, InferenceEngine};
-pub use kv_cache::KvCacheManager;
+pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
+pub use kv_cache::{KvCacheManager, KvError, SeqId};
 pub use outcome::{InferenceOutcome, TbtSample};
 pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 pub use request::GenerationRequest;
@@ -68,6 +71,8 @@ pub enum EngineError {
     },
     /// A request parameter was invalid (e.g. zero-length prompt).
     InvalidRequest(String),
+    /// The KV-cache allocator was misused (internal invariant breach).
+    Kv(kv_cache::KvError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -78,8 +83,15 @@ impl std::fmt::Display for EngineError {
                 "out of device memory: need {needed} B of KV cache, {available} B available"
             ),
             EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::Kv(err) => write!(f, "kv-cache misuse: {err}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<kv_cache::KvError> for EngineError {
+    fn from(err: kv_cache::KvError) -> Self {
+        EngineError::Kv(err)
+    }
+}

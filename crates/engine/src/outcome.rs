@@ -36,6 +36,14 @@ pub struct InferenceOutcome {
     pub host_s: f64,
     /// TBT samples across the decode (sparse checkpoints).
     pub tbt_trace: Vec<TbtSample>,
+    /// Sequences preempted (KV evicted and recomputed) during the run;
+    /// always 0 under [`OomPolicy::FailFast`](crate::engine::OomPolicy).
+    pub preemptions: usize,
+    /// Context tokens recomputed for preempted sequences.
+    pub recomputed_tokens: usize,
+    /// Seconds of the run spent under a non-identity fault derate
+    /// (thermal/contention/power-cap windows).
+    pub throttled_s: f64,
 }
 
 impl InferenceOutcome {
@@ -135,6 +143,9 @@ mod tests {
             },
             host_s: 0.1,
             tbt_trace: vec![],
+            preemptions: 0,
+            recomputed_tokens: 0,
+            throttled_s: 0.0,
         }
     }
 

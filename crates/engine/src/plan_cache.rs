@@ -157,6 +157,15 @@ pub struct EngineCounters {
     pub decode_base_phases: u64,
     /// Context-dependent decode attention phases costed.
     pub decode_ctx_phases: u64,
+    /// Sequences preempted and recomputed under KV pressure
+    /// ([`OomPolicy::PreemptRecompute`](crate::engine::OomPolicy)).
+    pub preemptions: u64,
+    /// Context tokens recomputed for preempted sequences.
+    pub recomputed_tokens: u64,
+    /// Phases costed while a fault derate was active.
+    pub throttled_phases: u64,
+    /// Kernel-stall fault windows crossed during runs.
+    pub stalls: u64,
 }
 
 impl EngineCounters {
@@ -170,6 +179,10 @@ impl EngineCounters {
         self.prefill_phases += other.prefill_phases;
         self.decode_base_phases += other.decode_base_phases;
         self.decode_ctx_phases += other.decode_ctx_phases;
+        self.preemptions += other.preemptions;
+        self.recomputed_tokens += other.recomputed_tokens;
+        self.throttled_phases += other.throttled_phases;
+        self.stalls += other.stalls;
     }
 
     /// Fraction of lookups served from the cache (0 when none happened).
@@ -197,7 +210,15 @@ impl std::fmt::Display for EngineCounters {
             self.prefill_phases,
             self.decode_base_phases,
             self.decode_ctx_phases,
-        )
+        )?;
+        if self.preemptions + self.recomputed_tokens + self.throttled_phases + self.stalls > 0 {
+            write!(
+                f,
+                "; faults: {} preemptions, {} recomputed tokens, {} throttled phases, {} stalls",
+                self.preemptions, self.recomputed_tokens, self.throttled_phases, self.stalls,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -289,6 +310,10 @@ mod tests {
             prefill_phases: 4,
             decode_base_phases: 5,
             decode_ctx_phases: 6,
+            preemptions: 7,
+            recomputed_tokens: 8,
+            throttled_phases: 9,
+            stalls: 10,
         };
         let b = a;
         a.absorb(&b);
@@ -298,6 +323,10 @@ mod tests {
         assert_eq!(a.prefill_phases, 8);
         assert_eq!(a.decode_base_phases, 10);
         assert_eq!(a.decode_ctx_phases, 12);
+        assert_eq!(a.preemptions, 14);
+        assert_eq!(a.recomputed_tokens, 16);
+        assert_eq!(a.throttled_phases, 18);
+        assert_eq!(a.stalls, 20);
     }
 
     #[test]

@@ -6,6 +6,26 @@
 //! batched generation, and the report captures throughput, queueing
 //! latency percentiles, and energy per query — quantifying how request
 //! rate turns into the batch-30 cost advantage of Table III.
+//!
+//! # Degraded-mode serving
+//!
+//! Beyond the happy path, the loop supports the robustness controls an
+//! edge deployment needs when the platform misbehaves (see `soc::faults`):
+//!
+//! * **deadlines** — queries that can no longer meet their deadline are
+//!   shed at admission instead of wasting GPU time; completed-but-late
+//!   queries count as deadline misses;
+//! * **bounded-queue admission** — when more than `queue_capacity` queries
+//!   are waiting, the newest are shed (load shedding);
+//! * **retry with exponential backoff** — a batch that fails (e.g. KV OOM
+//!   under [`OomPolicy::FailFast`](crate::engine::OomPolicy)) is requeued
+//!   up to `max_retries` times instead of aborting the whole simulation;
+//! * **a degradation ladder** — under sustained throttling or deadline
+//!   misses the loop first halves the admitted batch, then shrinks the
+//!   token budget, recovering level by level once conditions clear.
+//!
+//! Every control defaults *off*, in which case the loop reduces bit-exactly
+//! to the original simulation.
 
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
@@ -16,6 +36,9 @@ use serde::{Deserialize, Serialize};
 use crate::engine::InferenceEngine;
 use crate::request::GenerationRequest;
 use crate::EngineError;
+
+/// Highest degradation-ladder level (batch shrink saturates at `2^-6`).
+const MAX_DEGRADE_LEVEL: u32 = 6;
 
 /// Serving-load configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,9 +53,76 @@ pub struct ServingConfig {
     pub prompt_tokens: usize,
     /// Output tokens per query.
     pub output_tokens: usize,
+    /// Per-query completion deadline, seconds from arrival (`None` = no
+    /// SLO: nothing is shed and nothing counts as a miss).
+    pub deadline_s: Option<f64>,
+    /// Waiting queries admitted before load shedding kicks in
+    /// (0 = unbounded, the original behaviour).
+    pub queue_capacity: usize,
+    /// Retries granted to a query whose batch failed to run.
+    pub max_retries: u32,
+    /// Base retry backoff, seconds (doubles per attempt).
+    pub retry_backoff_s: f64,
+    /// Enables the degradation ladder (batch shrink, then token-budget
+    /// shrink) under sustained throttling or deadline misses.
+    pub degradation: bool,
 }
 
 impl ServingConfig {
+    /// A configuration with every robustness control off — bit-identical
+    /// serving behaviour to the pre-robustness simulation.
+    #[must_use]
+    pub fn new(
+        arrival_qps: f64,
+        max_batch: usize,
+        queries: usize,
+        prompt_tokens: usize,
+        output_tokens: usize,
+    ) -> Self {
+        Self {
+            arrival_qps,
+            max_batch,
+            queries,
+            prompt_tokens,
+            output_tokens,
+            deadline_s: None,
+            queue_capacity: 0,
+            max_retries: 0,
+            retry_backoff_s: 0.0,
+            degradation: false,
+        }
+    }
+
+    /// Sets a per-query deadline, builder-style.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Bounds the waiting queue, builder-style (0 = unbounded).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Grants failed queries retries with exponential backoff,
+    /// builder-style.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32, backoff_s: f64) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff_s = backoff_s;
+        self
+    }
+
+    /// Enables the degradation ladder, builder-style.
+    #[must_use]
+    pub fn with_degradation(mut self, enabled: bool) -> Self {
+        self.degradation = enabled;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -47,6 +137,14 @@ impl ServingConfig {
         }
         if self.prompt_tokens == 0 || self.output_tokens == 0 {
             return Err("prompt_tokens and output_tokens must be positive".into());
+        }
+        if let Some(d) = self.deadline_s {
+            if d.is_nan() || d <= 0.0 {
+                return Err("deadline_s must be positive when set".into());
+            }
+        }
+        if self.retry_backoff_s.is_nan() || self.retry_backoff_s < 0.0 {
+            return Err("retry_backoff_s must be non-negative".into());
         }
         Ok(())
     }
@@ -71,14 +169,43 @@ pub struct ServingReport {
     pub wall_s: f64,
     /// Total tokens generated.
     pub total_tokens: f64,
+    /// Queries dropped after exhausting their retries (their work — and
+    /// everything completed before the failure — is still reported).
+    pub failed_queries: usize,
+    /// Queries shed by admission control (expired deadline or full queue).
+    pub shed_queries: usize,
+    /// Retry attempts issued across all queries.
+    pub retries: usize,
+    /// Sequence preemptions reported by the engine across all batches.
+    pub preemptions: usize,
+    /// Completed queries that finished after their deadline.
+    pub deadline_misses: usize,
+    /// Fraction of *completed* queries that missed their deadline.
+    pub deadline_miss_rate: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_latency_s: f64,
+    /// Wall seconds served at a non-zero degradation level.
+    pub degraded_s: f64,
+    /// Fraction of all offered queries that completed on time (with no
+    /// deadline configured: fraction that completed at all).
+    pub slo_attainment: f64,
+}
+
+/// Per-query scheduling state.
+struct QueryState {
+    arrival_s: f64,
+    ready_s: f64,
+    attempts: u32,
 }
 
 /// Runs the serving simulation.
 ///
 /// # Errors
 ///
-/// Propagates [`EngineError`] (e.g. a batch that cannot fit in memory) and
-/// reports invalid configurations as [`EngineError::InvalidRequest`].
+/// Reports invalid configurations as [`EngineError::InvalidRequest`].
+/// Engine failures mid-run no longer abort the simulation: the affected
+/// queries are retried (if `max_retries > 0`) or counted in
+/// [`ServingReport::failed_queries`], and all completed work is reported.
 pub fn simulate_serving(
     engine: &mut InferenceEngine,
     model: ModelId,
@@ -90,79 +217,222 @@ pub fn simulate_serving(
     let mut rng = Rng::seed_from_u64(seed ^ 0x005e_5256);
 
     // Poisson arrivals.
-    let mut arrivals = Vec::with_capacity(cfg.queries);
+    let mut queries = Vec::with_capacity(cfg.queries);
     let mut t = 0.0;
     for _ in 0..cfg.queries {
         t += -rng.next_f64().max(1e-12).ln() / cfg.arrival_qps;
-        arrivals.push(t);
+        queries.push(QueryState {
+            arrival_s: t,
+            ready_s: t,
+            attempts: 0,
+        });
     }
 
+    let mut pending: Vec<usize> = (0..cfg.queries).collect();
     let mut now = 0.0f64;
-    let mut next = 0usize; // first unserved query
+    let mut level: u32 = 0; // degradation-ladder level
     let mut latencies = Vec::with_capacity(cfg.queries);
     let mut energy = 0.0;
     let mut tokens = 0.0;
     let mut batches = Vec::new();
+    let mut shed = 0usize;
+    let mut failed = 0usize;
+    let mut retries = 0usize;
+    let mut preemptions = 0usize;
+    let mut deadline_misses = 0usize;
+    let mut degraded_s = 0.0f64;
 
-    while next < arrivals.len() {
-        // Wait for work if idle.
-        if now < arrivals[next] {
-            now = arrivals[next];
+    while !pending.is_empty() {
+        // Wait for work if idle: jump to the earliest ready instant.
+        let min_ready = pending
+            .iter()
+            .map(|&i| queries[i].ready_s)
+            .fold(f64::INFINITY, f64::min);
+        if now < min_ready {
+            now = min_ready;
         }
-        // Admit everything that has arrived, up to max_batch.
-        let mut batch = 0usize;
-        while next + batch < arrivals.len()
-            && arrivals[next + batch] <= now
-            && batch < cfg.max_batch
-        {
-            batch += 1;
+
+        // Deadline admission control: a query whose deadline has already
+        // passed cannot possibly complete on time — shed it rather than
+        // burn GPU time on it.
+        if let Some(d) = cfg.deadline_s {
+            let before = pending.len();
+            pending.retain(|&i| now <= queries[i].arrival_s + d);
+            if pending.len() != before {
+                shed += before - pending.len();
+                continue; // re-derive the earliest ready instant
+            }
         }
-        let batch = batch.max(1);
-        let outcome = engine.run(
-            model,
-            prec,
-            &GenerationRequest::new(cfg.prompt_tokens, cfg.output_tokens).with_batch(batch),
-        )?;
-        let service = outcome.total_latency_s();
-        now += service;
-        for k in 0..batch {
-            latencies.push(now - arrivals[next + k]);
+
+        // Bounded-queue load shedding: drop the newest waiting queries
+        // beyond capacity.
+        if cfg.queue_capacity > 0 {
+            let waiting: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&i| queries[i].ready_s <= now)
+                .collect();
+            if waiting.len() > cfg.queue_capacity {
+                let excess = &waiting[cfg.queue_capacity..];
+                pending.retain(|i| !excess.contains(i));
+                shed += excess.len();
+                continue;
+            }
         }
-        energy += outcome.total_energy_j();
-        tokens += outcome.total_generated_tokens() as f64;
-        batches.push(batch as f64);
-        next += batch;
+
+        // Admit ready queries in arrival order, up to the (possibly
+        // degraded) batch limit.
+        let eff_batch = if cfg.degradation {
+            (cfg.max_batch >> level.min(MAX_DEGRADE_LEVEL)).max(1)
+        } else {
+            cfg.max_batch
+        };
+        let mut admitted = Vec::with_capacity(eff_batch);
+        for &i in &pending {
+            if queries[i].ready_s <= now {
+                admitted.push(i);
+                if admitted.len() == eff_batch {
+                    break;
+                }
+            }
+        }
+
+        // Ladder levels ≥ 2 also shrink the token budget by 3/4 per level.
+        let out_tokens = if cfg.degradation && level >= 2 {
+            let mut out = cfg.output_tokens as f64;
+            for _ in 1..level {
+                out *= 0.75;
+            }
+            (out as usize).max(1)
+        } else {
+            cfg.output_tokens
+        };
+
+        engine.set_clock_s(now);
+        let req = GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(admitted.len());
+        match engine.run(model, prec, &req) {
+            Ok(outcome) => {
+                let service = outcome.total_latency_s();
+                now += service;
+                let mut step_missed = false;
+                for &i in &admitted {
+                    let latency = now - queries[i].arrival_s;
+                    latencies.push(latency);
+                    if let Some(d) = cfg.deadline_s {
+                        if latency > d {
+                            deadline_misses += 1;
+                            step_missed = true;
+                        }
+                    }
+                }
+                energy += outcome.total_energy_j();
+                tokens += outcome.total_generated_tokens() as f64;
+                batches.push(admitted.len() as f64);
+                preemptions += outcome.preemptions;
+                if level > 0 {
+                    degraded_s += service;
+                }
+                pending.retain(|i| !admitted.contains(i));
+                if cfg.degradation {
+                    if outcome.throttled_s > 0.0 || step_missed {
+                        level = (level + 1).min(MAX_DEGRADE_LEVEL);
+                    } else {
+                        level = level.saturating_sub(1);
+                    }
+                }
+            }
+            Err(_) => {
+                // The batch could not run (e.g. KV OOM under FailFast).
+                // Retry each admitted query with exponential backoff, or
+                // drop it once its retries are exhausted.
+                for &i in &admitted {
+                    queries[i].attempts += 1;
+                    if queries[i].attempts <= cfg.max_retries {
+                        retries += 1;
+                        let exp = (queries[i].attempts - 1).min(16);
+                        queries[i].ready_s = now + cfg.retry_backoff_s * f64::from(1u32 << exp);
+                    }
+                }
+                pending.retain(|&i| {
+                    if !admitted.contains(&i) {
+                        return true;
+                    }
+                    if queries[i].attempts <= cfg.max_retries {
+                        true
+                    } else {
+                        failed += 1;
+                        false
+                    }
+                });
+                if cfg.degradation {
+                    level = (level + 1).min(MAX_DEGRADE_LEVEL);
+                }
+            }
+        }
     }
 
+    let completed = latencies.len();
+    let slo_attainment = if completed == 0 {
+        0.0
+    } else {
+        (completed - deadline_misses) as f64 / cfg.queries as f64
+    };
     Ok(ServingReport {
-        completed: latencies.len(),
-        achieved_qps: latencies.len() as f64 / now,
-        avg_latency_s: stats::mean(&latencies).expect("non-empty"),
-        p95_latency_s: stats::percentile(&latencies, 95.0).expect("non-empty"),
-        avg_batch: stats::mean(&batches).expect("non-empty"),
-        energy_per_query_j: energy / latencies.len() as f64,
+        completed,
+        achieved_qps: if now > 0.0 {
+            completed as f64 / now
+        } else {
+            0.0
+        },
+        avg_latency_s: stats::mean(&latencies).unwrap_or(0.0),
+        p95_latency_s: stats::percentile(&latencies, 95.0).unwrap_or(0.0),
+        avg_batch: stats::mean(&batches).unwrap_or(0.0),
+        energy_per_query_j: if completed == 0 {
+            0.0
+        } else {
+            energy / completed as f64
+        },
         wall_s: now,
         total_tokens: tokens,
+        failed_queries: failed,
+        shed_queries: shed,
+        retries,
+        preemptions,
+        deadline_misses,
+        deadline_miss_rate: if completed == 0 {
+            0.0
+        } else {
+            deadline_misses as f64 / completed as f64
+        },
+        p99_latency_s: stats::percentile(&latencies, 99.0).unwrap_or(0.0),
+        degraded_s,
+        slo_attainment,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, OomPolicy};
 
     fn engine() -> InferenceEngine {
         InferenceEngine::new(EngineConfig::vllm(), 3)
     }
 
     fn cfg(qps: f64, max_batch: usize) -> ServingConfig {
-        ServingConfig {
-            arrival_qps: qps,
-            max_batch,
-            queries: 60,
-            prompt_tokens: 128,
-            output_tokens: 128,
-        }
+        ServingConfig::new(qps, max_batch, 60, 128, 128)
+    }
+
+    /// An engine config whose KV budget fits one sequence end to end but
+    /// not several: weights + ~`kv_tokens` tokens of KV cache.
+    fn pressured(policy: OomPolicy, kv_tokens: u64) -> EngineConfig {
+        use edgereasoning_kernels::arch::ModelId;
+        use edgereasoning_kernels::dtype::Precision;
+        let mut config = EngineConfig::vllm().with_oom_policy(policy);
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+        config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+        config
     }
 
     #[test]
@@ -188,6 +458,9 @@ mod tests {
             "latency ~ service time: {}",
             r.avg_latency_s
         );
+        assert_eq!((r.failed_queries, r.shed_queries, r.retries), (0, 0, 0));
+        assert_eq!(r.deadline_misses, 0);
+        assert!((r.slo_attainment - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -232,6 +505,11 @@ mod tests {
             simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &bad, 1),
             Err(EngineError::InvalidRequest(_))
         ));
+        let bad = ServingConfig {
+            deadline_s: Some(0.0),
+            ..cfg(1.0, 8)
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -276,5 +554,75 @@ mod tests {
         )
         .expect("runs");
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn failfast_oom_reports_partial_work_instead_of_aborting() {
+        // ~1600 KV tokens: a 256-token single query fits, batch 8 does not.
+        let mut e = InferenceEngine::new(pressured(OomPolicy::FailFast, 1600), 3);
+        let load = ServingConfig::new(2.0, 8, 40, 128, 128);
+        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("must not abort on mid-run OOM");
+        assert!(r.failed_queries > 0, "pressured batches must fail: {r:?}");
+        assert!(r.completed > 0, "low-load singles must still complete");
+        assert_eq!(r.completed + r.failed_queries, 40);
+        assert!(r.energy_per_query_j > 0.0);
+    }
+
+    #[test]
+    fn preempt_policy_completes_what_failfast_drops() {
+        let load = ServingConfig::new(2.0, 8, 40, 128, 128);
+        let mut ff = InferenceEngine::new(pressured(OomPolicy::FailFast, 1600), 3);
+        let rf = simulate_serving(&mut ff, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        let mut pr = InferenceEngine::new(pressured(OomPolicy::PreemptRecompute, 1600), 3);
+        let rp = simulate_serving(&mut pr, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        assert_eq!(rp.completed, 40, "preemption must complete every query");
+        assert_eq!(rp.failed_queries, 0);
+        assert!(rp.preemptions > 0, "pressure must trigger preemptions");
+        assert!(rf.failed_queries > 0);
+        assert!(rp.slo_attainment > rf.slo_attainment);
+    }
+
+    #[test]
+    fn retries_recover_transiently_failing_queries() {
+        // With retries and backoff, a failed batch is re-attempted at
+        // smaller effective batch once earlier work drains the queue.
+        let mut e = InferenceEngine::new(pressured(OomPolicy::FailFast, 1600), 3);
+        let load = ServingConfig::new(2.0, 8, 40, 128, 128)
+            .with_retries(3, 1.0)
+            .with_degradation(true);
+        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        assert!(r.retries > 0, "failures must be retried: {r:?}");
+        assert!(
+            r.completed > 40 - r.failed_queries || r.failed_queries < 40,
+            "retries must recover some queries: {r:?}"
+        );
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn deadlines_shed_hopeless_queries() {
+        let mut e = engine();
+        // Service ~4 s per query at qps 2.0 -> the queue grows without
+        // bound; a 10 s deadline must shed the tail.
+        let load = ServingConfig::new(2.0, 1, 40, 128, 128).with_deadline(10.0);
+        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        assert!(r.shed_queries > 0, "overload must shed: {r:?}");
+        assert!(r.slo_attainment < 1.0);
+        assert_eq!(r.completed + r.shed_queries, 40);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_newest() {
+        let mut e = engine();
+        let load = ServingConfig::new(4.0, 1, 40, 128, 128).with_queue_capacity(2);
+        let r = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        assert!(r.shed_queries > 0, "overload must shed: {r:?}");
+        assert_eq!(r.completed + r.shed_queries, 40);
     }
 }

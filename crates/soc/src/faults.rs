@@ -1,0 +1,382 @@
+//! Seeded fault injection: deterministic platform disturbances.
+//!
+//! Edge deployments do not run in the paper's happy path: the Orin throttles
+//! its clocks when the chassis heats up, CPU co-runners steal LPDDR5
+//! bandwidth (the DRAM bus is shared, §IV-B), operators drop the board into
+//! a lower power mode mid-mission, and the GPU occasionally stalls for
+//! hundreds of milliseconds on driver/runtime hiccups. This module models
+//! those disturbances as a *schedule*: a list of [`Disturbance`] windows on
+//! the simulated wall clock, generated from a seed so every run of a study
+//! sees the same weather.
+//!
+//! The schedule is applied by the engine as a [`Derate`] on the simulated
+//! [`Gpu`](crate::gpu::Gpu): active windows scale the effective clock
+//! (compute *and* memory move together, like real DVFS), scale DRAM
+//! bandwidth alone (contention), or cap power (a power-mode drop quantized
+//! to the discrete [`PowerMode`] states the
+//! [`PowerGovernor`](crate::power::PowerGovernor) exposes). Kernel stalls
+//! inject idle-power gaps. An empty schedule produces the identity derate,
+//! which is an exact no-op on the roofline arithmetic — so fault-free runs
+//! are bit-identical to a build without this module.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::Derate;
+use crate::rng::Rng;
+use crate::spec::PowerMode;
+
+/// What a disturbance window does to the platform while it is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Thermal throttling: clocks capped to `freq_scale` of the current
+    /// mode's frequency (compute and memory scale together).
+    ThermalThrottle {
+        /// Relative clock scale in `(0, 1]`.
+        freq_scale: f64,
+    },
+    /// CPU co-runners contending for the shared LPDDR5 bus: the GPU sees
+    /// only `bw_scale` of its usual DRAM bandwidth.
+    BandwidthContention {
+        /// Relative bandwidth scale in `(0, 1]`.
+        bw_scale: f64,
+    },
+    /// The board is dropped into a lower power mode: clocks and the power
+    /// cap both follow the override mode.
+    PowerModeDrop {
+        /// The mode forced while the window is active.
+        mode: PowerMode,
+    },
+    /// A rare kernel/driver stall: the GPU sits idle for the window's
+    /// duration (charged at idle power when the run crosses the window).
+    KernelStall,
+}
+
+/// One disturbance window on the simulated wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disturbance {
+    /// Window start, seconds on the simulation clock.
+    pub start_s: f64,
+    /// Window duration, seconds (for [`FaultKind::KernelStall`] this is the
+    /// stall length itself).
+    pub duration_s: f64,
+    /// What the window does.
+    pub kind: FaultKind,
+}
+
+impl Disturbance {
+    /// Window end, seconds.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+
+    /// Whether the window covers instant `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s()
+    }
+
+    fn class_rank(&self) -> u8 {
+        match self.kind {
+            FaultKind::ThermalThrottle { .. } => 0,
+            FaultKind::BandwidthContention { .. } => 1,
+            FaultKind::PowerModeDrop { .. } => 2,
+            FaultKind::KernelStall => 3,
+        }
+    }
+}
+
+/// Expected disturbance counts per 100 s of horizon at intensity 1.0.
+const THERMAL_PER_100S: f64 = 1.2;
+const CONTENTION_PER_100S: f64 = 1.8;
+const MODE_DROP_PER_100S: f64 = 0.5;
+const STALL_PER_100S: f64 = 0.4;
+
+/// A deterministic schedule of platform disturbances.
+///
+/// Schedules are plain data: generate one with [`FaultSchedule::generate`],
+/// build one by hand with [`FaultSchedule::from_events`], or use
+/// [`FaultSchedule::none`] for the guaranteed-no-op empty schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<Disturbance>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: bit-identical behaviour to no fault layer at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from explicit windows (sorted deterministically).
+    #[must_use]
+    pub fn from_events(mut events: Vec<Disturbance>) -> Self {
+        events.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.class_rank().cmp(&b.class_rank()))
+                .then(a.duration_s.total_cmp(&b.duration_s))
+        });
+        Self { events }
+    }
+
+    /// Generates a seeded random schedule over `[0, horizon_s]`.
+    ///
+    /// `intensity` scales the expected number of disturbances of every
+    /// class (`0.0` yields the empty schedule; `1.0` is the calibrated
+    /// "bad afternoon" rate; larger values model hostile environments).
+    /// The draw order is fixed, so equal `(seed, intensity, horizon_s)`
+    /// always produce the identical schedule.
+    #[must_use]
+    pub fn generate(seed: u64, intensity: f64, horizon_s: f64) -> Self {
+        if intensity <= 0.0 || horizon_s <= 0.0 {
+            return Self::none();
+        }
+        let mut rng = Rng::seed_from_u64(seed ^ 0xfa17_5eed);
+        let scale = intensity * horizon_s / 100.0;
+        let mut events = Vec::new();
+
+        for _ in 0..poisson(&mut rng, THERMAL_PER_100S * scale) {
+            events.push(Disturbance {
+                start_s: rng.range_f64(0.0, horizon_s),
+                duration_s: rng.lognormal_mean_std(15.0, 8.0),
+                kind: FaultKind::ThermalThrottle {
+                    freq_scale: rng.range_f64(0.55, 0.85),
+                },
+            });
+        }
+        for _ in 0..poisson(&mut rng, CONTENTION_PER_100S * scale) {
+            events.push(Disturbance {
+                start_s: rng.range_f64(0.0, horizon_s),
+                duration_s: rng.lognormal_mean_std(8.0, 5.0),
+                kind: FaultKind::BandwidthContention {
+                    bw_scale: rng.range_f64(0.45, 0.80),
+                },
+            });
+        }
+        for _ in 0..poisson(&mut rng, MODE_DROP_PER_100S * scale) {
+            let mode = if rng.chance(0.5) {
+                PowerMode::W30
+            } else {
+                PowerMode::W50
+            };
+            events.push(Disturbance {
+                start_s: rng.range_f64(0.0, horizon_s),
+                duration_s: rng.lognormal_mean_std(25.0, 10.0),
+                kind: FaultKind::PowerModeDrop { mode },
+            });
+        }
+        for _ in 0..poisson(&mut rng, STALL_PER_100S * scale) {
+            events.push(Disturbance {
+                start_s: rng.range_f64(0.0, horizon_s),
+                duration_s: rng.lognormal_mean_std(1.2, 0.8),
+                kind: FaultKind::KernelStall,
+            });
+        }
+        Self::from_events(events)
+    }
+
+    /// Whether the schedule has no windows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The windows, sorted by start time.
+    #[must_use]
+    pub fn events(&self) -> &[Disturbance] {
+        &self.events
+    }
+
+    /// The combined [`Derate`] of every window active at instant `t`, for a
+    /// GPU currently in `mode`. Overlapping windows compose by taking the
+    /// most pessimistic value on each axis. Returns [`Derate::IDENTITY`]
+    /// when nothing is active (in particular, always, for an empty
+    /// schedule).
+    #[must_use]
+    pub fn derate_at(&self, t: f64, mode: PowerMode) -> Derate {
+        let mut d = Derate::IDENTITY;
+        for ev in &self.events {
+            if ev.start_s > t {
+                break; // sorted by start: nothing later can be active
+            }
+            if !ev.active_at(t) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::ThermalThrottle { freq_scale } => {
+                    d.freq = d.freq.min(freq_scale);
+                }
+                FaultKind::BandwidthContention { bw_scale } => {
+                    d.bw = d.bw.min(bw_scale);
+                }
+                FaultKind::PowerModeDrop { mode: forced } => {
+                    d.freq = d.freq.min(forced.freq_scale() / mode.freq_scale());
+                    d.cap_w = d.cap_w.min(forced.power_cap_w());
+                }
+                FaultKind::KernelStall => {}
+            }
+        }
+        d.freq = d.freq.min(1.0);
+        d
+    }
+
+    /// Kernel-stall windows starting inside `[t0, t1)`: returns their count
+    /// and the total stall seconds they inject.
+    #[must_use]
+    pub fn stalls_in(&self, t0: f64, t1: f64) -> (usize, f64) {
+        let mut count = 0usize;
+        let mut seconds = 0.0f64;
+        for ev in &self.events {
+            if ev.start_s >= t1 {
+                break;
+            }
+            if ev.start_s >= t0 && matches!(ev.kind, FaultKind::KernelStall) {
+                count += 1;
+                seconds += ev.duration_s;
+            }
+        }
+        (count, seconds)
+    }
+}
+
+/// Knuth's Poisson sampler (λ is small here: a handful of events per run).
+fn poisson(rng: &mut Rng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.next_f64();
+        if p <= limit || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_identity_everywhere() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        for t in [0.0, 1.0, 1e6] {
+            assert_eq!(s.derate_at(t, PowerMode::MaxN), Derate::IDENTITY);
+        }
+        assert_eq!(s.stalls_in(0.0, 1e9), (0, 0.0));
+    }
+
+    #[test]
+    fn zero_intensity_generates_nothing() {
+        assert!(FaultSchedule::generate(42, 0.0, 1000.0).is_empty());
+        assert!(FaultSchedule::generate(42, 1.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = FaultSchedule::generate(7, 1.5, 500.0);
+        let b = FaultSchedule::generate(7, 1.5, 500.0);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(8, 1.5, 500.0);
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn intensity_scales_event_count() {
+        let lo = FaultSchedule::generate(3, 0.5, 2000.0).events().len();
+        let hi = FaultSchedule::generate(3, 4.0, 2000.0).events().len();
+        assert!(
+            hi > lo,
+            "4x intensity must produce more events: {lo} vs {hi}"
+        );
+    }
+
+    #[test]
+    fn events_are_sorted_by_start() {
+        let s = FaultSchedule::generate(11, 2.0, 1000.0);
+        for w in s.events().windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+        }
+    }
+
+    #[test]
+    fn thermal_window_derates_frequency_only_inside() {
+        let s = FaultSchedule::from_events(vec![Disturbance {
+            start_s: 10.0,
+            duration_s: 5.0,
+            kind: FaultKind::ThermalThrottle { freq_scale: 0.6 },
+        }]);
+        assert_eq!(s.derate_at(9.9, PowerMode::MaxN), Derate::IDENTITY);
+        let d = s.derate_at(12.0, PowerMode::MaxN);
+        assert_eq!(d.freq, 0.6);
+        assert_eq!(d.bw, 1.0);
+        assert_eq!(s.derate_at(15.0, PowerMode::MaxN), Derate::IDENTITY);
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_worst_of_each_axis() {
+        let s = FaultSchedule::from_events(vec![
+            Disturbance {
+                start_s: 0.0,
+                duration_s: 100.0,
+                kind: FaultKind::ThermalThrottle { freq_scale: 0.8 },
+            },
+            Disturbance {
+                start_s: 0.0,
+                duration_s: 100.0,
+                kind: FaultKind::ThermalThrottle { freq_scale: 0.6 },
+            },
+            Disturbance {
+                start_s: 0.0,
+                duration_s: 100.0,
+                kind: FaultKind::BandwidthContention { bw_scale: 0.5 },
+            },
+        ]);
+        let d = s.derate_at(50.0, PowerMode::MaxN);
+        assert_eq!(d.freq, 0.6);
+        assert_eq!(d.bw, 0.5);
+    }
+
+    #[test]
+    fn power_mode_drop_scales_relative_to_current_mode() {
+        let s = FaultSchedule::from_events(vec![Disturbance {
+            start_s: 0.0,
+            duration_s: 10.0,
+            kind: FaultKind::PowerModeDrop {
+                mode: PowerMode::W30,
+            },
+        }]);
+        let d = s.derate_at(1.0, PowerMode::MaxN);
+        assert!((d.freq - 0.61).abs() < 1e-12);
+        assert_eq!(d.cap_w, 30.0);
+        // Already below the forced mode: no speedup is ever granted.
+        let d15 = s.derate_at(1.0, PowerMode::W15);
+        assert_eq!(d15.freq, 1.0);
+        assert_eq!(d15.cap_w, 30.0);
+    }
+
+    #[test]
+    fn stalls_are_counted_in_window() {
+        let s = FaultSchedule::from_events(vec![
+            Disturbance {
+                start_s: 5.0,
+                duration_s: 1.5,
+                kind: FaultKind::KernelStall,
+            },
+            Disturbance {
+                start_s: 20.0,
+                duration_s: 0.5,
+                kind: FaultKind::KernelStall,
+            },
+        ]);
+        assert_eq!(s.stalls_in(0.0, 10.0), (1, 1.5));
+        let (n, sec) = s.stalls_in(0.0, 30.0);
+        assert_eq!(n, 2);
+        assert!((sec - 2.0).abs() < 1e-12);
+        assert_eq!(s.stalls_in(6.0, 10.0), (0, 0.0));
+    }
+}

@@ -160,6 +160,45 @@ impl PhaseStats {
     }
 }
 
+/// A transient derate of the GPU's nominal operating point, used by the
+/// fault-injection layer (`soc::faults`) to model thermal throttling, DRAM
+/// contention and forced power-mode drops without changing the configured
+/// [`PowerMode`].
+///
+/// [`Derate::IDENTITY`] is an exact no-op: scaling by `1.0` and capping at
+/// `+inf` leave every IEEE-754 intermediate bit-identical, which is what
+/// guarantees fault-free runs match a build without the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Derate {
+    /// Relative clock scale applied to compute *and* memory (DVFS moves
+    /// them together on Orin), in `(0, 1]`.
+    pub freq: f64,
+    /// Additional relative DRAM-bandwidth scale (co-runner contention).
+    pub bw: f64,
+    /// Absolute power-cap override, watts (`+inf` = no override).
+    pub cap_w: f64,
+}
+
+impl Derate {
+    /// The no-op derate.
+    pub const IDENTITY: Derate = Derate {
+        freq: 1.0,
+        bw: 1.0,
+        cap_w: f64::INFINITY,
+    };
+
+    /// Whether this derate is exactly the identity.
+    pub fn is_identity(&self) -> bool {
+        *self == Self::IDENTITY
+    }
+}
+
+impl Default for Derate {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
 /// The simulated GPU: executes kernels, tracks power and telemetry.
 #[derive(Debug, Clone)]
 pub struct Gpu {
@@ -167,6 +206,7 @@ pub struct Gpu {
     mode: PowerMode,
     eff: EffProfile,
     power: PowerModel,
+    derate: Derate,
     rng: Rng,
 }
 
@@ -179,6 +219,7 @@ impl Gpu {
             mode,
             eff: EffProfile::default(),
             power: PowerModel::default(),
+            derate: Derate::IDENTITY,
             rng: Rng::seed_from_u64(seed ^ 0x6f72_696e),
         }
     }
@@ -196,6 +237,17 @@ impl Gpu {
     /// Sets the power mode (affects clocks and the power cap).
     pub fn set_mode(&mut self, mode: PowerMode) {
         self.mode = mode;
+    }
+
+    /// Returns the active fault derate.
+    pub fn derate(&self) -> Derate {
+        self.derate
+    }
+
+    /// Applies a fault derate (see [`Derate`]); pass
+    /// [`Derate::IDENTITY`] to clear it.
+    pub fn set_derate(&mut self, derate: Derate) {
+        self.derate = derate;
     }
 
     /// Returns the efficiency profile.
@@ -220,12 +272,18 @@ impl Gpu {
             ComputeKind::TensorInt8 => self.spec.tensor_int8_ops,
             ComputeKind::CudaFp32 => self.spec.fp32_flops,
         };
-        base * self.mode.freq_scale()
+        base * self.mode.freq_scale() * self.derate.freq
     }
 
     /// DRAM bandwidth under the current mode, bytes/s.
     pub fn peak_bw(&self) -> f64 {
-        self.spec.dram_bw * self.mode.freq_scale()
+        self.spec.dram_bw * self.mode.freq_scale() * self.derate.freq * self.derate.bw
+    }
+
+    /// The effective power cap: the mode's cap, lowered further by any
+    /// active fault derate.
+    fn effective_cap_w(&self) -> f64 {
+        self.mode.power_cap_w().min(self.derate.cap_w)
     }
 
     fn compute_efficiency(&self, k: &KernelDesc, m_pad: usize) -> f64 {
@@ -328,9 +386,9 @@ impl Gpu {
             e_per_flop,
             achieved_rd_bw + achieved_wr_bw,
             calib.power_scale,
-            self.mode.power_cap_w(),
+            self.effective_cap_w(),
         ) + extra_active_w * calib.power_scale)
-            .min(self.mode.power_cap_w());
+            .min(self.effective_cap_w());
 
         KernelExec {
             latency_s: latency,
@@ -464,6 +522,9 @@ impl Gpu {
             self.power.energy_per_flop_int8.to_bits(),
             self.power.energy_per_flop_fp32.to_bits(),
             self.power.attention_active_w.to_bits(),
+            self.derate.freq.to_bits(),
+            self.derate.bw.to_bits(),
+            self.derate.cap_w.to_bits(),
         ])
     }
 }
@@ -669,6 +730,71 @@ mod tests {
         eff.gemm_peak_frac = 0.5;
         c.set_eff_profile(eff);
         assert_ne!(a.config_fingerprint(), c.config_fingerprint());
+    }
+
+    #[test]
+    fn identity_derate_is_bit_exact_noop() {
+        let k = KernelDesc::gemm(KernelClass::Gemm, ComputeKind::TensorFp16, 512, 4096, 4096)
+            .with_bytes(32 << 20, 4 << 20);
+        let base = gpu();
+        let mut derated = gpu();
+        derated.set_derate(Derate::IDENTITY);
+        let a = base.run_phase_deterministic(std::iter::once(&k), &ExecCalib::default());
+        let b = derated.run_phase_deterministic(std::iter::once(&k), &ExecCalib::default());
+        assert_eq!(a, b, "identity derate must not change a single bit");
+        assert_eq!(base.config_fingerprint(), derated.config_fingerprint());
+    }
+
+    #[test]
+    fn frequency_derate_slows_and_bw_derate_starves() {
+        let gemm = KernelDesc::gemm(KernelClass::Gemm, ComputeKind::TensorFp16, 4096, 4096, 4096)
+            .with_bytes(64 << 20, 32 << 20);
+        let gemv = KernelDesc::gemm(KernelClass::Gemv, ComputeKind::TensorFp16, 1, 14336, 4096)
+            .with_bytes(2 * 14336 * 4096, 2 * 14336);
+        let base = gpu();
+        let mut slow = gpu();
+        slow.set_derate(Derate {
+            freq: 0.6,
+            ..Derate::IDENTITY
+        });
+        let calib = ExecCalib::default();
+        let t0 = base
+            .run_phase_deterministic(std::iter::once(&gemm), &calib)
+            .latency_s;
+        let t1 = slow
+            .run_phase_deterministic(std::iter::once(&gemm), &calib)
+            .latency_s;
+        assert!(t1 > 1.3 * t0, "0.6x clocks must slow compute: {t0} -> {t1}");
+
+        let mut starved = gpu();
+        starved.set_derate(Derate {
+            bw: 0.5,
+            ..Derate::IDENTITY
+        });
+        let m0 = base
+            .run_phase_deterministic(std::iter::once(&gemv), &calib)
+            .latency_s;
+        let m1 = starved
+            .run_phase_deterministic(std::iter::once(&gemv), &calib)
+            .latency_s;
+        assert!(
+            m1 > 1.5 * m0,
+            "halved bandwidth must slow a memory-bound GEMV: {m0} -> {m1}"
+        );
+        assert_ne!(base.config_fingerprint(), starved.config_fingerprint());
+    }
+
+    #[test]
+    fn cap_derate_limits_power() {
+        let k = KernelDesc::gemm(KernelClass::Gemm, ComputeKind::TensorFp16, 4096, 4096, 4096)
+            .with_bytes(64 << 20, 32 << 20);
+        let mut g = gpu();
+        g.set_derate(Derate {
+            cap_w: 20.0,
+            ..Derate::IDENTITY
+        });
+        let exec = g.execute(&k);
+        assert!(exec.power_w <= 20.0 + 1e-9);
     }
 
     #[test]

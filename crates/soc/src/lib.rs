@@ -18,6 +18,10 @@
 //! * [`power`] — utilization-driven power draw with the discrete DVFS-like
 //!   power states visible in the paper's Fig. 10c, and an energy meter that
 //!   integrates P·dt per inference phase.
+//! * [`faults`] — a seeded schedule of platform disturbances (thermal
+//!   throttling, DRAM-bandwidth contention, power-mode drops, kernel
+//!   stalls) applied to the GPU as a [`gpu::Derate`]; the empty schedule is
+//!   bit-identical to a fault-free build.
 //! * [`cpu::Cpu`] — the 12-core Arm Cortex-A78AE, used for the paper's
 //!   Appendix C CPU-vs-GPU comparison.
 //! * [`rng`] / [`stats`] — from-scratch deterministic xoshiro256++ RNG with
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod faults;
 pub mod gpu;
 pub mod kernel;
 pub mod power;
@@ -55,7 +60,8 @@ pub mod spec;
 pub mod stats;
 
 pub use cpu::Cpu;
-pub use gpu::{Gpu, KernelExec, PhaseStats};
+pub use faults::{Disturbance, FaultKind, FaultSchedule};
+pub use gpu::{Derate, Gpu, KernelExec, PhaseStats};
 pub use kernel::{ComputeKind, KernelClass, KernelDesc};
 pub use power::{EnergyMeter, PowerGovernor, PowerModel};
 pub use rng::Rng;

@@ -182,6 +182,25 @@ impl PowerGovernor {
         }
         *self.states_w.last().expect("non-empty")
     }
+
+    /// Like [`PowerGovernor::quantize`], but honours a fault-induced power
+    /// cap: the chosen state never exceeds `cap_w` unless even the lowest
+    /// state is above the cap (the board cannot go below its floor). With
+    /// `cap_w = +inf` this is exactly [`PowerGovernor::quantize`].
+    pub fn quantize_capped(&self, power_w: f64, cap_w: f64) -> f64 {
+        let snapped = self.quantize(power_w);
+        if snapped <= cap_w {
+            return snapped;
+        }
+        // Highest state at or below the cap, else the floor state.
+        let mut best = self.states_w[0];
+        for &s in &self.states_w {
+            if s <= cap_w {
+                best = s;
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +276,18 @@ mod tests {
         assert_eq!(g.quantize(4.0), 4.3);
         assert_eq!(g.quantize(15.0), 19.0);
         assert_eq!(g.quantize(100.0), 60.0);
+    }
+
+    #[test]
+    fn governor_cap_limits_state() {
+        let g = PowerGovernor::default();
+        // Uncapped behaviour is unchanged.
+        assert_eq!(g.quantize_capped(15.0, f64::INFINITY), 19.0);
+        // A 15 W cap forces the highest state under the cap.
+        assert_eq!(g.quantize_capped(15.0, 15.0), 14.0);
+        assert_eq!(g.quantize_capped(55.0, 30.0), 30.0);
+        // Below the floor: the floor state is all the board can do.
+        assert_eq!(g.quantize_capped(10.0, 1.0), 4.3);
     }
 
     #[test]

@@ -24,4 +24,14 @@ cargo test --release -q
 echo "==> cargo test -q --workspace"
 cargo test --release -q --workspace
 
+echo "==> resilience_study --smoke (deterministic fault-injection CSV)"
+cargo run --release -q -p edgereasoning-bench --bin resilience_study -- --smoke
+SMOKE_CSV=outputs/resilience_study_smoke.csv
+[ -s "$SMOKE_CSV" ] || { echo "FAIL: $SMOKE_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$SMOKE_CSV")" -gt 1 ] || { echo "FAIL: $SMOKE_CSV has no data rows"; exit 1; }
+cp "$SMOKE_CSV" "$SMOKE_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin resilience_study -- --smoke
+cmp "$SMOKE_CSV" "$SMOKE_CSV.first" || { echo "FAIL: resilience smoke not deterministic"; exit 1; }
+rm -f "$SMOKE_CSV.first"
+
 echo "CI OK"

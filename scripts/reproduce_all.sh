@@ -10,6 +10,7 @@ BINS=(
   fig11_14_quant
   table09 table12 table13_15_planning table16_17_cpu
   ablation_power_modes ablation_future_work
+  resilience_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

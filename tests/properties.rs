@@ -7,15 +7,17 @@ use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, Tota
 use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
 use edgereasoning::core::rig::RigConfig;
 use edgereasoning::core::study::{Study, StudyCell};
-use edgereasoning::engine::engine::EngineConfig;
+use edgereasoning::engine::engine::{EngineConfig, OomPolicy};
 use edgereasoning::engine::kv_cache::KvCacheManager;
 use edgereasoning::engine::request::GenerationRequest;
+use edgereasoning::engine::serving::{simulate_serving, ServingConfig};
 use edgereasoning::engine::SimEngine;
 use edgereasoning::kernels::arch::ModelId;
 use edgereasoning::kernels::dtype::Precision;
 use edgereasoning::kernels::phases::{decode_step_kernels, prefill_kernels};
 use edgereasoning::models::evaluate::{evaluate, EvalOptions};
 use edgereasoning::models::profile::{expected_min, natural_mean_for_observed};
+use edgereasoning::soc::faults::FaultSchedule;
 use edgereasoning::soc::gpu::{ExecCalib, Gpu};
 use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
 use edgereasoning::soc::power::ramp_avg_factor;
@@ -146,7 +148,7 @@ proptest! {
             prop_assert!(mgr.free_tokens() <= cap);
         }
         for id in live {
-            mgr.release(id);
+            mgr.release(id).expect("live sequence releases cleanly");
         }
         prop_assert_eq!(mgr.free_tokens(), cap);
         prop_assert_eq!(mgr.live_sequences(), 0);
@@ -344,6 +346,58 @@ proptest! {
         prop_assert!(os <= fs + tol, "oracle SSE {os} worse than fast {fs}");
     }
 
+    /// Same seed + same fault schedule ⇒ bit-identical serving report,
+    /// with every degraded-mode control (deadline, bounded queue, retries,
+    /// degradation ladder, preemption) switched on.
+    #[test]
+    fn serving_report_deterministic_under_faults(
+        seed in 0u64..200, intensity in 0.0f64..4.0
+    ) {
+        let schedule = FaultSchedule::generate(seed, intensity, 120.0);
+        let run = || {
+            let mut e = SimEngine::new(
+                EngineConfig::vllm().with_oom_policy(OomPolicy::PreemptRecompute),
+                seed,
+            );
+            e.set_fault_schedule(schedule.clone());
+            let cfg = ServingConfig::new(1.5, 6, 16, 96, 64)
+                .with_deadline(90.0)
+                .with_queue_capacity(24)
+                .with_retries(2, 1.0)
+                .with_degradation(true);
+            simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("degraded serving never aborts")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Whenever a memory-pressured FailFast engine aborts a batch,
+    /// PreemptRecompute completes the identical request in full.
+    #[test]
+    fn preempt_completes_what_failfast_aborts(
+        kv_tokens in 600u64..1400, batch in 4usize..10, seed in 0u64..100
+    ) {
+        let pressured = |policy: OomPolicy| {
+            let mut config = EngineConfig::vllm().with_oom_policy(policy);
+            let arch = ModelId::Dsr1Qwen1_5b.arch();
+            let budget =
+                arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+            config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+            SimEngine::new(config, seed)
+        };
+        let req = GenerationRequest::new(128, 128).with_batch(batch);
+        let failfast =
+            pressured(OomPolicy::FailFast).run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req);
+        if failfast.is_err() {
+            let o = pressured(OomPolicy::PreemptRecompute)
+                .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+                .expect("preemption must complete what fail-fast aborts");
+            prop_assert_eq!(o.generated_tokens, 128);
+            prop_assert_eq!(o.batch, batch);
+            prop_assert!(o.preemptions > 0, "pressure must preempt");
+        }
+    }
+
     /// The phase-plan cache is invisible to results: a cache-disabled
     /// engine produces bit-identical outcomes for any request shape.
     #[test]
@@ -433,6 +487,38 @@ fn parallel_fit_sweep_bit_identical_at_every_thread_count() {
                 );
             }
         }
+    }
+}
+
+/// Installing an *empty* fault schedule (and an arbitrary wall clock) is
+/// invisible: outcomes are bit-identical to a plain engine at every thread
+/// count of a parallel fan-out.
+#[test]
+fn empty_fault_schedule_bit_identical_at_every_thread_count() {
+    let reqs: [(usize, usize, usize); 4] =
+        [(128, 96, 1), (512, 300, 2), (64, 48, 4), (1024, 128, 1)];
+    let run = |threads: usize, hooked: bool| {
+        par_map_deterministic(&reqs, threads, |i, &(prompt, output, batch)| {
+            let mut e = SimEngine::new(EngineConfig::vllm(), item_seed(42, i as u64));
+            if hooked {
+                e.set_fault_schedule(FaultSchedule::none());
+                e.set_clock_s(777.0);
+            }
+            e.run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(prompt, output).with_batch(batch),
+            )
+            .expect("fits")
+        })
+    };
+    let baseline = run(1, false);
+    for threads in [1usize, 2, 3, 0] {
+        assert_eq!(
+            baseline,
+            run(threads, true),
+            "no-op schedule must not perturb a bit at {threads} threads"
+        );
     }
 }
 
