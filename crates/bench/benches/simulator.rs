@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
 use edgereasoning_engine::request::GenerationRequest;
+use edgereasoning_engine::serving::{simulate_serving_with, SchedulerKind, ServingConfig};
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
@@ -119,12 +120,41 @@ fn bench_cache_effect(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    // One serving_study cell: a 24-query Poisson stream at moderate load
+    // with a deadline, through each scheduler.
+    let cfg = ServingConfig::new(1.0, 8, 24, 128, 128).with_deadline(20.0);
+    for (label, kind) in [
+        ("static_24q", SchedulerKind::Static),
+        ("continuous_24q", SchedulerKind::Continuous),
+    ] {
+        g.bench_function(label, |b| {
+            let mut engine = InferenceEngine::new(EngineConfig::vllm(), 3);
+            b.iter(|| {
+                simulate_serving_with(
+                    kind,
+                    &mut engine,
+                    ModelId::Dsr1Qwen1_5b,
+                    Precision::Fp16,
+                    black_box(&cfg),
+                    7,
+                )
+                .expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
     bench_roofline_execution,
     bench_generation,
     bench_dataset_eval,
-    bench_cache_effect
+    bench_cache_effect,
+    bench_serving
 );
 criterion_main!(benches);

@@ -14,7 +14,7 @@ use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
 use serde::{Deserialize, Serialize};
 
 use crate::kv_cache::{KvCacheManager, SeqId};
-use crate::outcome::{InferenceOutcome, TbtSample};
+use crate::outcome::{InferenceOutcome, TbtSample, TraceRec};
 use crate::plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 use crate::request::GenerationRequest;
 use crate::EngineError;
@@ -99,6 +99,11 @@ pub struct EngineConfig {
     pub power_ramp_tau_s: f64,
     /// Behaviour when the KV cache runs out mid-generation.
     pub oom_policy: OomPolicy,
+    /// Maximum [`TbtSample`]s retained per generation (stride-doubling
+    /// downsample beyond the cap; 0 keeps every sample). Recording never
+    /// feeds back into phase aggregates, so the cap cannot change
+    /// TTFT/TBT statistics.
+    pub tbt_trace_cap: usize,
 }
 
 impl EngineConfig {
@@ -116,6 +121,7 @@ impl EngineConfig {
             run_noise: 0.005,
             power_ramp_tau_s: 10.0,
             oom_policy: OomPolicy::FailFast,
+            tbt_trace_cap: 512,
         }
     }
 
@@ -247,7 +253,7 @@ impl InferenceEngine {
     /// Applies the disturbance schedule at instant `t` to the GPU.
     /// Returns whether a non-identity derate is active. With an empty
     /// schedule this is a no-op that never touches the GPU.
-    fn apply_faults_at(&mut self, t: f64) -> bool {
+    pub(crate) fn apply_faults_at(&mut self, t: f64) -> bool {
         if self.faults.is_empty() {
             return false;
         }
@@ -298,9 +304,32 @@ impl InferenceEngine {
         self.counters = EngineCounters::default();
     }
 
+    /// Current GPU configuration fingerprint (participates in cache keys;
+    /// changes when a disturbance window alters the derate or power mode).
+    pub(crate) fn gpu_fingerprint(&self) -> u64 {
+        self.gpu.config_fingerprint()
+    }
+
+    /// Idle power floor of the device, watts. Independent of derates and
+    /// power-mode quantization, so constant over an engine's lifetime.
+    pub(crate) fn idle_w(&self) -> f64 {
+        self.gpu.power_model().idle_w
+    }
+
+    /// Draws the phase's single stochastic perturbation (exactly one RNG
+    /// draw, hit or miss — the bit-exactness contract).
+    pub(crate) fn perturb(&mut self, det: &PhaseStats) -> PhaseStats {
+        self.gpu.perturb_phase(det)
+    }
+
+    /// Mutable access to the execution counters (stepper bookkeeping).
+    pub(crate) fn counters_mut(&mut self) -> &mut EngineCounters {
+        &mut self.counters
+    }
+
     /// Returns the memoized deterministic aggregate for `key`, computing
     /// (and caching) it via `build` + the noise-free roofline on a miss.
-    fn deterministic_phase(
+    pub(crate) fn deterministic_phase(
         &mut self,
         key: PhaseKey,
         calib: &ExecCalib,
@@ -443,7 +472,7 @@ impl InferenceEngine {
             self.config.host_per_step_s + self.config.host_per_seq_step_s * req.batch as f64;
         let mut base_cache: Option<(u64, PhaseStats)> = None;
         let mut decode = PhaseStats::default();
-        let mut trace = Vec::new();
+        let mut trace = TraceRec::new(self.config.tbt_trace_cap);
         let mut produced = 0usize;
         while produced < req.max_new_tokens {
             let chunk = self.config.decode_chunk.min(req.max_new_tokens - produced);
@@ -507,7 +536,21 @@ impl InferenceEngine {
             kv.release(s)?;
         }
 
-        Ok(self.finalize(model, prec, req, prefill, decode, trace, 0, 0, throttled_s))
+        Ok(self
+            .finalize_parts(
+                model,
+                prec,
+                req.batch,
+                req.prompt_tokens,
+                req.max_new_tokens,
+                prefill,
+                decode,
+                trace.into_vec(),
+                0,
+                0,
+                throttled_s,
+            )
+            .0)
     }
 
     /// vLLM-style recompute preemption. Sequences run as "cohorts" sharing
@@ -549,7 +592,7 @@ impl InferenceEngine {
         let idle_w = self.gpu.power_model().idle_w;
         let mut prefill = PhaseStats::default();
         let mut decode = PhaseStats::default();
-        let mut trace = Vec::new();
+        let mut trace = TraceRec::new(self.config.tbt_trace_cap);
         let mut preemptions = 0usize;
         let mut recomputed_tokens = 0usize;
         let mut first_cohort = true;
@@ -700,34 +743,42 @@ impl InferenceEngine {
             }
         }
 
-        Ok(self.finalize(
-            model,
-            prec,
-            req,
-            prefill,
-            decode,
-            trace,
-            preemptions,
-            recomputed_tokens,
-            throttled_s,
-        ))
+        Ok(self
+            .finalize_parts(
+                model,
+                prec,
+                req.batch,
+                req.prompt_tokens,
+                req.max_new_tokens,
+                prefill,
+                decode,
+                trace.into_vec(),
+                preemptions,
+                recomputed_tokens,
+                throttled_s,
+            )
+            .0)
     }
 
     /// Shared run tail: one run-level jitter draw, the DVFS power ramp, and
     /// outcome assembly. Identical float operations to the pre-fault engine.
+    /// Also returns the jitter factor so incremental callers (the stepper)
+    /// can scale their own wall-clock bookkeeping by the same draw.
     #[allow(clippy::too_many_arguments)]
-    fn finalize(
+    pub(crate) fn finalize_parts(
         &mut self,
         model: ModelId,
         prec: Precision,
-        req: &GenerationRequest,
+        batch: usize,
+        prompt_tokens: usize,
+        generated_tokens: usize,
         prefill: PhaseStats,
         decode: PhaseStats,
         trace: Vec<TbtSample>,
         preemptions: usize,
         recomputed_tokens: usize,
         throttled_s: f64,
-    ) -> InferenceOutcome {
+    ) -> (InferenceOutcome, f64) {
         // Run-level wall-clock variability (scheduling, thermals) that
         // per-kernel noise averages away over hundreds of launches.
         let jitter = self.run_rng.jitter(self.config.run_noise);
@@ -746,12 +797,12 @@ impl InferenceEngine {
         let prefill = apply_ramp(&prefill, 0.0, idle_w, tau);
         let decode = apply_ramp(&decode, prefill.latency_s, idle_w, tau);
 
-        InferenceOutcome {
+        let outcome = InferenceOutcome {
             model,
             precision: prec,
-            batch: req.batch,
-            prompt_tokens: req.prompt_tokens,
-            generated_tokens: req.max_new_tokens,
+            batch,
+            prompt_tokens,
+            generated_tokens,
             prefill,
             decode,
             host_s: self.config.request_overhead_s,
@@ -759,7 +810,8 @@ impl InferenceEngine {
             preemptions,
             recomputed_tokens,
             throttled_s,
-        }
+        };
+        (outcome, jitter)
     }
 
     /// Runs only a prefill pass (used by the §IV characterization sweeps).
@@ -832,7 +884,7 @@ impl InferenceEngine {
 }
 
 /// The out-of-memory error for a request against the current cache state.
-fn oom_error(kv: &KvCacheManager, req: &GenerationRequest) -> EngineError {
+pub(crate) fn oom_error(kv: &KvCacheManager, req: &GenerationRequest) -> EngineError {
     EngineError::OutOfMemory {
         needed: kv.bytes_per_token()
             * (req.batch * (req.prompt_tokens + req.max_new_tokens)) as u64,
@@ -841,7 +893,7 @@ fn oom_error(kv: &KvCacheManager, req: &GenerationRequest) -> EngineError {
 }
 
 /// An idle-power gap of `latency_s` seconds (host work, kernel stalls).
-fn idle_gap(latency_s: f64, idle_w: f64) -> PhaseStats {
+pub(crate) fn idle_gap(latency_s: f64, idle_w: f64) -> PhaseStats {
     PhaseStats {
         latency_s,
         energy_j: latency_s * idle_w,
@@ -852,7 +904,7 @@ fn idle_gap(latency_s: f64, idle_w: f64) -> PhaseStats {
 
 /// Rescales a phase's energy/average power for the DVFS ramp over the
 /// window starting at `start_s` into the run.
-fn apply_ramp(phase: &PhaseStats, start_s: f64, idle_w: f64, tau_s: f64) -> PhaseStats {
+pub(crate) fn apply_ramp(phase: &PhaseStats, start_s: f64, idle_w: f64, tau_s: f64) -> PhaseStats {
     use edgereasoning_soc::power::ramp_avg_factor;
     if tau_s == 0.0 || phase.latency_s <= 0.0 {
         return *phase;
@@ -1020,6 +1072,34 @@ mod tests {
         assert!(o.tbt_trace.len() >= 3);
         for w in o.tbt_trace.windows(2) {
             assert!(w[1].ctx > w[0].ctx);
+        }
+    }
+
+    #[test]
+    fn long_generations_keep_a_bounded_trace_with_unchanged_aggregates() {
+        let req = GenerationRequest::new(64, 4096);
+        let mut capped = InferenceEngine::new(EngineConfig::vllm(), 9);
+        capped.config.tbt_trace_cap = 16;
+        let mut unbounded = InferenceEngine::new(EngineConfig::vllm(), 9);
+        unbounded.config.tbt_trace_cap = 0;
+        let a = capped
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let b = unbounded
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        // 4096 tokens at chunk 48 = 86 decode steps: bounded vs full trace.
+        assert!(a.tbt_trace.len() <= 16, "cap holds: {}", a.tbt_trace.len());
+        assert!(b.tbt_trace.len() >= 80, "uncapped: {}", b.tbt_trace.len());
+        // Trace capping must not touch TTFT/TBT aggregates — everything but
+        // the trace is bit-identical.
+        assert_eq!(a.prefill, b.prefill);
+        assert_eq!(a.decode, b.decode);
+        assert_eq!(a.mean_tbt_s(), b.mean_tbt_s());
+        // Retained samples are a subsequence of the full trace.
+        let mut it = b.tbt_trace.iter();
+        for s in &a.tbt_trace {
+            assert!(it.any(|f| f == s), "capped sample missing from full");
         }
     }
 

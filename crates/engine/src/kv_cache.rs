@@ -165,6 +165,25 @@ impl KvCacheManager {
     pub fn would_fit(&self, batch: usize, tokens: usize) -> bool {
         self.blocks_for(tokens) * batch as u64 <= self.free_blocks
     }
+
+    /// Whether a request of `batch` sequences × `tokens` context could ever
+    /// fit in an *empty* cache — the admission feasibility check: if this
+    /// fails, no amount of preemption or waiting will ever place the
+    /// request.
+    pub fn would_fit_capacity(&self, batch: usize, tokens: usize) -> bool {
+        self.blocks_for(tokens) * batch as u64 <= self.total_blocks
+    }
+
+    /// Blocks needed for `tokens` of context (block-granular round-up),
+    /// exposed for the stepper's reservation arithmetic.
+    pub(crate) fn blocks_needed(&self, tokens: usize) -> u64 {
+        self.blocks_for(tokens)
+    }
+
+    /// Currently free blocks.
+    pub(crate) fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +246,17 @@ mod tests {
         let m = mgr(4);
         assert!(m.would_fit(2, 16));
         assert!(!m.would_fit(3, 16));
+    }
+
+    #[test]
+    fn would_fit_capacity_ignores_current_occupancy() {
+        let mut m = mgr(4); // 2 blocks of 16 tokens
+        let a = m.allocate(32).expect("fills the cache");
+        assert!(!m.would_fit(1, 16), "no free space right now");
+        assert!(m.would_fit_capacity(1, 32), "but it fits an empty cache");
+        assert!(!m.would_fit_capacity(1, 33), "over capacity never fits");
+        assert!(!m.would_fit_capacity(3, 16));
+        m.release(a).expect("live");
     }
 
     #[test]

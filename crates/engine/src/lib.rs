@@ -48,13 +48,18 @@ pub mod outcome;
 pub mod plan_cache;
 pub mod request;
 pub mod serving;
+pub mod stepper;
 
 pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
 pub use kv_cache::{KvCacheManager, KvError, SeqId};
 pub use outcome::{InferenceOutcome, TbtSample};
 pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 pub use request::GenerationRequest;
-pub use serving::{simulate_serving, ServingConfig, ServingReport};
+pub use serving::{
+    simulate_serving, simulate_serving_continuous, simulate_serving_with, SchedulerKind,
+    ServingConfig, ServingConfigError, ServingReport,
+};
+pub use stepper::{AdmitOutcome, BatchStepper, FinishedSlot, SlotId, StepOutcome};
 
 /// Canonical alias for the cached, deterministic simulation engine.
 pub type SimEngine = InferenceEngine;

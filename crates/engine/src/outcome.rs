@@ -15,6 +15,58 @@ pub struct TbtSample {
     pub tbt_s: f64,
 }
 
+/// Bounded-memory recorder for [`TbtSample`] traces.
+///
+/// Long serving runs used to grow the trace O(tokens); the recorder keeps
+/// at most `cap` samples by stride-doubling: once full it drops every other
+/// retained sample and doubles the sampling stride, so the trace stays a
+/// uniform (power-of-two strided) downsample of the full sequence. `cap ==
+/// 0` disables bounding (the legacy behaviour). Recording never feeds back
+/// into phase aggregates, so capping cannot change TTFT/TBT statistics.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceRec {
+    cap: usize,
+    stride: usize,
+    seen: usize,
+    samples: Vec<TbtSample>,
+}
+
+impl TraceRec {
+    /// A recorder keeping at most `cap` samples (0 = unbounded).
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            stride: 1,
+            seen: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one sample; records it if it falls on the current stride.
+    pub(crate) fn push(&mut self, sample: TbtSample) {
+        if self.cap != 0 && !self.seen.is_multiple_of(self.stride) {
+            self.seen += 1;
+            return;
+        }
+        self.seen += 1;
+        self.samples.push(sample);
+        if self.cap != 0 && self.samples.len() > self.cap {
+            let mut i = 0usize;
+            self.samples.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// The retained samples, in recording order.
+    pub(crate) fn into_vec(self) -> Vec<TbtSample> {
+        self.samples
+    }
+}
+
 /// Full telemetry of one simulated generation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceOutcome {
@@ -163,6 +215,37 @@ mod tests {
         assert!((o.decode_tps() - 50.0).abs() < 1e-9);
         assert!((o.system_tps() - 100.0).abs() < 1e-9);
         assert!((o.mean_tbt_s() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_recorder_bounds_memory_with_stride_doubling() {
+        let mut rec = TraceRec::new(8);
+        for i in 0..1000 {
+            rec.push(TbtSample {
+                ctx: i,
+                tbt_s: i as f64,
+            });
+        }
+        let kept = rec.into_vec();
+        assert!(kept.len() <= 8, "cap must hold: {}", kept.len());
+        assert!(kept.len() >= 4, "at least cap/2 survive: {}", kept.len());
+        // Survivors stay in order and start at the first sample.
+        assert_eq!(kept[0].ctx, 0);
+        for w in kept.windows(2) {
+            assert!(w[1].ctx > w[0].ctx);
+        }
+        // Unbounded recorder keeps everything.
+        let mut all = TraceRec::new(0);
+        for i in 0..1000 {
+            all.push(TbtSample { ctx: i, tbt_s: 0.0 });
+        }
+        assert_eq!(all.into_vec().len(), 1000);
+        // A short trace under the cap is identical to the unbounded one.
+        let mut short = TraceRec::new(8);
+        for i in 0..5 {
+            short.push(TbtSample { ctx: i, tbt_s: 0.0 });
+        }
+        assert_eq!(short.into_vec().len(), 5);
     }
 
     #[test]

@@ -2,14 +2,26 @@
 //! benefit from batching and increased queries per second").
 //!
 //! A single-device, single-queue discrete-event simulation: queries arrive
-//! as a Poisson stream, the engine admits up to `max_batch` of them per
-//! batched generation, and the report captures throughput, queueing
-//! latency percentiles, and energy per query — quantifying how request
-//! rate turns into the batch-30 cost advantage of Table III.
+//! as a Poisson stream, the engine admits up to `max_batch` of them, and
+//! the report captures throughput, queueing latency percentiles, and
+//! energy per query — quantifying how request rate turns into the batch-30
+//! cost advantage of Table III.
+//!
+//! Two schedulers are available ([`SchedulerKind`]):
+//!
+//! * **Static** ([`simulate_serving`]) — gang scheduling: every admitted
+//!   batch runs to completion through [`InferenceEngine::run`] before the
+//!   next admission. This is the legacy loop, kept callable as the oracle.
+//! * **Continuous** ([`simulate_serving_continuous`]) — iteration-level
+//!   batching over the incremental [`BatchStepper`]: new queries join the
+//!   running batch at the next decode-iteration boundary instead of
+//!   waiting for it to drain (vLLM's continuous batching). With arrivals
+//!   spaced past batch completion, the continuous scheduler reproduces the
+//!   static report bit-exactly (see DESIGN.md §9).
 //!
 //! # Degraded-mode serving
 //!
-//! Beyond the happy path, the loop supports the robustness controls an
+//! Beyond the happy path, both loops support the robustness controls an
 //! edge deployment needs when the platform misbehaves (see `soc::faults`):
 //!
 //! * **deadlines** — queries that can no longer meet their deadline are
@@ -24,8 +36,8 @@
 //!   misses the loop first halves the admitted batch, then shrinks the
 //!   token budget, recovering level by level once conditions clear.
 //!
-//! Every control defaults *off*, in which case the loop reduces bit-exactly
-//! to the original simulation.
+//! Every control defaults *off*, in which case the static loop reduces
+//! bit-exactly to the original simulation.
 
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
@@ -35,10 +47,71 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::InferenceEngine;
 use crate::request::GenerationRequest;
+use crate::stepper::{BatchStepper, SlotId};
 use crate::EngineError;
 
 /// Highest degradation-ladder level (batch shrink saturates at `2^-6`).
 const MAX_DEGRADE_LEVEL: u32 = 6;
+
+/// Which serving scheduler to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerKind {
+    /// Gang scheduling: admitted batches run to completion (the legacy
+    /// loop and the oracle for the continuous path).
+    #[default]
+    Static,
+    /// Iteration-level (continuous) batching over [`BatchStepper`].
+    Continuous,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Static => write!(f, "static"),
+            SchedulerKind::Continuous => write!(f, "continuous"),
+        }
+    }
+}
+
+/// A rejected [`ServingConfig`] field (typed, so callers can match instead
+/// of parsing strings — NaN arrival rates used to slip through and poison
+/// every downstream average).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingConfigError {
+    /// `arrival_qps` was NaN or infinite.
+    NonFiniteArrivalQps,
+    /// `arrival_qps` was zero or negative.
+    NonPositiveArrivalQps,
+    /// `max_batch` was zero.
+    ZeroMaxBatch,
+    /// `queries` was zero.
+    ZeroQueries,
+    /// `prompt_tokens` was zero.
+    ZeroPromptTokens,
+    /// `output_tokens` was zero.
+    ZeroOutputTokens,
+    /// `deadline_s` was set but NaN, zero or negative.
+    InvalidDeadline,
+    /// `retry_backoff_s` was NaN or negative.
+    InvalidRetryBackoff,
+}
+
+impl std::fmt::Display for ServingConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteArrivalQps => write!(f, "arrival_qps must be finite"),
+            Self::NonPositiveArrivalQps => write!(f, "arrival_qps must be positive"),
+            Self::ZeroMaxBatch => write!(f, "max_batch must be positive"),
+            Self::ZeroQueries => write!(f, "queries must be positive"),
+            Self::ZeroPromptTokens => write!(f, "prompt_tokens must be positive"),
+            Self::ZeroOutputTokens => write!(f, "output_tokens must be positive"),
+            Self::InvalidDeadline => write!(f, "deadline_s must be positive when set"),
+            Self::InvalidRetryBackoff => write!(f, "retry_backoff_s must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ServingConfigError {}
 
 /// Serving-load configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,24 +200,33 @@ impl ServingConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first invalid field as a typed [`ServingConfigError`].
+    pub fn validate(&self) -> Result<(), ServingConfigError> {
+        if !self.arrival_qps.is_finite() {
+            return Err(ServingConfigError::NonFiniteArrivalQps);
+        }
         if self.arrival_qps <= 0.0 {
-            return Err("arrival_qps must be positive".into());
+            return Err(ServingConfigError::NonPositiveArrivalQps);
         }
-        if self.max_batch == 0 || self.queries == 0 {
-            return Err("max_batch and queries must be positive".into());
+        if self.max_batch == 0 {
+            return Err(ServingConfigError::ZeroMaxBatch);
         }
-        if self.prompt_tokens == 0 || self.output_tokens == 0 {
-            return Err("prompt_tokens and output_tokens must be positive".into());
+        if self.queries == 0 {
+            return Err(ServingConfigError::ZeroQueries);
+        }
+        if self.prompt_tokens == 0 {
+            return Err(ServingConfigError::ZeroPromptTokens);
+        }
+        if self.output_tokens == 0 {
+            return Err(ServingConfigError::ZeroOutputTokens);
         }
         if let Some(d) = self.deadline_s {
             if d.is_nan() || d <= 0.0 {
-                return Err("deadline_s must be positive when set".into());
+                return Err(ServingConfigError::InvalidDeadline);
             }
         }
         if self.retry_backoff_s.is_nan() || self.retry_backoff_s < 0.0 {
-            return Err("retry_backoff_s must be non-negative".into());
+            return Err(ServingConfigError::InvalidRetryBackoff);
         }
         Ok(())
     }
@@ -189,6 +271,10 @@ pub struct ServingReport {
     /// Fraction of all offered queries that completed on time (with no
     /// deadline configured: fraction that completed at all).
     pub slo_attainment: f64,
+    /// Mean time completed queries spent queued before admission, seconds.
+    pub avg_queue_wait_s: f64,
+    /// 99th-percentile queueing wait of completed queries, seconds.
+    pub p99_queue_wait_s: f64,
 }
 
 /// Per-query scheduling state.
@@ -198,7 +284,158 @@ struct QueryState {
     attempts: u32,
 }
 
-/// Runs the serving simulation.
+/// Poisson arrival stream shared by both schedulers (identical RNG use, so
+/// the two see the exact same offered load).
+fn poisson_arrivals(cfg: &ServingConfig, seed: u64) -> Vec<QueryState> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x005e_5256);
+    let mut queries = Vec::with_capacity(cfg.queries);
+    let mut t = 0.0;
+    for _ in 0..cfg.queries {
+        t += -rng.next_f64().max(1e-12).ln() / cfg.arrival_qps;
+        queries.push(QueryState {
+            arrival_s: t,
+            ready_s: t,
+            attempts: 0,
+        });
+    }
+    queries
+}
+
+/// Metric accumulators shared by both scheduler loops.
+#[derive(Default)]
+struct Accum {
+    latencies: Vec<f64>,
+    queue_waits: Vec<f64>,
+    energy: f64,
+    tokens: f64,
+    batches: Vec<f64>,
+    shed: usize,
+    failed: usize,
+    retries: usize,
+    preemptions: usize,
+    deadline_misses: usize,
+    degraded_s: f64,
+}
+
+impl Accum {
+    fn into_report(self, cfg: &ServingConfig, now: f64) -> ServingReport {
+        let completed = self.latencies.len();
+        let slo_attainment = if completed == 0 {
+            0.0
+        } else {
+            (completed - self.deadline_misses) as f64 / cfg.queries as f64
+        };
+        ServingReport {
+            completed,
+            achieved_qps: if now > 0.0 {
+                completed as f64 / now
+            } else {
+                0.0
+            },
+            avg_latency_s: stats::mean(&self.latencies).unwrap_or(0.0),
+            p95_latency_s: stats::percentile(&self.latencies, 95.0).unwrap_or(0.0),
+            avg_batch: stats::mean(&self.batches).unwrap_or(0.0),
+            energy_per_query_j: if completed == 0 {
+                0.0
+            } else {
+                self.energy / completed as f64
+            },
+            wall_s: now,
+            total_tokens: self.tokens,
+            failed_queries: self.failed,
+            shed_queries: self.shed,
+            retries: self.retries,
+            preemptions: self.preemptions,
+            deadline_misses: self.deadline_misses,
+            deadline_miss_rate: if completed == 0 {
+                0.0
+            } else {
+                self.deadline_misses as f64 / completed as f64
+            },
+            p99_latency_s: stats::percentile(&self.latencies, 99.0).unwrap_or(0.0),
+            degraded_s: self.degraded_s,
+            slo_attainment,
+            avg_queue_wait_s: stats::mean(&self.queue_waits).unwrap_or(0.0),
+            p99_queue_wait_s: stats::percentile(&self.queue_waits, 99.0).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Requeues each member of a failed batch with exponential backoff, or
+/// drops it (counting it failed) once its retries are exhausted.
+fn retry_or_drop(
+    queries: &mut [QueryState],
+    pending: &mut Vec<usize>,
+    members: &[usize],
+    now: f64,
+    cfg: &ServingConfig,
+    acc: &mut Accum,
+) {
+    for &i in members {
+        queries[i].attempts += 1;
+        if queries[i].attempts <= cfg.max_retries {
+            acc.retries += 1;
+            let exp = (queries[i].attempts - 1).min(16);
+            queries[i].ready_s = now + cfg.retry_backoff_s * f64::from(1u32 << exp);
+        }
+    }
+    pending.retain(|&i| {
+        if !members.contains(&i) {
+            return true;
+        }
+        if queries[i].attempts <= cfg.max_retries {
+            true
+        } else {
+            acc.failed += 1;
+            false
+        }
+    });
+}
+
+/// The effective admitted batch at the current degradation level.
+fn effective_batch(cfg: &ServingConfig, level: u32) -> usize {
+    if cfg.degradation {
+        (cfg.max_batch >> level.min(MAX_DEGRADE_LEVEL)).max(1)
+    } else {
+        cfg.max_batch
+    }
+}
+
+/// The (possibly degraded) per-query output-token budget.
+fn effective_out_tokens(cfg: &ServingConfig, level: u32) -> usize {
+    if cfg.degradation && level >= 2 {
+        let mut out = cfg.output_tokens as f64;
+        for _ in 1..level {
+            out *= 0.75;
+        }
+        (out as usize).max(1)
+    } else {
+        cfg.output_tokens
+    }
+}
+
+/// Runs the serving simulation with the requested scheduler.
+///
+/// # Errors
+///
+/// Reports invalid configurations as [`EngineError::InvalidRequest`]; see
+/// [`simulate_serving`] and [`simulate_serving_continuous`] for the
+/// per-scheduler failure semantics.
+pub fn simulate_serving_with(
+    kind: SchedulerKind,
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    seed: u64,
+) -> Result<ServingReport, EngineError> {
+    match kind {
+        SchedulerKind::Static => simulate_serving(engine, model, prec, cfg, seed),
+        SchedulerKind::Continuous => simulate_serving_continuous(engine, model, prec, cfg, seed),
+    }
+}
+
+/// Runs the static (gang-scheduled) serving simulation.
 ///
 /// # Errors
 ///
@@ -213,34 +450,13 @@ pub fn simulate_serving(
     cfg: &ServingConfig,
     seed: u64,
 ) -> Result<ServingReport, EngineError> {
-    cfg.validate().map_err(EngineError::InvalidRequest)?;
-    let mut rng = Rng::seed_from_u64(seed ^ 0x005e_5256);
-
-    // Poisson arrivals.
-    let mut queries = Vec::with_capacity(cfg.queries);
-    let mut t = 0.0;
-    for _ in 0..cfg.queries {
-        t += -rng.next_f64().max(1e-12).ln() / cfg.arrival_qps;
-        queries.push(QueryState {
-            arrival_s: t,
-            ready_s: t,
-            attempts: 0,
-        });
-    }
-
+    cfg.validate()
+        .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+    let mut queries = poisson_arrivals(cfg, seed);
     let mut pending: Vec<usize> = (0..cfg.queries).collect();
     let mut now = 0.0f64;
     let mut level: u32 = 0; // degradation-ladder level
-    let mut latencies = Vec::with_capacity(cfg.queries);
-    let mut energy = 0.0;
-    let mut tokens = 0.0;
-    let mut batches = Vec::new();
-    let mut shed = 0usize;
-    let mut failed = 0usize;
-    let mut retries = 0usize;
-    let mut preemptions = 0usize;
-    let mut deadline_misses = 0usize;
-    let mut degraded_s = 0.0f64;
+    let mut acc = Accum::default();
 
     while !pending.is_empty() {
         // Wait for work if idle: jump to the earliest ready instant.
@@ -259,7 +475,7 @@ pub fn simulate_serving(
             let before = pending.len();
             pending.retain(|&i| now <= queries[i].arrival_s + d);
             if pending.len() != before {
-                shed += before - pending.len();
+                acc.shed += before - pending.len();
                 continue; // re-derive the earliest ready instant
             }
         }
@@ -275,18 +491,14 @@ pub fn simulate_serving(
             if waiting.len() > cfg.queue_capacity {
                 let excess = &waiting[cfg.queue_capacity..];
                 pending.retain(|i| !excess.contains(i));
-                shed += excess.len();
+                acc.shed += excess.len();
                 continue;
             }
         }
 
         // Admit ready queries in arrival order, up to the (possibly
         // degraded) batch limit.
-        let eff_batch = if cfg.degradation {
-            (cfg.max_batch >> level.min(MAX_DEGRADE_LEVEL)).max(1)
-        } else {
-            cfg.max_batch
-        };
+        let eff_batch = effective_batch(cfg, level);
         let mut admitted = Vec::with_capacity(eff_batch);
         for &i in &pending {
             if queries[i].ready_s <= now {
@@ -296,41 +508,33 @@ pub fn simulate_serving(
                 }
             }
         }
-
-        // Ladder levels ≥ 2 also shrink the token budget by 3/4 per level.
-        let out_tokens = if cfg.degradation && level >= 2 {
-            let mut out = cfg.output_tokens as f64;
-            for _ in 1..level {
-                out *= 0.75;
-            }
-            (out as usize).max(1)
-        } else {
-            cfg.output_tokens
-        };
+        let out_tokens = effective_out_tokens(cfg, level);
 
         engine.set_clock_s(now);
         let req = GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(admitted.len());
         match engine.run(model, prec, &req) {
             Ok(outcome) => {
+                let batch_start = now;
                 let service = outcome.total_latency_s();
                 now += service;
                 let mut step_missed = false;
                 for &i in &admitted {
                     let latency = now - queries[i].arrival_s;
-                    latencies.push(latency);
+                    acc.latencies.push(latency);
+                    acc.queue_waits.push(batch_start - queries[i].arrival_s);
                     if let Some(d) = cfg.deadline_s {
                         if latency > d {
-                            deadline_misses += 1;
+                            acc.deadline_misses += 1;
                             step_missed = true;
                         }
                     }
                 }
-                energy += outcome.total_energy_j();
-                tokens += outcome.total_generated_tokens() as f64;
-                batches.push(admitted.len() as f64);
-                preemptions += outcome.preemptions;
+                acc.energy += outcome.total_energy_j();
+                acc.tokens += outcome.total_generated_tokens() as f64;
+                acc.batches.push(admitted.len() as f64);
+                acc.preemptions += outcome.preemptions;
                 if level > 0 {
-                    degraded_s += service;
+                    acc.degraded_s += service;
                 }
                 pending.retain(|i| !admitted.contains(i));
                 if cfg.degradation {
@@ -343,27 +547,7 @@ pub fn simulate_serving(
             }
             Err(_) => {
                 // The batch could not run (e.g. KV OOM under FailFast).
-                // Retry each admitted query with exponential backoff, or
-                // drop it once its retries are exhausted.
-                for &i in &admitted {
-                    queries[i].attempts += 1;
-                    if queries[i].attempts <= cfg.max_retries {
-                        retries += 1;
-                        let exp = (queries[i].attempts - 1).min(16);
-                        queries[i].ready_s = now + cfg.retry_backoff_s * f64::from(1u32 << exp);
-                    }
-                }
-                pending.retain(|&i| {
-                    if !admitted.contains(&i) {
-                        return true;
-                    }
-                    if queries[i].attempts <= cfg.max_retries {
-                        true
-                    } else {
-                        failed += 1;
-                        false
-                    }
-                });
+                retry_or_drop(&mut queries, &mut pending, &admitted, now, cfg, &mut acc);
                 if cfg.degradation {
                     level = (level + 1).min(MAX_DEGRADE_LEVEL);
                 }
@@ -371,43 +555,207 @@ pub fn simulate_serving(
         }
     }
 
-    let completed = latencies.len();
-    let slo_attainment = if completed == 0 {
-        0.0
-    } else {
-        (completed - deadline_misses) as f64 / cfg.queries as f64
-    };
-    Ok(ServingReport {
-        completed,
-        achieved_qps: if now > 0.0 {
-            completed as f64 / now
-        } else {
-            0.0
-        },
-        avg_latency_s: stats::mean(&latencies).unwrap_or(0.0),
-        p95_latency_s: stats::percentile(&latencies, 95.0).unwrap_or(0.0),
-        avg_batch: stats::mean(&batches).unwrap_or(0.0),
-        energy_per_query_j: if completed == 0 {
-            0.0
-        } else {
-            energy / completed as f64
-        },
-        wall_s: now,
-        total_tokens: tokens,
-        failed_queries: failed,
-        shed_queries: shed,
-        retries,
-        preemptions,
-        deadline_misses,
-        deadline_miss_rate: if completed == 0 {
-            0.0
-        } else {
-            deadline_misses as f64 / completed as f64
-        },
-        p99_latency_s: stats::percentile(&latencies, 99.0).unwrap_or(0.0),
-        degraded_s,
-        slo_attainment,
-    })
+    Ok(acc.into_report(cfg, now))
+}
+
+/// An admitted-but-unfinished slot in the continuous scheduler.
+struct LiveSlot {
+    id: SlotId,
+    admit_s: f64,
+    members: Vec<usize>,
+}
+
+/// Runs the continuous (iteration-level) serving simulation: an
+/// event-driven scheduler over [`BatchStepper`] that admits ready queries
+/// into the running batch at every decode-iteration boundary.
+///
+/// With every robustness control off and arrivals spaced past batch
+/// completion (a drained queue), this reproduces [`simulate_serving`]'s
+/// report bit-exactly; under load it sustains strictly higher throughput
+/// at equal or better SLO attainment because admission no longer waits for
+/// the whole previous batch to drain.
+///
+/// # Errors
+///
+/// Reports invalid configurations as [`EngineError::InvalidRequest`] and
+/// propagates [`EngineError::OutOfMemory`] when the model's weights alone
+/// exceed the device budget. Per-batch failures are retried or counted in
+/// [`ServingReport::failed_queries`], as in the static loop.
+pub fn simulate_serving_continuous(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    seed: u64,
+) -> Result<ServingReport, EngineError> {
+    cfg.validate()
+        .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+    let mut queries = poisson_arrivals(cfg, seed);
+    let mut pending: Vec<usize> = (0..cfg.queries).collect();
+    let mut stepper = BatchStepper::new(engine, model, prec)?;
+    let mut live: Vec<LiveSlot> = Vec::new();
+    let mut now = 0.0f64;
+    // Latest completion instant seen so far; when the stepper drains, the
+    // wall clock snaps to it (this is what makes the drained schedule
+    // bit-identical to the static loop, whose clock advances by the
+    // jittered outcome latency rather than the stepper's internal clock).
+    let mut drain_now = 0.0f64;
+    let mut level: u32 = 0;
+    let mut acc = Accum::default();
+
+    while !pending.is_empty() || stepper.is_busy() {
+        if !stepper.is_busy() && !pending.is_empty() {
+            // Idle: jump to the earliest ready instant.
+            let min_ready = pending
+                .iter()
+                .map(|&i| queries[i].ready_s)
+                .fold(f64::INFINITY, f64::min);
+            if now < min_ready {
+                now = min_ready;
+            }
+        }
+
+        // Admission control, evaluated at every scheduling boundary
+        // (identical rules to the static loop; at drained-queue loads they
+        // fire at the same instants and decisions).
+        if let Some(d) = cfg.deadline_s {
+            let before = pending.len();
+            pending.retain(|&i| now <= queries[i].arrival_s + d);
+            if pending.len() != before {
+                acc.shed += before - pending.len();
+                continue;
+            }
+        }
+        if cfg.queue_capacity > 0 {
+            let waiting: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&i| queries[i].ready_s <= now)
+                .collect();
+            if waiting.len() > cfg.queue_capacity {
+                let excess = &waiting[cfg.queue_capacity..];
+                pending.retain(|i| !excess.contains(i));
+                acc.shed += excess.len();
+                continue;
+            }
+        }
+
+        // Iteration-level admission: fill the headroom the running batch
+        // leaves under the (possibly degraded) batch limit.
+        let eff_batch = effective_batch(cfg, level);
+        let room = eff_batch.saturating_sub(stepper.live_queries());
+        if room > 0 {
+            let mut group = Vec::with_capacity(room);
+            for &i in &pending {
+                if queries[i].ready_s <= now {
+                    group.push(i);
+                    if group.len() == room {
+                        break;
+                    }
+                }
+            }
+            if !group.is_empty() {
+                let out_tokens = effective_out_tokens(cfg, level);
+                let req =
+                    GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(group.len());
+                match stepper.admit(engine, now, &req) {
+                    Ok(adm) => {
+                        pending.retain(|i| !group.contains(i));
+                        live.push(LiveSlot {
+                            id: adm.id,
+                            admit_s: now,
+                            members: group,
+                        });
+                        now = adm.end_s;
+                    }
+                    Err(_) => {
+                        retry_or_drop(&mut queries, &mut pending, &group, now, cfg, &mut acc);
+                        if cfg.degradation {
+                            level = (level + 1).min(MAX_DEGRADE_LEVEL);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        if !stepper.is_busy() {
+            // Nothing admitted and nothing running (e.g. every ready query
+            // was just requeued with backoff): wait for the next instant.
+            continue;
+        }
+
+        // One decode iteration for the whole mixed-context batch.
+        match stepper.step(engine) {
+            Ok(out) => {
+                now = out.end_s;
+                for f in out.retired {
+                    let Some(pos) = live.iter().position(|s| s.id == f.id) else {
+                        continue;
+                    };
+                    let slot = live.remove(pos);
+                    let service = f.outcome.total_latency_s() + f.extra_wait_s;
+                    let completion = slot.admit_s + service;
+                    drain_now = drain_now.max(completion);
+                    let mut step_missed = false;
+                    for &i in &slot.members {
+                        let latency = completion - queries[i].arrival_s;
+                        acc.latencies.push(latency);
+                        acc.queue_waits.push(slot.admit_s - queries[i].arrival_s);
+                        if let Some(d) = cfg.deadline_s {
+                            if latency > d {
+                                acc.deadline_misses += 1;
+                                step_missed = true;
+                            }
+                        }
+                    }
+                    acc.energy += f.outcome.total_energy_j();
+                    acc.tokens += f.outcome.total_generated_tokens() as f64;
+                    acc.batches.push(slot.members.len() as f64);
+                    acc.preemptions += f.outcome.preemptions;
+                    if level > 0 {
+                        acc.degraded_s += service;
+                    }
+                    if cfg.degradation {
+                        if f.outcome.throttled_s > 0.0 || step_missed {
+                            level = (level + 1).min(MAX_DEGRADE_LEVEL);
+                        } else {
+                            level = level.saturating_sub(1);
+                        }
+                    }
+                }
+                if !stepper.is_busy() {
+                    // Drained: completions (which carry the run-level
+                    // jitter) define the wall clock, exactly as in the
+                    // static loop.
+                    now = drain_now;
+                }
+            }
+            Err(_) => {
+                // The whole batch is stuck (e.g. an unplaceable waiting
+                // group): fail every live slot and run the retry machinery.
+                let failed_ids = stepper.fail_all();
+                for id in failed_ids {
+                    let Some(pos) = live.iter().position(|s| s.id == id) else {
+                        continue;
+                    };
+                    let slot = live.remove(pos);
+                    retry_or_drop(
+                        &mut queries,
+                        &mut pending,
+                        &slot.members,
+                        now,
+                        cfg,
+                        &mut acc,
+                    );
+                }
+                if cfg.degradation {
+                    level = (level + 1).min(MAX_DEGRADE_LEVEL);
+                }
+            }
+        }
+    }
+
+    Ok(acc.into_report(cfg, now))
 }
 
 #[cfg(test)]
@@ -461,6 +809,9 @@ mod tests {
         assert_eq!((r.failed_queries, r.shed_queries, r.retries), (0, 0, 0));
         assert_eq!(r.deadline_misses, 0);
         assert!((r.slo_attainment - 1.0).abs() < 1e-12);
+        // A rare close arrival pair can queue briefly, but waits stay far
+        // below service time.
+        assert!(r.avg_queue_wait_s < 1.0, "unqueued: {}", r.avg_queue_wait_s);
     }
 
     #[test]
@@ -492,6 +843,9 @@ mod tests {
         assert!(batched.avg_latency_s < slow.avg_latency_s);
         // Energy per query drops with batching (Table III's mechanism).
         assert!(batched.energy_per_query_j < slow.energy_per_query_j);
+        // Queueing dominates the single-stream server's latency.
+        assert!(slow.avg_queue_wait_s > batched.avg_queue_wait_s);
+        assert!(slow.p99_queue_wait_s >= slow.avg_queue_wait_s);
     }
 
     #[test]
@@ -510,6 +864,85 @@ mod tests {
             ..cfg(1.0, 8)
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let base = cfg(1.0, 8);
+        let cases = [
+            (
+                ServingConfig {
+                    arrival_qps: f64::NAN,
+                    ..base
+                },
+                ServingConfigError::NonFiniteArrivalQps,
+            ),
+            (
+                ServingConfig {
+                    arrival_qps: f64::INFINITY,
+                    ..base
+                },
+                ServingConfigError::NonFiniteArrivalQps,
+            ),
+            (
+                ServingConfig {
+                    arrival_qps: -1.0,
+                    ..base
+                },
+                ServingConfigError::NonPositiveArrivalQps,
+            ),
+            (
+                ServingConfig {
+                    max_batch: 0,
+                    ..base
+                },
+                ServingConfigError::ZeroMaxBatch,
+            ),
+            (
+                ServingConfig { queries: 0, ..base },
+                ServingConfigError::ZeroQueries,
+            ),
+            (
+                ServingConfig {
+                    prompt_tokens: 0,
+                    ..base
+                },
+                ServingConfigError::ZeroPromptTokens,
+            ),
+            (
+                ServingConfig {
+                    output_tokens: 0,
+                    ..base
+                },
+                ServingConfigError::ZeroOutputTokens,
+            ),
+            (
+                ServingConfig {
+                    retry_backoff_s: f64::NAN,
+                    ..base
+                },
+                ServingConfigError::InvalidRetryBackoff,
+            ),
+        ];
+        for (bad, want) in cases {
+            assert_eq!(bad.validate(), Err(want), "{bad:?}");
+            // Both schedulers reject it before running anything.
+            for kind in [SchedulerKind::Static, SchedulerKind::Continuous] {
+                let mut e = engine();
+                assert!(matches!(
+                    simulate_serving_with(
+                        kind,
+                        &mut e,
+                        ModelId::Dsr1Qwen1_5b,
+                        Precision::Fp16,
+                        &bad,
+                        1
+                    ),
+                    Err(EngineError::InvalidRequest(_))
+                ));
+            }
+        }
+        assert!(cfg(1.0, 8).validate().is_ok());
     }
 
     #[test]
@@ -557,6 +990,64 @@ mod tests {
     }
 
     #[test]
+    fn drained_continuous_matches_static_bit_exactly() {
+        // One query per ~10000 s against a ~4 s service time: every
+        // admission happens into an empty stepper, so the continuous
+        // scheduler must replay the static schedule bit-for-bit.
+        let load = ServingConfig::new(1e-4, 8, 24, 128, 128);
+        let mut se = engine();
+        let rs = simulate_serving(&mut se, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 7)
+            .expect("runs");
+        let mut ce = engine();
+        let rc =
+            simulate_serving_continuous(&mut ce, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 7)
+                .expect("runs");
+        assert_eq!(rs, rc, "drained continuous must equal static");
+    }
+
+    #[test]
+    fn continuous_deterministic_across_runs() {
+        let load = cfg(2.0, 8);
+        let mut a = engine();
+        let mut b = engine();
+        let ra =
+            simulate_serving_continuous(&mut a, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 9)
+                .expect("runs");
+        let rb =
+            simulate_serving_continuous(&mut b, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 9)
+                .expect("runs");
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn continuous_cuts_queueing_under_load() {
+        // At moderate load the static gang scheduler makes late arrivals
+        // wait out the whole running batch; iteration-level admission
+        // starts them at the next decode boundary instead.
+        let load = cfg(1.5, 8);
+        let mut se = engine();
+        let rs = simulate_serving(&mut se, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 11)
+            .expect("runs");
+        let mut ce = engine();
+        let rc =
+            simulate_serving_continuous(&mut ce, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 11)
+                .expect("runs");
+        assert_eq!(rc.completed, rs.completed);
+        assert!(
+            rc.p99_queue_wait_s < rs.p99_queue_wait_s,
+            "continuous p99 wait {} vs static {}",
+            rc.p99_queue_wait_s,
+            rs.p99_queue_wait_s
+        );
+        assert!(
+            rc.achieved_qps >= rs.achieved_qps,
+            "continuous qps {} vs static {}",
+            rc.achieved_qps,
+            rs.achieved_qps
+        );
+    }
+
+    #[test]
     fn failfast_oom_reports_partial_work_instead_of_aborting() {
         // ~1600 KV tokens: a 256-token single query fits, batch 8 does not.
         let mut e = InferenceEngine::new(pressured(OomPolicy::FailFast, 1600), 3);
@@ -567,6 +1058,28 @@ mod tests {
         assert!(r.completed > 0, "low-load singles must still complete");
         assert_eq!(r.completed + r.failed_queries, 40);
         assert!(r.energy_per_query_j > 0.0);
+    }
+
+    #[test]
+    fn continuous_survives_failfast_pressure() {
+        let mut e = InferenceEngine::new(pressured(OomPolicy::FailFast, 1600), 3);
+        let load = ServingConfig::new(2.0, 8, 40, 128, 128);
+        let r =
+            simulate_serving_continuous(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+                .expect("must not abort on admission OOM");
+        assert_eq!(r.completed + r.failed_queries, 40);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn continuous_preempt_policy_completes_under_pressure() {
+        let mut e = InferenceEngine::new(pressured(OomPolicy::PreemptRecompute, 1600), 3);
+        let load = ServingConfig::new(2.0, 8, 40, 128, 128);
+        let r =
+            simulate_serving_continuous(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+                .expect("runs");
+        assert_eq!(r.completed, 40, "preemption must complete every query");
+        assert_eq!(r.failed_queries, 0);
     }
 
     #[test]
@@ -614,6 +1127,28 @@ mod tests {
         assert!(r.shed_queries > 0, "overload must shed: {r:?}");
         assert!(r.slo_attainment < 1.0);
         assert_eq!(r.completed + r.shed_queries, 40);
+    }
+
+    #[test]
+    fn continuous_holds_slo_where_static_sheds() {
+        // Deadline-bound load the static gang scheduler cannot hold:
+        // iteration-level admission keeps queue waits short enough to
+        // complete more queries on time.
+        let load = ServingConfig::new(1.5, 8, 40, 128, 128).with_deadline(30.0);
+        let mut se = engine();
+        let rs = simulate_serving(&mut se, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+            .expect("runs");
+        let mut ce = engine();
+        let rc =
+            simulate_serving_continuous(&mut ce, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+                .expect("runs");
+        assert!(
+            rc.slo_attainment >= rs.slo_attainment,
+            "continuous SLO {} vs static {}",
+            rc.slo_attainment,
+            rs.slo_attainment
+        );
+        assert!(rc.completed + rc.shed_queries == 40);
     }
 
     #[test]

@@ -1,0 +1,965 @@
+//! Incremental (iteration-level) batching: the continuous-batching core.
+//!
+//! [`BatchStepper`] decomposes [`InferenceEngine::run`] into schedulable
+//! operations — [`admit`](BatchStepper::admit) prefills a new request into
+//! the *running* mixed-context batch, [`step`](BatchStepper::step) decodes
+//! one chunk for every live sequence and retires the finished ones — so a
+//! serving scheduler can add work at iteration granularity instead of
+//! waiting for a whole static batch to drain (vLLM's continuous batching).
+//!
+//! # Bit-exactness contract
+//!
+//! The stepper reuses the engine's phase machinery unchanged: deterministic
+//! roofline aggregates memoized in the [`PhasePlanCache`]
+//! (crate::plan_cache), *exactly one* stochastic perturbation draw per
+//! phase, the decode-base memo, fault/derate hooks on the simulated wall
+//! clock, and the shared [`finalize_parts`](InferenceEngine) run tail.
+//! When the queue is drained — every admission happens while the stepper is
+//! empty, so batches never actually interleave — the sequence of phase
+//! keys, float operations and RNG draws is identical to the static
+//! [`InferenceEngine::run`] loop under [`OomPolicy::FailFast`], and the
+//! produced [`InferenceOutcome`]s are bit-identical (see DESIGN.md §9).
+//!
+//! When several admissions *do* overlap, each decode iteration runs the
+//! union batch: one context-independent base aggregate for the whole
+//! iteration (amortized across all cohorts instead of per request), one
+//! attention aggregate per cohort, one perturbation draw, and the iteration
+//! cost is attributed to the slots in proportion to their share of the
+//! deterministic energy.
+
+use std::collections::VecDeque;
+
+use edgereasoning_kernels::arch::{ModelArch, ModelId};
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_kernels::phases::{
+    build_decode_attn_into, build_decode_base_into, build_prefill_into,
+};
+use edgereasoning_soc::gpu::PhaseStats;
+
+use crate::engine::{idle_gap, oom_error, InferenceEngine, OomPolicy};
+use crate::kv_cache::{KvCacheManager, SeqId};
+use crate::outcome::{InferenceOutcome, TbtSample, TraceRec};
+use crate::plan_cache::{PhaseKey, PhaseKind};
+use crate::request::GenerationRequest;
+use crate::EngineError;
+
+/// Handle to a request admitted into the stepper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(u64);
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+/// Result of admitting a request: its slot handle and the absolute sim
+/// time at which its prefill finished (the next schedulable instant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmitOutcome {
+    /// Handle for matching the eventual [`FinishedSlot`].
+    pub id: SlotId,
+    /// Stepper clock after the admission prefill, seconds.
+    pub end_s: f64,
+}
+
+/// A request that completed during a [`BatchStepper::step`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedSlot {
+    /// The handle returned by [`BatchStepper::admit`].
+    pub id: SlotId,
+    /// Full generation telemetry, assembled by the engine's shared run
+    /// tail (run-level jitter + DVFS power ramp).
+    pub outcome: InferenceOutcome,
+    /// Wall-clock seconds this request spent waiting on iterations it did
+    /// not participate in (zero for a drained queue), scaled by the same
+    /// run-level jitter as the outcome. Completion time is
+    /// `admit_time + outcome.total_latency_s() + extra_wait_s`.
+    pub extra_wait_s: f64,
+}
+
+/// Result of one decode iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Stepper clock after the iteration, seconds.
+    pub end_s: f64,
+    /// Requests that finished this iteration, in admission order.
+    pub retired: Vec<FinishedSlot>,
+}
+
+/// Per-request accumulation state.
+#[derive(Debug, Clone)]
+struct Slot {
+    id: SlotId,
+    batch: usize,
+    prompt_tokens: usize,
+    max_new_tokens: usize,
+    prefill: PhaseStats,
+    decode: PhaseStats,
+    trace: TraceRec,
+    wait_s: f64,
+    throttled_s: f64,
+    preemptions: usize,
+    recomputed_tokens: usize,
+    /// Whether the prompt prefill has run (false only while a
+    /// zero-allocation preempt-mode admission waits for KV space).
+    prefilled: bool,
+    done_seqs: usize,
+}
+
+/// A group of live sequences of one slot sharing a progress point.
+#[derive(Debug, Clone)]
+struct Cohort {
+    slot: usize,
+    prompt_tokens: usize,
+    max_new_tokens: usize,
+    produced: usize,
+    seqs: Vec<SeqId>,
+}
+
+/// A preempted (or not-yet-placed) group waiting for KV space.
+#[derive(Debug, Clone, Copy)]
+struct WaitEntry {
+    slot: usize,
+    count: usize,
+    produced: usize,
+}
+
+/// The incremental engine stepper (see the module docs).
+///
+/// One stepper serves one `(model, precision)` pair and owns the paged KV
+/// cache for it; the [`InferenceEngine`] is passed into each call so its
+/// plan cache, RNG streams and counters stay shared with static runs.
+#[derive(Debug, Clone)]
+pub struct BatchStepper {
+    model: ModelId,
+    prec: Precision,
+    arch: ModelArch,
+    arch_fp: u64,
+    kv: KvCacheManager,
+    slots: Vec<Option<Slot>>,
+    cohorts: Vec<Cohort>,
+    waiting: VecDeque<WaitEntry>,
+    /// (gpu_fp, batch) -> context-independent decode base aggregate,
+    /// amortized across the whole iteration (and across runs).
+    base_cache: Option<(u64, usize, PhaseStats)>,
+    clock: f64,
+    next_slot: u64,
+}
+
+impl BatchStepper {
+    /// Creates a stepper for `model` at `prec` on `engine`'s device.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] if the weights alone exceed the memory
+    /// budget.
+    pub fn new(
+        engine: &InferenceEngine,
+        model: ModelId,
+        prec: Precision,
+    ) -> Result<Self, EngineError> {
+        let arch = model.arch();
+        let cache_bytes = engine.kv_budget_bytes(model, prec)?;
+        let kv = KvCacheManager::new(&arch, cache_bytes, engine.config().kv_block_tokens);
+        let arch_fp = arch.fingerprint();
+        Ok(Self {
+            model,
+            prec,
+            arch,
+            arch_fp,
+            kv,
+            slots: Vec::new(),
+            cohorts: Vec::new(),
+            waiting: VecDeque::new(),
+            base_cache: None,
+            clock: 0.0,
+            next_slot: 0,
+        })
+    }
+
+    /// Whether any admitted request has not yet retired.
+    pub fn is_busy(&self) -> bool {
+        self.slots.iter().any(Option::is_some)
+    }
+
+    /// Total sequences across unretired slots (admitted batch sizes), the
+    /// scheduler's admission headroom input.
+    pub fn live_queries(&self) -> usize {
+        self.slots.iter().flatten().map(|s| s.batch).sum()
+    }
+
+    /// Current stepper clock, seconds of simulated time.
+    pub fn clock_s(&self) -> f64 {
+        self.clock
+    }
+
+    /// Free KV-cache capacity, tokens (for leak auditing: returns to
+    /// [`kv_capacity_tokens`](Self::kv_capacity_tokens) after a drain).
+    pub fn kv_free_tokens(&self) -> u64 {
+        self.kv.free_tokens()
+    }
+
+    /// Total KV-cache capacity, tokens.
+    pub fn kv_capacity_tokens(&self) -> u64 {
+        self.kv.capacity_tokens()
+    }
+
+    fn key(&self, gpu_fp: u64, kind: PhaseKind, batch: usize, shape: usize) -> PhaseKey {
+        PhaseKey {
+            arch_fp: self.arch_fp,
+            gpu_fp,
+            precision: self.prec,
+            kind,
+            batch,
+            shape,
+        }
+    }
+
+    /// KV blocks the unretired slots still need to finish (growth beyond
+    /// what their live sequences hold now). Waiting entries are excluded:
+    /// under FailFast none exist, which is the only policy that uses this.
+    fn outstanding_growth_blocks(&self) -> u64 {
+        self.cohorts
+            .iter()
+            .map(|c| {
+                let full = self.kv.blocks_needed(c.prompt_tokens + c.max_new_tokens);
+                let held = self.kv.blocks_needed(c.prompt_tokens + c.produced);
+                full.saturating_sub(held) * c.seqs.len() as u64
+            })
+            .sum()
+    }
+
+    /// Charges `busy` seconds of other-request work to every unretired
+    /// slot except `except`.
+    fn charge_wait(&mut self, busy: f64, except: usize) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if i == except {
+                continue;
+            }
+            if let Some(s) = slot.as_mut() {
+                s.wait_s += busy;
+            }
+        }
+    }
+
+    /// Admits a request: reserves KV space, runs its prefill at the current
+    /// stepper clock, and registers its sequences as a live cohort. `now`
+    /// advances the clock when the stepper was idle (admissions into a
+    /// running batch happen at the current iteration boundary).
+    ///
+    /// Under [`OomPolicy::FailFast`] the whole request (prompt + full
+    /// output growth, plus the outstanding growth of everything already
+    /// admitted) is reserved up front, exactly like the static path; under
+    /// [`OomPolicy::PreemptRecompute`] only end-to-end feasibility of a
+    /// single sequence is required and unplaceable sequences wait.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for zero-sized fields and
+    /// [`EngineError::OutOfMemory`] when the request can never be placed.
+    pub fn admit(
+        &mut self,
+        engine: &mut InferenceEngine,
+        now: f64,
+        req: &GenerationRequest,
+    ) -> Result<AdmitOutcome, EngineError> {
+        req.validate().map_err(EngineError::InvalidRequest)?;
+        if self.clock < now {
+            self.clock = now;
+        }
+        let total_tokens = req.prompt_tokens + req.max_new_tokens;
+        let policy = engine.config().oom_policy;
+
+        // Admission feasibility, mirroring the static paths bit-for-bit in
+        // the drained (empty-stepper) case.
+        match policy {
+            OomPolicy::FailFast => {
+                let need = self.kv.blocks_needed(total_tokens) * req.batch as u64;
+                let outstanding = self.outstanding_growth_blocks();
+                if need + outstanding > self.kv.free_blocks() {
+                    return Err(oom_error(&self.kv, req));
+                }
+            }
+            OomPolicy::PreemptRecompute => {
+                if !self.kv.would_fit_capacity(1, total_tokens) {
+                    return Err(oom_error(&self.kv, req));
+                }
+            }
+        }
+
+        let slot_idx = self.slots.len();
+        let id = SlotId(self.next_slot);
+        self.next_slot += 1;
+        let mut slot = Slot {
+            id,
+            batch: req.batch,
+            prompt_tokens: req.prompt_tokens,
+            max_new_tokens: req.max_new_tokens,
+            prefill: PhaseStats::default(),
+            decode: PhaseStats::default(),
+            trace: TraceRec::new(engine.config().tbt_trace_cap),
+            wait_s: 0.0,
+            throttled_s: 0.0,
+            preemptions: 0,
+            recomputed_tokens: 0,
+            prefilled: false,
+            done_seqs: 0,
+        };
+
+        // Place as many sequences as fit right now (FailFast: all of them,
+        // by the reservation above).
+        let mut seqs = Vec::with_capacity(req.batch);
+        for placed in 0..req.batch {
+            match self.kv.allocate(req.prompt_tokens) {
+                Some(sid) => seqs.push(sid),
+                None => match policy {
+                    OomPolicy::FailFast => return Err(oom_error(&self.kv, req)),
+                    OomPolicy::PreemptRecompute => {
+                        self.waiting.push_back(WaitEntry {
+                            slot: slot_idx,
+                            count: req.batch - placed,
+                            produced: 0,
+                        });
+                        break;
+                    }
+                },
+            }
+        }
+
+        let mut busy = 0.0;
+        if !seqs.is_empty() {
+            // Prompt prefill (batch 1, shared prompt — the paper's setup).
+            let t = self.clock;
+            let throttled = engine.apply_faults_at(t);
+            let gpu_fp = engine.gpu_fingerprint();
+            let arch = &self.arch;
+            let det = engine.deterministic_phase(
+                self.key(gpu_fp, PhaseKind::Prefill, 1, req.prompt_tokens),
+                &arch.calib.prefill,
+                |plan| build_prefill_into(plan, arch, self.prec, 1, req.prompt_tokens),
+            );
+            let mut prefill = engine.perturb(&det);
+            if throttled {
+                engine.counters_mut().throttled_phases += 1;
+                slot.throttled_s += prefill.latency_s;
+            }
+            if policy == OomPolicy::FailFast {
+                // The static FailFast path folds kernel stalls into the
+                // prefill phase; the preempt path does not. Mirror both.
+                let (n_stalls, stall_s) =
+                    engine.fault_schedule().stalls_in(t, t + prefill.latency_s);
+                if n_stalls > 0 {
+                    engine.counters_mut().stalls += n_stalls as u64;
+                    if stall_s > 0.0 {
+                        prefill.merge(&idle_gap(stall_s, engine.idle_w()));
+                    }
+                }
+            }
+            slot.prefill = prefill;
+            slot.prefilled = true;
+            busy = prefill.latency_s;
+            self.clock += busy;
+            self.cohorts.push(Cohort {
+                slot: slot_idx,
+                prompt_tokens: req.prompt_tokens,
+                max_new_tokens: req.max_new_tokens,
+                produced: 0,
+                seqs,
+            });
+        }
+
+        self.slots.push(Some(slot));
+        if busy > 0.0 {
+            self.charge_wait(busy, slot_idx);
+        }
+        Ok(AdmitOutcome {
+            id,
+            end_s: self.clock,
+        })
+    }
+
+    /// Re-places waiting (preempted or never-placed) groups whose slot has
+    /// no live cohort — the static preempt path's "next cohort starts when
+    /// the previous one drains" order — charging their context
+    /// recomputation as the static path does.
+    fn readmit_waiting(&mut self, engine: &mut InferenceEngine) -> Result<(), EngineError> {
+        // Slots with live cohorts keep their waiting groups queued.
+        let eligible: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| {
+                self.slots[i].is_some()
+                    && self.waiting.iter().any(|w| w.slot == i)
+                    && !self.cohorts.iter().any(|c| c.slot == i)
+            })
+            .collect();
+        for slot_idx in eligible {
+            // Pop this slot's front run of same-progress entries (the
+            // static queue's adjacent-cohort coalescing).
+            let Some(first) = self.waiting.iter().position(|w| w.slot == slot_idx) else {
+                continue;
+            };
+            let produced0 = self.waiting[first].produced;
+            let mut count = 0usize;
+            let mut i = first;
+            while i < self.waiting.len() {
+                if self.waiting[i].slot != slot_idx {
+                    i += 1;
+                    continue;
+                }
+                if self.waiting[i].produced != produced0 {
+                    break;
+                }
+                count += self.waiting[i].count;
+                self.waiting.remove(i);
+            }
+
+            let (prompt_tokens, max_new_tokens, prefilled) = match self.slots[slot_idx].as_ref() {
+                Some(s) => (s.prompt_tokens, s.max_new_tokens, s.prefilled),
+                None => continue,
+            };
+            let ctx0 = prompt_tokens + produced0;
+            // Admit as many as currently fit; the rest keep waiting.
+            let mut seqs = Vec::with_capacity(count);
+            for placed in 0..count {
+                match self.kv.allocate(ctx0) {
+                    Some(sid) => seqs.push(sid),
+                    None => {
+                        self.waiting.push_back(WaitEntry {
+                            slot: slot_idx,
+                            count: count - placed,
+                            produced: produced0,
+                        });
+                        break;
+                    }
+                }
+            }
+            if seqs.is_empty() {
+                continue; // other slots hold the cache; retry next step
+            }
+
+            let throttled = engine.apply_faults_at(self.clock);
+            let gpu_fp = engine.gpu_fingerprint();
+            let arch = &self.arch;
+            let prec = self.prec;
+            let busy;
+            if !prefilled && produced0 == 0 {
+                // The slot's very first placement: a true prompt prefill.
+                let det = engine.deterministic_phase(
+                    self.key(gpu_fp, PhaseKind::Prefill, 1, prompt_tokens),
+                    &arch.calib.prefill,
+                    |plan| build_prefill_into(plan, arch, prec, 1, prompt_tokens),
+                );
+                let prefill = engine.perturb(&det);
+                if let Some(s) = self.slots[slot_idx].as_mut() {
+                    if throttled {
+                        engine.counters_mut().throttled_phases += 1;
+                        s.throttled_s += prefill.latency_s;
+                    }
+                    s.prefill = prefill;
+                    s.prefilled = true;
+                }
+                busy = prefill.latency_s;
+            } else {
+                // Context recomputation: a batch-1 prefill-shaped pass over
+                // the lost context, once per recovered sequence.
+                let det = engine.deterministic_phase(
+                    self.key(gpu_fp, PhaseKind::Prefill, 1, ctx0),
+                    &arch.calib.prefill,
+                    |plan| build_prefill_into(plan, arch, prec, 1, ctx0),
+                );
+                let recompute = engine.perturb(&det).repeated(seqs.len());
+                let recovered = ctx0 * seqs.len();
+                engine.counters_mut().recomputed_tokens += recovered as u64;
+                if throttled {
+                    engine.counters_mut().throttled_phases += 1;
+                }
+                if let Some(s) = self.slots[slot_idx].as_mut() {
+                    if throttled {
+                        s.throttled_s += recompute.latency_s;
+                    }
+                    s.recomputed_tokens += recovered;
+                    if recompute.latency_s > 0.0 {
+                        s.decode.merge(&recompute);
+                    }
+                }
+                busy = recompute.latency_s;
+            }
+            self.clock += busy;
+            if busy > 0.0 {
+                self.charge_wait(busy, slot_idx);
+            }
+            self.cohorts.push(Cohort {
+                slot: slot_idx,
+                prompt_tokens,
+                max_new_tokens,
+                produced: produced0,
+                seqs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Evicts the youngest live sequence (tail of the youngest cohort) to
+    /// free KV blocks, requeueing its progress point.
+    fn evict_youngest(&mut self, engine: &mut InferenceEngine) -> Result<(), EngineError> {
+        let total: usize = self.cohorts.iter().map(|c| c.seqs.len()).sum();
+        if total <= 1 {
+            // Unreachable per the admission invariant (a single sequence
+            // always fits end to end) — but never spin on it.
+            return Err(EngineError::OutOfMemory {
+                needed: 0,
+                available: self.kv.free_tokens() * self.kv.bytes_per_token(),
+            });
+        }
+        let Some(cohort) = self.cohorts.last_mut() else {
+            return Err(EngineError::InvalidRequest(
+                "eviction with no live cohorts".into(),
+            ));
+        };
+        let slot_idx = cohort.slot;
+        let produced = cohort.produced;
+        if let Some(victim) = cohort.seqs.pop() {
+            self.kv.release(victim)?;
+            self.waiting.push_back(WaitEntry {
+                slot: slot_idx,
+                count: 1,
+                produced,
+            });
+            engine.counters_mut().preemptions += 1;
+            if let Some(s) = self.slots[slot_idx].as_mut() {
+                s.preemptions += 1;
+            }
+        }
+        if self.cohorts.last().is_some_and(|c| c.seqs.is_empty()) {
+            self.cohorts.pop();
+        }
+        Ok(())
+    }
+
+    /// Decodes one chunk for every live cohort (one iteration of the
+    /// continuous-batching loop), readmitting waiting groups first and
+    /// retiring finished requests afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] when no progress is possible (FailFast
+    /// growth failure, or nothing placeable with an empty batch) and
+    /// [`EngineError::Kv`] on allocator misuse (internal invariant breach).
+    pub fn step(&mut self, engine: &mut InferenceEngine) -> Result<StepOutcome, EngineError> {
+        if !self.is_busy() {
+            return Ok(StepOutcome {
+                end_s: self.clock,
+                retired: Vec::new(),
+            });
+        }
+        self.readmit_waiting(engine)?;
+        if self.cohorts.is_empty() {
+            // Nothing live and nothing placeable: the cache is empty, so
+            // this means a waiting group exceeds device capacity.
+            return Err(EngineError::OutOfMemory {
+                needed: 0,
+                available: self.kv.free_tokens() * self.kv.bytes_per_token(),
+            });
+        }
+
+        // Shared chunk: every cohort advances by the same token count so
+        // the iteration stays a single perturbed phase.
+        let mut chunk = usize::MAX;
+        for c in &self.cohorts {
+            chunk = chunk.min(
+                engine
+                    .config()
+                    .decode_chunk
+                    .min(c.max_new_tokens - c.produced),
+            );
+        }
+
+        // Grow every live sequence; under PreemptRecompute, evict youngest
+        // tail victims until growth succeeds (vLLM recompute preemption).
+        let policy = engine.config().oom_policy;
+        let mut ci = 0;
+        while ci < self.cohorts.len() {
+            let target = self.cohorts[ci].prompt_tokens + self.cohorts[ci].produced + chunk;
+            let mut si = 0;
+            while si < self.cohorts.get(ci).map_or(0, |c| c.seqs.len()) {
+                let seq = self.cohorts[ci].seqs[si];
+                if self.kv.grow(seq, target)? {
+                    si += 1;
+                    continue;
+                }
+                match policy {
+                    OomPolicy::FailFast => {
+                        // Unreachable: admission reserved the full growth.
+                        let req = GenerationRequest::new(
+                            self.cohorts[ci].prompt_tokens,
+                            self.cohorts[ci].max_new_tokens,
+                        );
+                        return Err(oom_error(&self.kv, &req));
+                    }
+                    OomPolicy::PreemptRecompute => self.evict_youngest(engine)?,
+                }
+            }
+            ci += 1;
+        }
+
+        // One mixed-context decode iteration: shared base aggregate at the
+        // union batch, per-cohort attention aggregates, one perturbation.
+        let n_total: usize = self.cohorts.iter().map(|c| c.seqs.len()).sum();
+        let idle_w = engine.idle_w();
+        let host_per_step =
+            engine.config().host_per_step_s + engine.config().host_per_seq_step_s * n_total as f64;
+        let throttled = engine.apply_faults_at(self.clock);
+        let gpu_fp = engine.gpu_fingerprint();
+        let arch = &self.arch;
+        let prec = self.prec;
+        let base_det = match self.base_cache {
+            Some((fp, b, stats)) if fp == gpu_fp && b == n_total => stats,
+            _ => {
+                let stats = engine.deterministic_phase(
+                    self.key(gpu_fp, PhaseKind::DecodeBase, n_total, 0),
+                    &arch.calib.decode,
+                    |plan| build_decode_base_into(plan, arch, prec, n_total),
+                );
+                self.base_cache = Some((gpu_fp, n_total, stats));
+                stats
+            }
+        };
+        let mut step_det = base_det;
+        // (ctx, deterministic attention aggregate) per cohort, in order.
+        let mut ctx_dets: Vec<(usize, PhaseStats)> = Vec::with_capacity(self.cohorts.len());
+        for c in &self.cohorts {
+            let ctx = c.prompt_tokens + c.produced + chunk / 2;
+            let ctx_det = engine.deterministic_phase(
+                self.key(gpu_fp, PhaseKind::DecodeCtx, c.seqs.len(), ctx),
+                &arch.calib.decode,
+                |plan| build_decode_attn_into(plan, arch, prec, c.seqs.len(), ctx),
+            );
+            step_det.merge(&ctx_det);
+            ctx_dets.push((ctx, ctx_det));
+        }
+        let mut step = engine.perturb(&step_det);
+        step.merge(&idle_gap(host_per_step, idle_w));
+        let span = step.latency_s * chunk as f64;
+        if throttled {
+            engine.counters_mut().throttled_phases += 1;
+        }
+        let (n_stalls, stall_s) = engine
+            .fault_schedule()
+            .stalls_in(self.clock, self.clock + span);
+        if n_stalls > 0 {
+            engine.counters_mut().stalls += n_stalls as u64;
+        }
+
+        // Attribute the iteration to the participating slots.
+        let m = self.cohorts.len();
+        let mut slot_share = vec![0.0f64; self.slots.len()];
+        if m == 1 {
+            // Single cohort: identical float operations to the static loop.
+            let (ctx, _) = ctx_dets[0];
+            let slot_idx = self.cohorts[0].slot;
+            if let Some(s) = self.slots[slot_idx].as_mut() {
+                s.trace.push(TbtSample {
+                    ctx,
+                    tbt_s: step.latency_s,
+                });
+                if throttled {
+                    s.throttled_s += span;
+                }
+                s.decode.merge(&step.repeated(chunk));
+                if stall_s > 0.0 {
+                    s.decode.merge(&idle_gap(stall_s, idle_w));
+                }
+            }
+            slot_share[slot_idx] = 1.0;
+        } else {
+            // Mixed batch: split the perturbed iteration by each cohort's
+            // share of the deterministic energy (attention + its share of
+            // the base), so per-request totals still sum to the iteration.
+            let weights: Vec<f64> = ctx_dets
+                .iter()
+                .zip(&self.cohorts)
+                .map(|((_, det), c)| {
+                    det.energy_j + base_det.energy_j * (c.seqs.len() as f64 / n_total as f64)
+                })
+                .collect();
+            let wsum: f64 = weights.iter().sum();
+            for ((&(ctx, _), c), &w) in ctx_dets.iter().zip(&self.cohorts).zip(&weights) {
+                let frac = if wsum > 0.0 { w / wsum } else { 1.0 / m as f64 };
+                let share = scaled(&step, frac);
+                if let Some(s) = self.slots[c.slot].as_mut() {
+                    s.trace.push(TbtSample {
+                        ctx,
+                        tbt_s: share.latency_s,
+                    });
+                    if throttled {
+                        s.throttled_s += span * frac;
+                    }
+                    s.decode.merge(&share.repeated(chunk));
+                    if stall_s > 0.0 {
+                        s.decode.merge(&idle_gap(stall_s * frac, idle_w));
+                    }
+                }
+                slot_share[c.slot] += frac;
+            }
+        }
+        let busy = span + stall_s;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(s) = slot.as_mut() {
+                let idle_frac = (1.0 - slot_share[i]).max(0.0);
+                if idle_frac > 0.0 {
+                    s.wait_s += busy * idle_frac;
+                }
+            }
+        }
+        self.clock += busy;
+        for c in &mut self.cohorts {
+            c.produced += chunk;
+        }
+
+        // Retire finished cohorts, then finalize fully-done slots.
+        let mut finished_any = false;
+        let mut ci = 0;
+        while ci < self.cohorts.len() {
+            if self.cohorts[ci].produced >= self.cohorts[ci].max_new_tokens {
+                let cohort = self.cohorts.remove(ci);
+                for seq in &cohort.seqs {
+                    self.kv.release(*seq)?;
+                }
+                if let Some(s) = self.slots[cohort.slot].as_mut() {
+                    s.done_seqs += cohort.seqs.len();
+                }
+                finished_any = true;
+            } else {
+                ci += 1;
+            }
+        }
+        let mut retired = Vec::new();
+        if finished_any {
+            for i in 0..self.slots.len() {
+                let done = self.slots[i]
+                    .as_ref()
+                    .is_some_and(|s| s.done_seqs == s.batch);
+                if !done {
+                    continue;
+                }
+                if let Some(s) = self.slots[i].take() {
+                    let (outcome, jitter) = engine.finalize_parts(
+                        self.model,
+                        self.prec,
+                        s.batch,
+                        s.prompt_tokens,
+                        s.max_new_tokens,
+                        s.prefill,
+                        s.decode,
+                        s.trace.into_vec(),
+                        s.preemptions,
+                        s.recomputed_tokens,
+                        s.throttled_s,
+                    );
+                    retired.push(FinishedSlot {
+                        id: s.id,
+                        outcome,
+                        extra_wait_s: s.wait_s * jitter,
+                    });
+                }
+            }
+            if !self.is_busy() {
+                // Fully drained: drop retired slot shells so slot indices
+                // never grow without bound across a long serving run.
+                self.slots.clear();
+                self.waiting.clear();
+            }
+        }
+        Ok(StepOutcome {
+            end_s: self.clock,
+            retired,
+        })
+    }
+
+    /// Abandons every unretired request (scheduler recovery after a stuck
+    /// [`step`](Self::step)), releasing all KV state. Returns the failed
+    /// slot handles.
+    pub fn fail_all(&mut self) -> Vec<SlotId> {
+        for c in &self.cohorts {
+            for seq in &c.seqs {
+                let _ = self.kv.release(*seq);
+            }
+        }
+        self.cohorts.clear();
+        self.waiting.clear();
+        let failed = self.slots.iter().flatten().map(|s| s.id).collect();
+        self.slots.clear();
+        failed
+    }
+}
+
+/// Scales a phase's extensive quantities (latency, energy, kernel count) by
+/// `frac`, keeping the intensive ones (powers, utilizations).
+fn scaled(p: &PhaseStats, frac: f64) -> PhaseStats {
+    PhaseStats {
+        latency_s: p.latency_s * frac,
+        energy_j: p.energy_j * frac,
+        kernels: ((p.kernels as f64) * frac).round() as usize,
+        ..*p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine(seed: u64) -> InferenceEngine {
+        InferenceEngine::new(EngineConfig::vllm(), seed)
+    }
+
+    #[test]
+    fn drained_stepper_is_bit_identical_to_static_run() {
+        let req = GenerationRequest::new(256, 200).with_batch(3);
+        let mut static_engine = engine(17);
+        static_engine.set_clock_s(42.0);
+        let want = static_engine
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+
+        let mut e = engine(17);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("weights fit");
+        let admitted = stepper.admit(&mut e, 42.0, &req).expect("admits");
+        let mut got = None;
+        while got.is_none() {
+            let out = stepper.step(&mut e).expect("steps");
+            for f in out.retired {
+                assert_eq!(f.id, admitted.id);
+                assert_eq!(f.extra_wait_s, 0.0, "drained runs never wait");
+                got = Some(f.outcome);
+            }
+        }
+        assert_eq!(
+            got.expect("retired"),
+            want,
+            "must match the static loop bit-for-bit"
+        );
+        assert!(!stepper.is_busy());
+        assert_eq!(stepper.kv_free_tokens(), stepper.kv_capacity_tokens());
+    }
+
+    #[test]
+    fn sequential_drained_runs_match_static_sequence() {
+        // Several back-to-back drained admissions reuse one stepper (and
+        // its KV manager + base memo) and must still match the static
+        // engine run-for-run.
+        let reqs = [
+            GenerationRequest::new(128, 96).with_batch(2),
+            GenerationRequest::new(256, 144),
+            GenerationRequest::new(128, 96).with_batch(2),
+        ];
+        let mut se = engine(23);
+        let mut ce = engine(23);
+        let mut stepper =
+            BatchStepper::new(&ce, ModelId::Dsr1Llama8b, Precision::Fp16).expect("fits");
+        let mut t = 0.0;
+        for req in &reqs {
+            se.set_clock_s(t);
+            let want = se
+                .run(ModelId::Dsr1Llama8b, Precision::Fp16, req)
+                .expect("fits");
+            stepper.admit(&mut ce, t, req).expect("admits");
+            loop {
+                let out = stepper.step(&mut ce).expect("steps");
+                if let Some(f) = out.retired.into_iter().next() {
+                    assert_eq!(f.outcome, want);
+                    break;
+                }
+            }
+            t += want.total_latency_s() + 5.0;
+        }
+    }
+
+    #[test]
+    fn interleaved_admissions_complete_and_conserve_kv() {
+        let mut e = engine(5);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        let a = stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(128, 192).with_batch(2))
+            .expect("admits");
+        // Admit a second request mid-flight, after one iteration.
+        let _ = stepper.step(&mut e).expect("steps");
+        let b = stepper
+            .admit(
+                &mut e,
+                stepper.clock_s(),
+                &GenerationRequest::new(64, 96).with_batch(2),
+            )
+            .expect("admits");
+        let mut done = Vec::new();
+        while stepper.is_busy() {
+            let out = stepper.step(&mut e).expect("steps");
+            done.extend(out.retired);
+        }
+        assert_eq!(done.len(), 2);
+        let ra = done.iter().find(|f| f.id == a.id).expect("a retires");
+        let rb = done.iter().find(|f| f.id == b.id).expect("b retires");
+        assert_eq!(ra.outcome.generated_tokens, 192);
+        assert_eq!(rb.outcome.generated_tokens, 96);
+        // The later, shorter request finished while sharing iterations, so
+        // both sides carry wait attribution.
+        assert!(ra.extra_wait_s > 0.0 || rb.extra_wait_s > 0.0);
+        assert_eq!(stepper.kv_free_tokens(), stepper.kv_capacity_tokens());
+    }
+
+    /// An engine whose KV budget holds `kv_tokens` tokens beyond weights.
+    fn pressured(policy: OomPolicy, kv_tokens: u64) -> InferenceEngine {
+        let mut config = EngineConfig::vllm().with_oom_policy(policy);
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+        config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+        InferenceEngine::new(config, 3)
+    }
+
+    #[test]
+    fn preemption_under_pressure_completes_every_sequence() {
+        let req = GenerationRequest::new(128, 128).with_batch(8);
+        let mut e = pressured(OomPolicy::PreemptRecompute, 1600);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        stepper.admit(&mut e, 0.0, &req).expect("admits");
+        let mut done = Vec::new();
+        while stepper.is_busy() {
+            let out = stepper.step(&mut e).expect("steps");
+            done.extend(out.retired);
+        }
+        let f = done.first().expect("retires");
+        assert_eq!(f.outcome.batch, 8);
+        assert_eq!(f.outcome.generated_tokens, 128);
+        assert!(f.outcome.preemptions > 0, "pressure must preempt");
+        assert!(f.outcome.recomputed_tokens > 0);
+        assert_eq!(stepper.kv_free_tokens(), stepper.kv_capacity_tokens());
+    }
+
+    #[test]
+    fn failfast_admission_reserves_outstanding_growth() {
+        let mut e = pressured(OomPolicy::FailFast, 1600);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        // 4 x 256 tokens = 1024 KV tokens reserved of ~1600.
+        stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(128, 128).with_batch(4))
+            .expect("fits");
+        // Another 4 sequences would need 1024 more: must be refused even
+        // though the *current* allocation (prompt only) still fits.
+        let err = stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(128, 128).with_batch(4))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }), "{err}");
+        // A single extra sequence (256 tokens) still fits.
+        stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(128, 128))
+            .expect("fits");
+        while stepper.is_busy() {
+            stepper.step(&mut e).expect("steps");
+        }
+        assert_eq!(stepper.kv_free_tokens(), stepper.kv_capacity_tokens());
+    }
+}

@@ -4,6 +4,10 @@
 # slowed down by more than the threshold (default 20%) fails the script.
 #
 # Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold_pct]
+#
+# BENCH_REQUIRE_PREFIXES (comma-separated, default "serving/") lists bench
+# group prefixes that must be present in the candidate snapshot, so a group
+# silently dropping out of the build can't dodge the gate.
 set -euo pipefail
 if [[ $# -lt 2 ]]; then
   echo "usage: $0 BASELINE.json CANDIDATE.json [threshold_pct]" >&2
@@ -13,11 +17,14 @@ base="$1"
 cand="$2"
 threshold="${3:-20}"
 
-python3 - "$base" "$cand" "$threshold" <<'EOF'
+require="${BENCH_REQUIRE_PREFIXES:-serving/}"
+
+python3 - "$base" "$cand" "$threshold" "$require" <<'EOF'
 import json
 import sys
 
 base_path, cand_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+require = [p for p in sys.argv[4].split(",") if p]
 
 def load(path):
     with open(path) as f:
@@ -25,6 +32,9 @@ def load(path):
 
 base = load(base_path)
 cand = load(cand_path)
+missing = [p for p in require if not any(n.startswith(p) for n in cand)]
+if missing:
+    sys.exit(f"required bench group(s) missing from {cand_path}: {', '.join(missing)}")
 shared = sorted(base.keys() & cand.keys())
 if not shared:
     sys.exit(f"no shared benchmarks between {base_path} and {cand_path}")

@@ -34,4 +34,14 @@ cargo run --release -q -p edgereasoning-bench --bin resilience_study -- --smoke
 cmp "$SMOKE_CSV" "$SMOKE_CSV.first" || { echo "FAIL: resilience smoke not deterministic"; exit 1; }
 rm -f "$SMOKE_CSV.first"
 
+echo "==> serving_study --smoke (deterministic continuous-batching CSV)"
+cargo run --release -q -p edgereasoning-bench --bin serving_study -- --smoke
+SERVING_CSV=outputs/serving_study_smoke.csv
+[ -s "$SERVING_CSV" ] || { echo "FAIL: $SERVING_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$SERVING_CSV")" -gt 1 ] || { echo "FAIL: $SERVING_CSV has no data rows"; exit 1; }
+cp "$SERVING_CSV" "$SERVING_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin serving_study -- --smoke
+cmp "$SERVING_CSV" "$SERVING_CSV.first" || { echo "FAIL: serving smoke not deterministic"; exit 1; }
+rm -f "$SERVING_CSV.first"
+
 echo "CI OK"

@@ -11,6 +11,7 @@ BINS=(
   table09 table12 table13_15_planning table16_17_cpu
   ablation_power_modes ablation_future_work
   resilience_study
+  serving_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

@@ -10,7 +10,10 @@ use edgereasoning::core::study::{Study, StudyCell};
 use edgereasoning::engine::engine::{EngineConfig, OomPolicy};
 use edgereasoning::engine::kv_cache::KvCacheManager;
 use edgereasoning::engine::request::GenerationRequest;
-use edgereasoning::engine::serving::{simulate_serving, ServingConfig};
+use edgereasoning::engine::serving::{
+    simulate_serving, simulate_serving_continuous, ServingConfig,
+};
+use edgereasoning::engine::stepper::BatchStepper;
 use edgereasoning::engine::SimEngine;
 use edgereasoning::kernels::arch::ModelId;
 use edgereasoning::kernels::dtype::Precision;
@@ -398,6 +401,65 @@ proptest! {
         }
     }
 
+    /// With arrivals spaced far past batch completion (a drained queue),
+    /// the continuous (iteration-level) scheduler reproduces the static
+    /// gang-scheduled report bit-exactly: same phase keys, same float-op
+    /// order, same RNG draws.
+    #[test]
+    fn drained_continuous_serving_matches_static(
+        seed in 0u64..200, queries in 2usize..9, max_batch in 1usize..8
+    ) {
+        // Mean inter-arrival 1e8 s vs ~4 s service: the probability of an
+        // arrival landing mid-batch is negligible at every seed.
+        let cfg = ServingConfig::new(1e-8, max_batch, queries, 128, 64);
+        let mut se = SimEngine::new(EngineConfig::vllm(), seed);
+        let stat = simulate_serving(&mut se, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+            .expect("runs");
+        let mut ce = SimEngine::new(EngineConfig::vllm(), seed);
+        let cont =
+            simulate_serving_continuous(&mut ce, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("runs");
+        prop_assert_eq!(stat, cont);
+    }
+
+    /// KV accounting never leaks blocks across admit/step/preempt/retire
+    /// cycles: after the stepper drains, free tokens return to capacity.
+    #[test]
+    fn stepper_conserves_kv_blocks(
+        seed in 0u64..100,
+        admits in prop::collection::vec((1usize..512, 1usize..128, 1usize..5), 1..6),
+        kv_tokens in 1200u64..4000
+    ) {
+        let mut config = EngineConfig::vllm().with_oom_policy(OomPolicy::PreemptRecompute);
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+        config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+        let mut e = SimEngine::new(config, seed);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("weights fit");
+        let cap = stepper.kv_free_tokens();
+        prop_assert_eq!(cap, stepper.kv_capacity_tokens());
+        let mut t = 0.0;
+        for &(prompt, output, batch) in &admits {
+            let req = GenerationRequest::new(prompt, output).with_batch(batch);
+            // Oversized groups spill into the waiting queue; a refusal
+            // must leave accounting untouched either way.
+            let _ = stepper.admit(&mut e, t, &req);
+            if stepper.is_busy() {
+                let out = stepper.step(&mut e).expect("preempting stepper steps");
+                t = out.end_s;
+            }
+        }
+        let mut guard = 0usize;
+        while stepper.is_busy() {
+            stepper.step(&mut e).expect("preempting stepper drains");
+            guard += 1;
+            prop_assert!(guard < 10_000, "stepper failed to drain");
+        }
+        prop_assert_eq!(stepper.kv_free_tokens(), cap);
+        prop_assert_eq!(stepper.live_queries(), 0);
+    }
+
     /// The phase-plan cache is invisible to results: a cache-disabled
     /// engine produces bit-identical outcomes for any request shape.
     #[test]
@@ -519,6 +581,32 @@ fn empty_fault_schedule_bit_identical_at_every_thread_count() {
             run(threads, true),
             "no-op schedule must not perturb a bit at {threads} threads"
         );
+    }
+}
+
+/// Same-seed continuous serving is bit-identical at every thread count of
+/// a parallel fan-out: all scheduler state lives in the per-cell engine
+/// and stepper, never in thread identity or completion order.
+#[test]
+fn parallel_continuous_serving_bit_identical_at_every_thread_count() {
+    let cells: Vec<u64> = (0..6).collect();
+    let run = |threads: usize| {
+        par_map_deterministic(&cells, threads, |i, _| {
+            let mut e = SimEngine::new(EngineConfig::vllm(), item_seed(0x5e12, i as u64));
+            let cfg = ServingConfig::new(1.5, 6, 14, 96, 64).with_deadline(120.0);
+            simulate_serving_continuous(
+                &mut e,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &cfg,
+                i as u64,
+            )
+            .expect("runs")
+        })
+    };
+    let sequential = run(1);
+    for threads in [2usize, 3, 0] {
+        assert_eq!(sequential, run(threads), "differ at {threads} threads");
     }
 }
 
