@@ -2,6 +2,7 @@
 //! roofline execution, full generations, and dataset-scale evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgereasoning_engine::cluster::{simulate_cluster, ClusterConfig, CrashConfig};
 use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
 use edgereasoning_engine::request::GenerationRequest;
 use edgereasoning_engine::serving::{simulate_serving_with, SchedulerKind, ServingConfig};
@@ -148,6 +149,40 @@ fn bench_serving(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    // One fleet_study cell: a 24-query stream over 3 replicas with crash
+    // weather and hedging — the full router + failover + hedge machinery.
+    let cfg = ServingConfig::new(2.0, 8, 24, 128, 128)
+        .with_deadline(12.0)
+        .with_retries(3, 0.5);
+    let quiet = ClusterConfig::new(1, EngineConfig::vllm());
+    let stormy = ClusterConfig::new(3, EngineConfig::vllm())
+        .with_fault_intensity(2.0)
+        .with_crashes(CrashConfig {
+            mtbf_s: 45.0,
+            mttr_s: 8.0,
+            cold_start_s: 4.0,
+        })
+        .with_hedging(1.5);
+    for (label, cluster) in [("quiet_1rep_24q", &quiet), ("stormy_3rep_24q", &stormy)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                simulate_cluster(
+                    black_box(cluster),
+                    ModelId::Dsr1Qwen1_5b,
+                    Precision::Fp16,
+                    black_box(&cfg),
+                    7,
+                )
+                .expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
@@ -155,6 +190,7 @@ criterion_group!(
     bench_generation,
     bench_dataset_eval,
     bench_cache_effect,
-    bench_serving
+    bench_serving,
+    bench_cluster
 );
 criterion_main!(benches);

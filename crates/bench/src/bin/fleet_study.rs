@@ -1,0 +1,212 @@
+//! Fleet study: replica count × crash intensity × hedging, on a shared
+//! Poisson arrival stream under a per-query deadline.
+//!
+//! Every cell replays the *same* arrival stream (the arrival RNG lane
+//! depends only on the study seed) through [`simulate_cluster`], so the
+//! sweep isolates the deployment question: how many replicas — and which
+//! robustness mechanisms — does it take to hold the SLO when devices crash
+//! and reboot?
+//!
+//! The headline: under the harshest crash weather a single device
+//! collapses (long outages shed or miss most of the stream), while three
+//! replicas with hedging hold SLO attainment near 1.0 — availability,
+//! failover recoveries and the hedge fire/win rates quantify why. The cost
+//! shows up honestly in J/query: lost hedges and recomputed sequences burn
+//! real energy.
+//!
+//! Writes `outputs/fleet_study.csv` (`--smoke` runs a tiny grid and writes
+//! `outputs/fleet_study_smoke.csv` instead, for CI).
+
+use edgereasoning_bench::TableWriter;
+use edgereasoning_engine::cluster::{simulate_cluster, ClusterConfig, ClusterReport, CrashConfig};
+use edgereasoning_engine::engine::EngineConfig;
+use edgereasoning_engine::serving::ServingConfig;
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::runtime::{available_threads, par_map_deterministic};
+
+const SEED: u64 = 0xf1ee7;
+const MAX_BATCH: usize = 8;
+const QPS: f64 = 2.0;
+const DEADLINE_S: f64 = 12.0;
+const HEDGE_FACTOR: f64 = 1.5;
+
+/// Weather levels swept by the study: `(label, derate intensity, crashes)`.
+/// Derate weather (throttle/contention windows) slows a replica; crash
+/// weather kills it outright. At `harsh`, an outage plus cold start (~12 s)
+/// matches the deadline: everything queued behind a dead device expires
+/// unless another replica absorbs it.
+const WEATHER_LEVELS: &[(&str, f64, CrashConfig)] = &[
+    (
+        "none",
+        0.0,
+        CrashConfig {
+            mtbf_s: 0.0,
+            mttr_s: 0.0,
+            cold_start_s: 0.0,
+        },
+    ),
+    (
+        "moderate",
+        1.0,
+        CrashConfig {
+            mtbf_s: 90.0,
+            mttr_s: 10.0,
+            cold_start_s: 5.0,
+        },
+    ),
+    (
+        "harsh",
+        2.0,
+        CrashConfig {
+            mtbf_s: 45.0,
+            mttr_s: 8.0,
+            cold_start_s: 4.0,
+        },
+    ),
+];
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    replicas: usize,
+    weather_label: &'static str,
+    fault_intensity: f64,
+    crash: CrashConfig,
+    hedging: bool,
+    queries: usize,
+}
+
+fn run_cell(cell: &Cell) -> ClusterReport {
+    let cfg = ServingConfig::new(QPS, MAX_BATCH, cell.queries, 128, 128)
+        .with_deadline(DEADLINE_S)
+        .with_retries(3, 0.5);
+    let mut cluster = ClusterConfig::new(cell.replicas, EngineConfig::vllm())
+        .with_fault_intensity(cell.fault_intensity);
+    cluster.crash = cell.crash;
+    if cell.hedging {
+        cluster = cluster.with_hedging(HEDGE_FACTOR);
+    }
+    simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, SEED)
+        .expect("fleet simulation must not abort")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (replica_grid, weather_levels): (&[usize], &[(&str, f64, CrashConfig)]) = if smoke {
+        (&[1, 2], &WEATHER_LEVELS[..2])
+    } else {
+        (&[1, 2, 3], WEATHER_LEVELS)
+    };
+    let queries = if smoke { 12 } else { 80 };
+
+    let mut cells = Vec::new();
+    for &(weather_label, fault_intensity, crash) in weather_levels {
+        for &replicas in replica_grid {
+            for hedging in [false, true] {
+                cells.push(Cell {
+                    replicas,
+                    weather_label,
+                    fault_intensity,
+                    crash,
+                    hedging,
+                    queries,
+                });
+            }
+        }
+    }
+
+    eprintln!(
+        "running {} fleet cells on {} worker threads",
+        cells.len(),
+        available_threads()
+    );
+    let results = par_map_deterministic(&cells, 0, |_, cell| run_cell(cell));
+
+    let mut table = TableWriter::new(
+        "Fleet serving — replicas x weather (derates + crashes) x hedging (128/128 tokens, 12 s SLO)",
+        &[
+            "model",
+            "replicas",
+            "weather",
+            "hedging",
+            "offered_qps",
+            "completed",
+            "failed",
+            "shed",
+            "slo_attainment",
+            "availability",
+            "crash_events",
+            "crash_lost",
+            "crash_recovered",
+            "hedges_fired",
+            "hedge_wins",
+            "achieved_qps",
+            "p99_latency_s",
+            "J_per_query",
+            "wall_s",
+        ],
+    );
+    for (cell, r) in cells.iter().zip(&results) {
+        table.row(&[
+            ModelId::Dsr1Qwen1_5b.to_string(),
+            format!("{}", cell.replicas),
+            cell.weather_label.to_string(),
+            if cell.hedging { "on" } else { "off" }.to_string(),
+            format!("{QPS:.2}"),
+            format!("{}", r.fleet.completed),
+            format!("{}", r.fleet.failed_queries),
+            format!("{}", r.fleet.shed_queries),
+            format!("{:.3}", r.fleet.slo_attainment),
+            format!("{:.4}", r.availability),
+            format!("{}", r.crash_events),
+            format!("{}", r.crash_lost),
+            format!("{}", r.crash_recovered),
+            format!("{}", r.hedges_fired),
+            format!("{}", r.hedge_wins),
+            format!("{:.4}", r.fleet.achieved_qps),
+            format!("{:.2}", r.fleet.p99_latency_s),
+            format!("{:.1}", r.fleet.energy_per_query_j),
+            format!("{:.1}", r.fleet.wall_s),
+        ]);
+    }
+    table.print();
+    table.write_csv(if smoke {
+        "fleet_study_smoke"
+    } else {
+        "fleet_study"
+    });
+
+    // The headline comparison at the harshest crash weather: one bare
+    // replica vs three replicas with hedging.
+    let harshest = weather_levels[weather_levels.len() - 1].0;
+    let find = |replicas: usize, hedging: bool| {
+        cells
+            .iter()
+            .zip(&results)
+            .find(|(c, _)| {
+                c.weather_label == harshest && c.replicas == replicas && c.hedging == hedging
+            })
+            .map(|(_, r)| r)
+    };
+    let max_replicas = replica_grid[replica_grid.len() - 1];
+    if let (Some(one), Some(fleet)) = (find(1, false), find(max_replicas, true)) {
+        println!(
+            "crash weather '{}': 1 replica holds SLO {:.3} at availability {:.3}; \
+             {} replicas + hedging hold SLO {:.3} at availability {:.3} \
+             ({} crash-lost sequences, {} recovered, {} hedges fired / {} won, \
+             {:.1} -> {:.1} J/query)",
+            harshest,
+            one.fleet.slo_attainment,
+            one.availability,
+            max_replicas,
+            fleet.fleet.slo_attainment,
+            fleet.availability,
+            fleet.crash_lost,
+            fleet.crash_recovered,
+            fleet.hedges_fired,
+            fleet.hedge_wins,
+            one.fleet.energy_per_query_j,
+            fleet.fleet.energy_per_query_j,
+        );
+    }
+}

@@ -1,0 +1,980 @@
+//! Fleet serving: N replicated edge devices behind a deterministic router.
+//!
+//! The paper characterizes one Jetson AGX Orin; a production deployment is
+//! a *fleet* of them, and edge fleets are unreliable — devices overheat,
+//! brown out, and reboot. This module simulates N replicas (each its own
+//! [`InferenceEngine`] + [`FaultSchedule`] + continuous [`BatchStepper`]
+//! loop) serving one shared Poisson arrival stream behind a router that
+//! implements the three classic fleet-robustness mechanisms:
+//!
+//! * **health-checked routing** — replicas are [`ReplicaHealth::Up`],
+//!   [`Degraded`](ReplicaHealth::Degraded) (sustained throttling) or
+//!   [`Down`](ReplicaHealth::Down) (inside a crash window); admission
+//!   prefers healthy, least-loaded replicas (most free KV-cache tokens,
+//!   capacity-gated via `would_fit_capacity`);
+//! * **failover** — a [`FaultKind::DeviceCrash`] window zeroes the
+//!   replica's KV cache and voids every in-flight sequence; voided
+//!   sequences re-enter the queue with their retry/backoff budget and are
+//!   recomputed on a surviving replica (counted as `crash_lost` /
+//!   `crash_recovered`, distinct from OOM preemptions); the restart pays a
+//!   cold-start penalty on top of the repair window;
+//! * **request hedging** — an admitted request outstanding (since
+//!   arrival) longer than `hedge_factor ×` the fleet's running (EWMA)
+//!   latency estimate is cloned onto a second replica; the first copy to
+//!   complete wins and the loser is cancelled with its accrued energy
+//!   still booked (a hedge's cost is real even when it loses).
+//!
+//! # Determinism
+//!
+//! The simulation is a single-threaded discrete-event loop: at every
+//! iteration the replica with the earliest actionable instant executes one
+//! scheduling step of the continuous serving loop (ties break by health,
+//! then free KV tokens, then index). Each replica draws from its own RNG
+//! lanes — engine noise, disturbance weather and crash weather are all
+//! seeded per replica via `item_seed` — so reports are bit-identical
+//! across runs and across `par_map_deterministic` thread counts. With one
+//! replica, no crash windows and hedging off, the loop collapses to
+//! exactly [`simulate_serving_continuous`]'s schedule, bit for bit.
+
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::faults::FaultSchedule;
+use edgereasoning_soc::runtime::item_seed;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{EngineConfig, InferenceEngine};
+use crate::request::GenerationRequest;
+use crate::serving::{
+    effective_batch, effective_out_tokens, poisson_arrivals, restore_pending, retry_or_drop, Accum,
+    ServingConfig, ServingReport, MAX_DEGRADE_LEVEL,
+};
+use crate::stepper::{BatchStepper, SlotId};
+use crate::EngineError;
+
+/// Seed-lane tags: every replica derives independent engine / disturbance /
+/// crash RNG streams from the caller's seed (replica 0 keeps the caller's
+/// engine seed so a one-replica fleet *is* the single-device simulation).
+const ENGINE_LANE: u64 = 0x00f1_ee70;
+const FAULT_LANE: u64 = 0x00fa_0175;
+const CRASH_LANE: u64 = 0x00c7_a511;
+
+/// Smoothing of the fleet's running latency estimate that arms hedging.
+const HEDGE_EWMA_ALPHA: f64 = 0.2;
+
+/// Consecutive throttled retirements before a replica reads as Degraded.
+const DEGRADED_STREAK: u32 = 2;
+
+/// Crash/restart weather for one fleet (applied per replica on its own
+/// seed lane).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashConfig {
+    /// Mean time between failures, seconds (`<= 0` disables crashes).
+    pub mtbf_s: f64,
+    /// Mean time to repair, seconds (the outage window length).
+    pub mttr_s: f64,
+    /// Cold-start penalty after each repair: weights reload, caches warm.
+    pub cold_start_s: f64,
+}
+
+impl CrashConfig {
+    /// No crashes — the bit-exact-with-single-device configuration.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            mtbf_s: 0.0,
+            mttr_s: 0.0,
+            cold_start_s: 0.0,
+        }
+    }
+
+    /// Whether this configuration produces any crash windows.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.mtbf_s > 0.0 && self.mtbf_s.is_finite()
+    }
+}
+
+/// Fleet topology + robustness policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Replicated devices serving the shared stream.
+    pub replicas: usize,
+    /// Per-device engine configuration (each replica gets its own copy).
+    pub engine: EngineConfig,
+    /// Per-replica disturbance-weather intensity (see
+    /// [`FaultSchedule::generate`]); `0.0` = clear skies.
+    pub fault_intensity: f64,
+    /// Crash/restart weather.
+    pub crash: CrashConfig,
+    /// Hedge a request once its in-flight age exceeds this multiple of the
+    /// fleet's running latency estimate (`None` disables hedging).
+    pub hedge_factor: Option<f64>,
+    /// Horizon for fault/crash schedule generation, seconds.
+    pub horizon_s: f64,
+}
+
+impl ClusterConfig {
+    /// A fleet of `replicas` identical devices with every robustness
+    /// mechanism off.
+    #[must_use]
+    pub fn new(replicas: usize, engine: EngineConfig) -> Self {
+        Self {
+            replicas,
+            engine,
+            fault_intensity: 0.0,
+            crash: CrashConfig::none(),
+            hedge_factor: None,
+            horizon_s: 3600.0,
+        }
+    }
+
+    /// Sets the disturbance-weather intensity, builder-style.
+    #[must_use]
+    pub fn with_fault_intensity(mut self, intensity: f64) -> Self {
+        self.fault_intensity = intensity;
+        self
+    }
+
+    /// Sets the crash weather, builder-style.
+    #[must_use]
+    pub fn with_crashes(mut self, crash: CrashConfig) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Enables request hedging at the given wait multiple, builder-style.
+    #[must_use]
+    pub fn with_hedging(mut self, factor: f64) -> Self {
+        self.hedge_factor = Some(factor);
+        self
+    }
+
+    /// Sets the fault/crash generation horizon, builder-style.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon_s: f64) -> Self {
+        self.horizon_s = horizon_s;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicas == 0 {
+            return Err("cluster needs at least one replica".into());
+        }
+        if !self.fault_intensity.is_finite() || self.fault_intensity < 0.0 {
+            return Err("fault_intensity must be finite and non-negative".into());
+        }
+        if !self.horizon_s.is_finite() || self.horizon_s <= 0.0 {
+            return Err("horizon_s must be finite and positive".into());
+        }
+        if self.crash.mtbf_s.is_nan() || self.crash.mttr_s.is_nan() {
+            return Err("crash times must not be NaN".into());
+        }
+        if self.crash.enabled() && (self.crash.mttr_s <= 0.0 || !self.crash.mttr_s.is_finite()) {
+            return Err("mttr_s must be finite and positive when crashes are on".into());
+        }
+        if !self.crash.cold_start_s.is_finite() || self.crash.cold_start_s < 0.0 {
+            return Err("cold_start_s must be finite and non-negative".into());
+        }
+        if let Some(f) = self.hedge_factor {
+            if !f.is_finite() || f <= 0.0 {
+                return Err("hedge_factor must be finite and positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Router-visible health of one replica at a scheduling instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaHealth {
+    /// Serving normally.
+    Up,
+    /// Serving, but under sustained throttling — deprioritized by routing.
+    Degraded,
+    /// Inside a crash window — excluded from routing.
+    Down,
+}
+
+impl ReplicaHealth {
+    fn rank(self) -> u8 {
+        match self {
+            ReplicaHealth::Up => 0,
+            ReplicaHealth::Degraded => 1,
+            ReplicaHealth::Down => 2,
+        }
+    }
+}
+
+/// Aggregate fleet metrics: the fleet-level [`ServingReport`] (for one
+/// replica with no crashes this *is* the continuous single-device report,
+/// bit for bit), the per-replica views, and the robustness counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Fleet-level serving metrics over the shared arrival stream.
+    pub fleet: ServingReport,
+    /// Per-replica serving metrics (completions booked on each device;
+    /// shed/failed/retry counters are fleet-level decisions and stay in
+    /// [`ClusterReport::fleet`]).
+    pub replicas: Vec<ServingReport>,
+    /// Fraction of replica-seconds the fleet was serving (1.0 = no
+    /// downtime; each outage contributes repair window + cold start).
+    pub availability: f64,
+    /// Crash windows the fleet actually hit.
+    pub crash_events: usize,
+    /// In-flight sequences voided by crashes and re-queued for failover
+    /// (distinct from OOM preemptions).
+    pub crash_lost: usize,
+    /// Crash-voided sequences that later completed on a surviving (or
+    /// restarted) replica.
+    pub crash_recovered: usize,
+    /// Hedge clones launched.
+    pub hedges_fired: usize,
+    /// Hedge clones that delivered the completion (beat a live original,
+    /// or survived it after a crash dissolved the pair).
+    pub hedge_wins: usize,
+    /// Energy accrued by cancelled hedge losers, joules (already included
+    /// in the fleet energy total: a lost hedge still burned the watts).
+    pub hedge_energy_j: f64,
+}
+
+/// One replica's simulation state.
+struct Replica {
+    engine: InferenceEngine,
+    stepper: BatchStepper,
+    /// Unconsumed crash outage windows `(start_s, end_s)`, in start order.
+    crashes: Vec<(f64, f64)>,
+    next_crash: usize,
+    /// Consumed outages as `(start_s, recovery_s)` (repair + cold start).
+    outages: Vec<(f64, f64)>,
+    clock: f64,
+    /// Last instant this replica actually served (scheduled, admitted,
+    /// stepped or completed) — unlike `clock` it never jumps forward on
+    /// the recovery of an *idle* crash, so it is the honest wall clock for
+    /// throughput accounting.
+    served: f64,
+    drain_now: f64,
+    level: u32,
+    throttle_streak: u32,
+}
+
+impl Replica {
+    fn health_at(&self, t: f64) -> ReplicaHealth {
+        if self
+            .crashes
+            .get(self.next_crash)
+            .is_some_and(|&(start, _)| start <= t)
+        {
+            return ReplicaHealth::Down;
+        }
+        if self.throttle_streak >= DEGRADED_STREAK {
+            return ReplicaHealth::Degraded;
+        }
+        ReplicaHealth::Up
+    }
+}
+
+/// An in-flight request group on some replica.
+struct ClusterSlot {
+    /// Fleet-unique handle (admission order); [`SlotId`]s are only unique
+    /// per stepper.
+    key: u64,
+    replica: usize,
+    id: SlotId,
+    admit_s: f64,
+    out_tokens: usize,
+    members: Vec<usize>,
+    /// Key of this slot's hedge twin, if one is live.
+    pair: Option<u64>,
+    /// Whether this slot is the hedge clone (vs the original).
+    is_hedge: bool,
+}
+
+/// Runs the deterministic fleet-serving simulation.
+///
+/// `seed` drives the shared arrival stream and replica 0's engine noise
+/// (extra replicas and the fault/crash weather derive per-replica lanes
+/// from it), so with `ClusterConfig::new(1, engine_cfg)` the fleet report
+/// is bit-identical to [`simulate_serving_continuous`] on an engine seeded
+/// with the same `seed`.
+///
+/// # Errors
+///
+/// Reports invalid configurations as [`EngineError::InvalidRequest`] and
+/// propagates [`EngineError::OutOfMemory`] when the model's weights alone
+/// exceed a device's budget. Mid-run failures (OOM batches, crashes) never
+/// abort: they feed the retry/failover machinery.
+///
+/// [`simulate_serving_continuous`]: crate::serving::simulate_serving_continuous
+#[allow(clippy::too_many_lines)]
+pub fn simulate_cluster(
+    cluster: &ClusterConfig,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    seed: u64,
+) -> Result<ClusterReport, EngineError> {
+    cluster.validate().map_err(EngineError::InvalidRequest)?;
+    cfg.validate()
+        .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+
+    let n = cluster.replicas;
+    let mut reps: Vec<Replica> = Vec::with_capacity(n);
+    let mut rep_accs: Vec<Accum> = Vec::with_capacity(n);
+    for r in 0..n {
+        let engine_seed = if r == 0 {
+            seed
+        } else {
+            item_seed(seed ^ ENGINE_LANE, r as u64)
+        };
+        let mut engine = InferenceEngine::new(cluster.engine.clone(), engine_seed);
+        engine.set_fault_schedule(FaultSchedule::generate(
+            item_seed(seed ^ FAULT_LANE, r as u64),
+            cluster.fault_intensity,
+            cluster.horizon_s,
+        ));
+        let crashes = if cluster.crash.enabled() {
+            FaultSchedule::generate_crashes(
+                item_seed(seed ^ CRASH_LANE, r as u64),
+                cluster.crash.mtbf_s,
+                cluster.crash.mttr_s,
+                cluster.horizon_s,
+            )
+            .crash_windows()
+        } else {
+            Vec::new()
+        };
+        let stepper = BatchStepper::new(&engine, model, prec)?;
+        reps.push(Replica {
+            engine,
+            stepper,
+            crashes,
+            next_crash: 0,
+            outages: Vec::new(),
+            clock: 0.0,
+            served: 0.0,
+            drain_now: 0.0,
+            level: 0,
+            throttle_streak: 0,
+        });
+        rep_accs.push(Accum::default());
+    }
+
+    let mut queries = poisson_arrivals(cfg, seed);
+    let mut pending: Vec<usize> = (0..cfg.queries).collect();
+    let mut live: Vec<ClusterSlot> = Vec::new();
+    let mut fleet = Accum::default();
+    let mut crashed: Vec<bool> = vec![false; cfg.queries];
+    let mut next_key = 0u64;
+    let mut lat_est: Option<f64> = None;
+    let mut crash_events = 0usize;
+    let mut crash_lost = 0usize;
+    let mut crash_recovered = 0usize;
+    let mut hedges_fired = 0usize;
+    let mut hedge_wins = 0usize;
+    let mut hedge_energy_j = 0.0f64;
+
+    while !pending.is_empty() || reps.iter().any(|rep| rep.stepper.is_busy()) {
+        // Earliest instant any pending query becomes ready.
+        let min_ready = pending
+            .iter()
+            .map(|&i| queries[i].ready_s)
+            .fold(f64::INFINITY, f64::min);
+
+        // Route: the replica that can act earliest wins; ties go to the
+        // healthiest, then the least loaded (most free KV tokens), then
+        // the lowest index. Busy replicas act at their own clock (their
+        // next decode boundary); idle ones at the next arrival.
+        let mut best: Option<(f64, u8, u64, usize)> = None;
+        for (r, rep) in reps.iter().enumerate() {
+            let t_act = if rep.stepper.is_busy() {
+                rep.clock
+            } else if min_ready.is_finite() {
+                rep.clock.max(min_ready)
+            } else {
+                continue;
+            };
+            let health = rep.health_at(t_act).rank();
+            let free = rep.stepper.kv_free_tokens();
+            let better = match best {
+                None => true,
+                Some((bt, bh, bf, _)) => match t_act.total_cmp(&bt) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => health < bh || (health == bh && free > bf),
+                },
+            };
+            if better {
+                best = Some((t_act, health, free, r));
+            }
+        }
+        let Some((t_act, _, _, r)) = best else {
+            break; // nothing can act: only unreachable future crash windows
+        };
+
+        // A crash window the replica's action time has reached fires
+        // before any scheduling: the device dies, its KV cache is zeroed,
+        // every in-flight sequence is voided, and the clock jumps past
+        // repair + cold start.
+        if reps[r]
+            .crashes
+            .get(reps[r].next_crash)
+            .is_some_and(|&(start, _)| start <= t_act)
+        {
+            let (start, end) = reps[r].crashes[reps[r].next_crash];
+            reps[r].next_crash += 1;
+            crash_events += 1;
+            let recovery = end + cluster.crash.cold_start_s;
+            reps[r].outages.push((start, recovery));
+            let voided = reps[r].stepper.fail_all();
+            for id in voided {
+                let Some(pos) = live.iter().position(|s| s.replica == r && s.id == id) else {
+                    continue;
+                };
+                let slot = live.remove(pos);
+                if let Some(peer) = slot.pair {
+                    // The hedge twin survives elsewhere and still owns the
+                    // queries: dissolve the pair, nothing to requeue.
+                    if let Some(p) = live.iter_mut().find(|s| s.key == peer) {
+                        p.pair = None;
+                    }
+                    continue;
+                }
+                crash_lost += slot.members.len();
+                for &i in &slot.members {
+                    crashed[i] = true;
+                }
+                restore_pending(&mut pending, &slot.members);
+                retry_or_drop(
+                    &mut queries,
+                    &mut pending,
+                    &slot.members,
+                    t_act,
+                    cfg,
+                    &mut fleet,
+                );
+            }
+            reps[r].clock = reps[r].clock.max(recovery);
+            reps[r].drain_now = reps[r].drain_now.max(reps[r].clock);
+            reps[r].throttle_streak = 0;
+            continue;
+        }
+
+        // From here on this is one iteration of the continuous serving
+        // loop, executed on replica `r` at instant `t_act` (the idle-jump
+        // is already folded into `t_act`).
+        reps[r].clock = t_act;
+        reps[r].served = reps[r].served.max(t_act);
+        let now = t_act;
+
+        // Fleet-level admission control, identical rules to the
+        // single-device loops.
+        if let Some(d) = cfg.deadline_s {
+            let before = pending.len();
+            pending.retain(|&i| now <= queries[i].arrival_s + d);
+            if pending.len() != before {
+                fleet.shed += before - pending.len();
+                continue;
+            }
+        }
+        if cfg.queue_capacity > 0 {
+            let waiting: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&i| queries[i].ready_s <= now)
+                .collect();
+            if waiting.len() > cfg.queue_capacity {
+                let excess = &waiting[cfg.queue_capacity..];
+                pending.retain(|i| !excess.contains(i));
+                fleet.shed += excess.len();
+                continue;
+            }
+        }
+
+        // Iteration-level admission into this replica's headroom.
+        let eff_batch = effective_batch(cfg, reps[r].level);
+        let room = eff_batch.saturating_sub(reps[r].stepper.live_queries());
+        if room > 0 {
+            let mut group = Vec::with_capacity(room);
+            for &i in &pending {
+                if queries[i].ready_s <= now {
+                    group.push(i);
+                    if group.len() == room {
+                        break;
+                    }
+                }
+            }
+            if !group.is_empty() {
+                let out_tokens = effective_out_tokens(cfg, reps[r].level);
+                let req =
+                    GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(group.len());
+                let rep = &mut reps[r];
+                match rep.stepper.admit(&mut rep.engine, now, &req) {
+                    Ok(adm) => {
+                        pending.retain(|i| !group.contains(i));
+                        live.push(ClusterSlot {
+                            key: next_key,
+                            replica: r,
+                            id: adm.id,
+                            admit_s: now,
+                            out_tokens,
+                            members: group,
+                            pair: None,
+                            is_hedge: false,
+                        });
+                        next_key += 1;
+                        rep.clock = adm.end_s;
+                        rep.served = rep.served.max(adm.end_s);
+                    }
+                    Err(_) => {
+                        retry_or_drop(&mut queries, &mut pending, &group, now, cfg, &mut fleet);
+                        if cfg.degradation {
+                            rep.level = (rep.level + 1).min(MAX_DEGRADE_LEVEL);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        if !reps[r].stepper.is_busy() {
+            continue;
+        }
+
+        // Hedging: any unhedged in-flight group whose oldest member has
+        // been outstanding (since *arrival*) longer than the armed
+        // threshold is cloned onto the best *other* replica before this
+        // decode boundary runs. First completion will win. Measuring from
+        // arrival makes crash-requeued stragglers hedge-eligible as soon
+        // as they are re-admitted — exactly the requests worth cloning.
+        if let Some(factor) = cluster.hedge_factor {
+            if let Some(est) = lat_est {
+                let threshold = factor * est;
+                let age = |s: &ClusterSlot| {
+                    s.members
+                        .iter()
+                        .map(|&i| now - queries[i].arrival_s)
+                        .fold(0.0f64, f64::max)
+                };
+                let candidates: Vec<u64> = live
+                    .iter()
+                    .filter(|s| s.pair.is_none() && !s.is_hedge && age(s) > threshold)
+                    .map(|s| s.key)
+                    .collect();
+                for key in candidates {
+                    let Some(orig_pos) = live.iter().position(|s| s.key == key) else {
+                        continue;
+                    };
+                    let (home, members, out_tokens) = {
+                        let s = &live[orig_pos];
+                        (s.replica, s.members.clone(), s.out_tokens)
+                    };
+                    let need = cfg.prompt_tokens + out_tokens;
+                    // Best healthy, least-loaded target that could hold
+                    // the clone.
+                    let mut target: Option<(u8, u64, usize)> = None;
+                    for (q, rep) in reps.iter().enumerate() {
+                        if q == home {
+                            continue;
+                        }
+                        let health = rep.health_at(now);
+                        if health == ReplicaHealth::Down {
+                            continue;
+                        }
+                        let headroom = effective_batch(cfg, rep.level)
+                            .saturating_sub(rep.stepper.live_queries());
+                        if headroom < members.len()
+                            || !rep.stepper.kv_would_fit(members.len(), need)
+                        {
+                            continue;
+                        }
+                        let free = rep.stepper.kv_free_tokens();
+                        let better = match target {
+                            None => true,
+                            Some((bh, bf, _)) => {
+                                health.rank() < bh || (health.rank() == bh && free > bf)
+                            }
+                        };
+                        if better {
+                            target = Some((health.rank(), free, q));
+                        }
+                    }
+                    let Some((_, _, q)) = target else { continue };
+                    let req = GenerationRequest::new(cfg.prompt_tokens, out_tokens)
+                        .with_batch(members.len());
+                    let rep = &mut reps[q];
+                    let Ok(adm) = rep.stepper.admit(&mut rep.engine, now, &req) else {
+                        continue; // refusal leaves the target untouched
+                    };
+                    rep.clock = rep.clock.max(adm.end_s);
+                    rep.served = rep.served.max(adm.end_s);
+                    hedges_fired += 1;
+                    let clone_key = next_key;
+                    next_key += 1;
+                    live[orig_pos].pair = Some(clone_key);
+                    live.push(ClusterSlot {
+                        key: clone_key,
+                        replica: q,
+                        id: adm.id,
+                        admit_s: now,
+                        out_tokens,
+                        members,
+                        pair: Some(key),
+                        is_hedge: true,
+                    });
+                }
+            }
+        }
+
+        // One decode iteration for this replica's mixed-context batch.
+        let rep = &mut reps[r];
+        match rep.stepper.step(&mut rep.engine) {
+            Ok(out) => {
+                rep.clock = out.end_s;
+                rep.served = rep.served.max(out.end_s);
+                for f in out.retired {
+                    let Some(pos) = live.iter().position(|s| s.replica == r && s.id == f.id) else {
+                        continue;
+                    };
+                    let slot = live.remove(pos);
+                    let service = f.outcome.total_latency_s() + f.extra_wait_s;
+                    let completion = slot.admit_s + service;
+                    reps[r].drain_now = reps[r].drain_now.max(completion);
+                    // A winning hedge cancels its loser; the loser's
+                    // accrued energy is still booked.
+                    if let Some(peer) = slot.pair {
+                        if let Some(ppos) = live.iter().position(|s| s.key == peer) {
+                            let loser = live.remove(ppos);
+                            let spent = reps[loser.replica].stepper.cancel(loser.id).unwrap_or(0.0);
+                            fleet.energy += spent;
+                            rep_accs[loser.replica].energy += spent;
+                            hedge_energy_j += spent;
+                        }
+                    }
+                    if slot.is_hedge {
+                        // The clone delivered — either it beat a live
+                        // original or the original died in a crash and the
+                        // pair was dissolved.
+                        hedge_wins += 1;
+                    }
+                    let mut step_missed = false;
+                    for &i in &slot.members {
+                        let latency = completion - queries[i].arrival_s;
+                        fleet.latencies.push(latency);
+                        fleet.queue_waits.push(slot.admit_s - queries[i].arrival_s);
+                        rep_accs[r].latencies.push(latency);
+                        rep_accs[r]
+                            .queue_waits
+                            .push(slot.admit_s - queries[i].arrival_s);
+                        if let Some(d) = cfg.deadline_s {
+                            if latency > d {
+                                fleet.deadline_misses += 1;
+                                rep_accs[r].deadline_misses += 1;
+                                step_missed = true;
+                            }
+                        }
+                        if crashed[i] {
+                            crashed[i] = false;
+                            crash_recovered += 1;
+                        }
+                        lat_est = Some(match lat_est {
+                            None => latency,
+                            Some(e) => HEDGE_EWMA_ALPHA * latency + (1.0 - HEDGE_EWMA_ALPHA) * e,
+                        });
+                    }
+                    fleet.energy += f.outcome.total_energy_j();
+                    fleet.tokens += f.outcome.total_generated_tokens() as f64;
+                    fleet.batches.push(slot.members.len() as f64);
+                    fleet.preemptions += f.outcome.preemptions;
+                    rep_accs[r].energy += f.outcome.total_energy_j();
+                    rep_accs[r].tokens += f.outcome.total_generated_tokens() as f64;
+                    rep_accs[r].batches.push(slot.members.len() as f64);
+                    rep_accs[r].preemptions += f.outcome.preemptions;
+                    if reps[r].level > 0 {
+                        fleet.degraded_s += service;
+                        rep_accs[r].degraded_s += service;
+                    }
+                    if f.outcome.throttled_s > 0.0 {
+                        reps[r].throttle_streak += 1;
+                    } else {
+                        reps[r].throttle_streak = 0;
+                    }
+                    if cfg.degradation {
+                        if f.outcome.throttled_s > 0.0 || step_missed {
+                            reps[r].level = (reps[r].level + 1).min(MAX_DEGRADE_LEVEL);
+                        } else {
+                            reps[r].level = reps[r].level.saturating_sub(1);
+                        }
+                    }
+                }
+                if !reps[r].stepper.is_busy() {
+                    // Drained: completions define this replica's clock,
+                    // exactly as in the single-device continuous loop.
+                    reps[r].clock = reps[r].drain_now;
+                    reps[r].served = reps[r].served.max(reps[r].drain_now);
+                }
+            }
+            Err(_) => {
+                // The whole batch is stuck (e.g. an unplaceable waiting
+                // group): fail this replica's slots into the retry
+                // machinery; hedge twins elsewhere keep their queries.
+                let failed_ids = rep.stepper.fail_all();
+                for id in failed_ids {
+                    let Some(pos) = live.iter().position(|s| s.replica == r && s.id == id) else {
+                        continue;
+                    };
+                    let slot = live.remove(pos);
+                    if let Some(peer) = slot.pair {
+                        if let Some(p) = live.iter_mut().find(|s| s.key == peer) {
+                            p.pair = None;
+                        }
+                        continue;
+                    }
+                    restore_pending(&mut pending, &slot.members);
+                    retry_or_drop(
+                        &mut queries,
+                        &mut pending,
+                        &slot.members,
+                        now,
+                        cfg,
+                        &mut fleet,
+                    );
+                }
+                if cfg.degradation {
+                    reps[r].level = (reps[r].level + 1).min(MAX_DEGRADE_LEVEL);
+                }
+            }
+        }
+    }
+
+    let wall = reps.iter().map(|rep| rep.served).fold(0.0f64, f64::max);
+    let mut down_s = 0.0f64;
+    for rep in &reps {
+        for &(start, recovery) in &rep.outages {
+            down_s += (recovery.min(wall) - start.min(wall)).max(0.0);
+        }
+    }
+    let availability = if wall > 0.0 {
+        (1.0 - down_s / (wall * n as f64)).max(0.0)
+    } else {
+        1.0
+    };
+
+    let replicas: Vec<ServingReport> = rep_accs
+        .into_iter()
+        .zip(&reps)
+        .map(|(acc, rep)| acc.into_report(cfg, rep.served))
+        .collect();
+    Ok(ClusterReport {
+        fleet: fleet.into_report(cfg, wall),
+        replicas,
+        availability,
+        crash_events,
+        crash_lost,
+        crash_recovered,
+        hedges_fired,
+        hedge_wins,
+        hedge_energy_j,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, OomPolicy};
+    use crate::serving::simulate_serving_continuous;
+
+    fn serving(qps: f64, queries: usize) -> ServingConfig {
+        ServingConfig::new(qps, 8, queries, 128, 128)
+    }
+
+    fn crashy(mtbf_s: f64) -> CrashConfig {
+        CrashConfig {
+            mtbf_s,
+            mttr_s: 10.0,
+            cold_start_s: 5.0,
+        }
+    }
+
+    #[test]
+    fn single_replica_no_crash_is_bit_identical_to_continuous() {
+        let cfg = serving(1.5, 40).with_deadline(60.0).with_retries(2, 1.0);
+        for seed in [1u64, 9, 42] {
+            let cluster = ClusterConfig::new(1, EngineConfig::vllm());
+            let fleet =
+                simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                    .expect("runs");
+            let mut e = InferenceEngine::new(EngineConfig::vllm(), seed);
+            let single = simulate_serving_continuous(
+                &mut e,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &cfg,
+                seed,
+            )
+            .expect("runs");
+            assert_eq!(fleet.fleet, single, "seed {seed}");
+            assert_eq!(fleet.replicas.len(), 1);
+            assert_eq!(fleet.replicas[0], single);
+            assert_eq!(fleet.availability, 1.0);
+            assert_eq!((fleet.crash_events, fleet.hedges_fired), (0, 0));
+        }
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let cfg = serving(2.0, 30).with_deadline(90.0).with_retries(3, 0.5);
+        let cluster = ClusterConfig::new(3, EngineConfig::vllm())
+            .with_crashes(crashy(60.0))
+            .with_hedging(3.0)
+            .with_fault_intensity(1.0);
+        let run = || {
+            simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 7)
+                .expect("runs")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashes_void_and_failover_recovers() {
+        let cfg = serving(1.5, 40).with_retries(4, 0.5);
+        let cluster = ClusterConfig::new(2, EngineConfig::vllm()).with_crashes(crashy(25.0));
+        let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 11)
+            .expect("runs");
+        assert!(r.crash_events > 0, "dense MTBF must crash: {r:?}");
+        assert!(r.crash_lost > 0, "crashes must void in-flight work");
+        assert!(
+            r.crash_recovered > 0,
+            "failover must recompute voided work: {r:?}"
+        );
+        assert!(r.crash_recovered <= r.crash_lost);
+        assert!(
+            r.availability < 1.0,
+            "downtime must show: {}",
+            r.availability
+        );
+        // Crash losses are counted distinctly from OOM preemptions.
+        assert_eq!(r.fleet.preemptions, 0);
+        // Everything offered is accounted for.
+        assert_eq!(
+            r.fleet.completed + r.fleet.failed_queries + r.fleet.shed_queries,
+            cfg.queries
+        );
+    }
+
+    #[test]
+    fn hedging_fires_and_books_loser_energy() {
+        // An aggressive threshold (half the typical end-to-end latency)
+        // must fire clones under steady load, and a resolved pair books
+        // the cancelled loser's energy into the fleet total.
+        let cfg = serving(2.0, 40).with_retries(2, 0.5);
+        let cluster = ClusterConfig::new(3, EngineConfig::vllm()).with_hedging(0.5);
+        let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 11)
+            .expect("runs");
+        assert!(r.hedges_fired > 0, "aggressive threshold must hedge: {r:?}");
+        assert!(r.hedge_wins <= r.hedges_fired);
+        assert!(
+            r.hedge_energy_j > 0.0,
+            "a resolved hedge pair books loser energy: {r:?}"
+        );
+        // Hedge-loser energy inflates the fleet total but never completions.
+        assert_eq!(
+            r.fleet.completed + r.fleet.failed_queries + r.fleet.shed_queries,
+            cfg.queries
+        );
+    }
+
+    #[test]
+    fn replicas_spread_load_and_raise_goodput() {
+        // Calibrate the offered load off a probe batch so the test tracks
+        // the performance model: ~3x one device's throughput, deadline at
+        // 3x one batch's service time. One replica must then shed/miss
+        // while three absorb the same stream.
+        let mut probe_engine = InferenceEngine::new(EngineConfig::vllm(), 5);
+        let probe = probe_engine
+            .run(
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &GenerationRequest::new(128, 128).with_batch(8),
+            )
+            .expect("probe runs");
+        let service_s = probe.total_latency_s();
+        let qps = 3.0 * 8.0 / service_s;
+        let cfg = serving(qps, 60).with_deadline(3.0 * service_s);
+        let one = simulate_cluster(
+            &ClusterConfig::new(1, EngineConfig::vllm()),
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            5,
+        )
+        .expect("runs");
+        let three = simulate_cluster(
+            &ClusterConfig::new(3, EngineConfig::vllm()),
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            5,
+        )
+        .expect("runs");
+        assert!(
+            three.fleet.slo_attainment > one.fleet.slo_attainment,
+            "3 replicas must hold the SLO better: {} vs {}",
+            three.fleet.slo_attainment,
+            one.fleet.slo_attainment
+        );
+        // Work actually lands on more than one device.
+        let active = three.replicas.iter().filter(|r| r.completed > 0).count();
+        assert!(active > 1, "router must spread load: {active} active");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let cfg = serving(1.0, 10);
+        for bad in [
+            ClusterConfig::new(0, EngineConfig::vllm()),
+            ClusterConfig::new(1, EngineConfig::vllm()).with_hedging(0.0),
+            ClusterConfig::new(1, EngineConfig::vllm()).with_horizon(0.0),
+            ClusterConfig::new(1, EngineConfig::vllm()).with_fault_intensity(f64::NAN),
+            ClusterConfig::new(1, EngineConfig::vllm()).with_crashes(CrashConfig {
+                mtbf_s: 100.0,
+                mttr_s: 0.0,
+                cold_start_s: 1.0,
+            }),
+        ] {
+            assert!(
+                matches!(
+                    simulate_cluster(&bad, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 1),
+                    Err(EngineError::InvalidRequest(_))
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn oom_pressure_on_replicas_feeds_retries_not_aborts() {
+        use edgereasoning_kernels::arch::ModelId as M;
+        let mut engine_cfg = EngineConfig::vllm().with_oom_policy(OomPolicy::FailFast);
+        let arch = M::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + 1600 * arch.kv_bytes_per_token();
+        engine_cfg.memory_budget_frac = budget as f64 / engine_cfg.soc.gpu.dram_capacity as f64;
+        let cfg = serving(2.0, 40).with_retries(2, 0.5);
+        let r = simulate_cluster(
+            &ClusterConfig::new(2, engine_cfg),
+            M::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            5,
+        )
+        .expect("pressure must not abort");
+        assert_eq!(
+            r.fleet.completed + r.fleet.failed_queries + r.fleet.shed_queries,
+            40
+        );
+        assert!(r.fleet.completed > 0);
+    }
+}

@@ -42,6 +42,7 @@
 // never as panics (tests keep their expect/unwrap for brevity).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cluster;
 pub mod engine;
 pub mod kv_cache;
 pub mod outcome;
@@ -50,6 +51,7 @@ pub mod request;
 pub mod serving;
 pub mod stepper;
 
+pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport, CrashConfig, ReplicaHealth};
 pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
 pub use kv_cache::{KvCacheManager, KvError, SeqId};
 pub use outcome::{InferenceOutcome, TbtSample};

@@ -51,7 +51,7 @@ use crate::stepper::{BatchStepper, SlotId};
 use crate::EngineError;
 
 /// Highest degradation-ladder level (batch shrink saturates at `2^-6`).
-const MAX_DEGRADE_LEVEL: u32 = 6;
+pub(crate) const MAX_DEGRADE_LEVEL: u32 = 6;
 
 /// Which serving scheduler to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -233,7 +233,12 @@ impl ServingConfig {
 }
 
 /// Aggregate serving metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Percentile fields are `f64::NAN` when no query completed (an empty
+/// sample has no p99; `0.0` would read as a *perfect* tail). Equality is
+/// therefore bitwise on every float field — `NaN == NaN` here — which is
+/// exactly the bit-identity contract the determinism tests assert.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ServingReport {
     /// Queries completed.
     pub completed: usize,
@@ -277,16 +282,45 @@ pub struct ServingReport {
     pub p99_queue_wait_s: f64,
 }
 
+impl PartialEq for ServingReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Bitwise float equality: stricter than `==` (distinguishes ±0.0)
+        // and reflexive for the NaN empty-sample percentiles.
+        fn b(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        self.completed == other.completed
+            && b(self.achieved_qps, other.achieved_qps)
+            && b(self.avg_latency_s, other.avg_latency_s)
+            && b(self.p95_latency_s, other.p95_latency_s)
+            && b(self.avg_batch, other.avg_batch)
+            && b(self.energy_per_query_j, other.energy_per_query_j)
+            && b(self.wall_s, other.wall_s)
+            && b(self.total_tokens, other.total_tokens)
+            && self.failed_queries == other.failed_queries
+            && self.shed_queries == other.shed_queries
+            && self.retries == other.retries
+            && self.preemptions == other.preemptions
+            && self.deadline_misses == other.deadline_misses
+            && b(self.deadline_miss_rate, other.deadline_miss_rate)
+            && b(self.p99_latency_s, other.p99_latency_s)
+            && b(self.degraded_s, other.degraded_s)
+            && b(self.slo_attainment, other.slo_attainment)
+            && b(self.avg_queue_wait_s, other.avg_queue_wait_s)
+            && b(self.p99_queue_wait_s, other.p99_queue_wait_s)
+    }
+}
+
 /// Per-query scheduling state.
-struct QueryState {
-    arrival_s: f64,
-    ready_s: f64,
-    attempts: u32,
+pub(crate) struct QueryState {
+    pub(crate) arrival_s: f64,
+    pub(crate) ready_s: f64,
+    pub(crate) attempts: u32,
 }
 
 /// Poisson arrival stream shared by both schedulers (identical RNG use, so
 /// the two see the exact same offered load).
-fn poisson_arrivals(cfg: &ServingConfig, seed: u64) -> Vec<QueryState> {
+pub(crate) fn poisson_arrivals(cfg: &ServingConfig, seed: u64) -> Vec<QueryState> {
     let mut rng = Rng::seed_from_u64(seed ^ 0x005e_5256);
     let mut queries = Vec::with_capacity(cfg.queries);
     let mut t = 0.0;
@@ -301,24 +335,25 @@ fn poisson_arrivals(cfg: &ServingConfig, seed: u64) -> Vec<QueryState> {
     queries
 }
 
-/// Metric accumulators shared by both scheduler loops.
+/// Metric accumulators shared by the scheduler loops (and, per replica and
+/// fleet-wide, by `engine::cluster`).
 #[derive(Default)]
-struct Accum {
-    latencies: Vec<f64>,
-    queue_waits: Vec<f64>,
-    energy: f64,
-    tokens: f64,
-    batches: Vec<f64>,
-    shed: usize,
-    failed: usize,
-    retries: usize,
-    preemptions: usize,
-    deadline_misses: usize,
-    degraded_s: f64,
+pub(crate) struct Accum {
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) queue_waits: Vec<f64>,
+    pub(crate) energy: f64,
+    pub(crate) tokens: f64,
+    pub(crate) batches: Vec<f64>,
+    pub(crate) shed: usize,
+    pub(crate) failed: usize,
+    pub(crate) retries: usize,
+    pub(crate) preemptions: usize,
+    pub(crate) deadline_misses: usize,
+    pub(crate) degraded_s: f64,
 }
 
 impl Accum {
-    fn into_report(self, cfg: &ServingConfig, now: f64) -> ServingReport {
+    pub(crate) fn into_report(self, cfg: &ServingConfig, now: f64) -> ServingReport {
         let completed = self.latencies.len();
         let slo_attainment = if completed == 0 {
             0.0
@@ -333,7 +368,7 @@ impl Accum {
                 0.0
             },
             avg_latency_s: stats::mean(&self.latencies).unwrap_or(0.0),
-            p95_latency_s: stats::percentile(&self.latencies, 95.0).unwrap_or(0.0),
+            p95_latency_s: stats::percentile(&self.latencies, 95.0).unwrap_or(f64::NAN),
             avg_batch: stats::mean(&self.batches).unwrap_or(0.0),
             energy_per_query_j: if completed == 0 {
                 0.0
@@ -352,18 +387,31 @@ impl Accum {
             } else {
                 self.deadline_misses as f64 / completed as f64
             },
-            p99_latency_s: stats::percentile(&self.latencies, 99.0).unwrap_or(0.0),
+            p99_latency_s: stats::percentile(&self.latencies, 99.0).unwrap_or(f64::NAN),
             degraded_s: self.degraded_s,
             slo_attainment,
             avg_queue_wait_s: stats::mean(&self.queue_waits).unwrap_or(0.0),
-            p99_queue_wait_s: stats::percentile(&self.queue_waits, 99.0).unwrap_or(0.0),
+            p99_queue_wait_s: stats::percentile(&self.queue_waits, 99.0).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Re-inserts voided in-flight queries into the pending queue at their
+/// arrival-order positions (the queue is always sorted by query index,
+/// which is arrival order).
+pub(crate) fn restore_pending(pending: &mut Vec<usize>, members: &[usize]) {
+    for &i in members {
+        if let Err(pos) = pending.binary_search(&i) {
+            pending.insert(pos, i);
         }
     }
 }
 
 /// Requeues each member of a failed batch with exponential backoff, or
-/// drops it (counting it failed) once its retries are exhausted.
-fn retry_or_drop(
+/// drops it (counting it failed) once its retries are exhausted. The
+/// exponent is clamped so deep retry chains saturate the backoff instead
+/// of overflowing the `1u32 << exp` shift (debug builds panic at 32).
+pub(crate) fn retry_or_drop(
     queries: &mut [QueryState],
     pending: &mut Vec<usize>,
     members: &[usize],
@@ -393,7 +441,7 @@ fn retry_or_drop(
 }
 
 /// The effective admitted batch at the current degradation level.
-fn effective_batch(cfg: &ServingConfig, level: u32) -> usize {
+pub(crate) fn effective_batch(cfg: &ServingConfig, level: u32) -> usize {
     if cfg.degradation {
         (cfg.max_batch >> level.min(MAX_DEGRADE_LEVEL)).max(1)
     } else {
@@ -402,7 +450,7 @@ fn effective_batch(cfg: &ServingConfig, level: u32) -> usize {
 }
 
 /// The (possibly degraded) per-query output-token budget.
-fn effective_out_tokens(cfg: &ServingConfig, level: u32) -> usize {
+pub(crate) fn effective_out_tokens(cfg: &ServingConfig, level: u32) -> usize {
     if cfg.degradation && level >= 2 {
         let mut out = cfg.output_tokens as f64;
         for _ in 1..level {
@@ -739,6 +787,10 @@ pub fn simulate_serving_continuous(
                         continue;
                     };
                     let slot = live.remove(pos);
+                    // In-flight members left the pending queue at admission;
+                    // put them back before the retry machinery decides
+                    // their fate (they used to vanish uncounted here).
+                    restore_pending(&mut pending, &slot.members);
                     retry_or_drop(
                         &mut queries,
                         &mut pending,
@@ -1149,6 +1201,63 @@ mod tests {
             rs.slo_attainment
         );
         assert!(rc.completed + rc.shed_queries == 40);
+    }
+
+    #[test]
+    fn deep_retry_chains_saturate_backoff_without_overflow() {
+        // Regression: `1u32 << exp` panics in debug builds once attempts
+        // reach 32; the exponent clamp must saturate the backoff instead.
+        let mut queries = vec![QueryState {
+            arrival_s: 0.0,
+            ready_s: 0.0,
+            attempts: 0,
+        }];
+        let mut pending = vec![0usize];
+        let load = cfg(1.0, 8).with_retries(64, 0.5);
+        let mut acc = Accum::default();
+        let mut last_backoff = 0.0;
+        for round in 0..64 {
+            retry_or_drop(&mut queries, &mut pending, &[0], 0.0, &load, &mut acc);
+            assert_eq!(pending, vec![0], "attempt {round} stays retriable");
+            let backoff = queries[0].ready_s;
+            assert!(backoff.is_finite() && backoff > 0.0, "finite backoff");
+            assert!(backoff >= last_backoff, "backoff never shrinks");
+            last_backoff = backoff;
+        }
+        // Saturated: clamped exponent means the last doublings are flat.
+        assert_eq!(last_backoff, 0.5 * f64::from(1u32 << 16));
+        assert_eq!(acc.retries, 64);
+        // The 65th attempt exhausts the budget and drops the query.
+        retry_or_drop(&mut queries, &mut pending, &[0], 0.0, &load, &mut acc);
+        assert!(pending.is_empty());
+        assert_eq!(acc.failed, 1);
+    }
+
+    #[test]
+    fn empty_percentiles_are_nan_not_perfect() {
+        // ~64 KV tokens: not even one 256-token query fits, and with no
+        // retries every query fails — zero completions.
+        let run = || {
+            let mut e = InferenceEngine::new(pressured(OomPolicy::FailFast, 64), 3);
+            let load = ServingConfig::new(2.0, 4, 10, 128, 128);
+            simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 5)
+                .expect("failures must not abort")
+        };
+        let r = run();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed_queries, 10);
+        // An empty sample has no tail: NaN, not a "perfect" 0.0 p99.
+        assert!(r.p95_latency_s.is_nan(), "p95 {}", r.p95_latency_s);
+        assert!(r.p99_latency_s.is_nan(), "p99 {}", r.p99_latency_s);
+        assert!(
+            r.p99_queue_wait_s.is_nan(),
+            "p99 wait {}",
+            r.p99_queue_wait_s
+        );
+        assert_eq!(r.slo_attainment, 0.0);
+        // Bitwise report equality is NaN-safe: determinism asserts still
+        // hold on all-failed runs.
+        assert_eq!(r, run());
     }
 
     #[test]

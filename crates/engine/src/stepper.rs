@@ -194,6 +194,14 @@ impl BatchStepper {
         self.clock
     }
 
+    /// Whether `batch` sequences of `tokens` each could *ever* fit this
+    /// stepper's KV cache (capacity check, ignoring current occupancy —
+    /// see [`KvCacheManager::would_fit_capacity`]). The fleet router uses
+    /// this to skip replicas that could never hold a hedged clone.
+    pub fn kv_would_fit(&self, batch: usize, tokens: usize) -> bool {
+        self.kv.would_fit_capacity(batch, tokens)
+    }
+
     /// Free KV-cache capacity, tokens (for leak auditing: returns to
     /// [`kv_capacity_tokens`](Self::kv_capacity_tokens) after a drain).
     pub fn kv_free_tokens(&self) -> u64 {
@@ -776,6 +784,38 @@ impl BatchStepper {
         })
     }
 
+    /// Cancels one unretired request (a hedged-request loser whose twin
+    /// completed first, or a scheduler-initiated abort), releasing its KV
+    /// state and removing it from the running batch without producing an
+    /// outcome. Returns the energy the slot had already accrued — a
+    /// cancelled request's cost is real and the caller books it — or
+    /// `None` if no live slot has this id.
+    pub fn cancel(&mut self, id: SlotId) -> Option<f64> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.id == id))?;
+        let mut ci = 0;
+        while ci < self.cohorts.len() {
+            if self.cohorts[ci].slot == idx {
+                let cohort = self.cohorts.remove(ci);
+                for seq in &cohort.seqs {
+                    let _ = self.kv.release(*seq);
+                }
+            } else {
+                ci += 1;
+            }
+        }
+        self.waiting.retain(|w| w.slot != idx);
+        let s = self.slots[idx].take()?;
+        if !self.is_busy() {
+            // Same shell cleanup as a retiring drain: indices stay bounded.
+            self.slots.clear();
+            self.waiting.clear();
+        }
+        Some(s.prefill.energy_j + s.decode.energy_j)
+    }
+
     /// Abandons every unretired request (scheduler recovery after a stuck
     /// [`step`](Self::step)), releasing all KV state. Returns the failed
     /// slot handles.
@@ -874,6 +914,37 @@ mod tests {
             }
             t += want.total_latency_s() + 5.0;
         }
+    }
+
+    #[test]
+    fn cancel_releases_kv_and_reports_accrued_energy() {
+        let mut e = engine(5);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        let cap = stepper.kv_free_tokens();
+        let a = stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(128, 192).with_batch(2))
+            .expect("admits");
+        let b = stepper
+            .admit(&mut e, 0.0, &GenerationRequest::new(64, 96).with_batch(2))
+            .expect("admits");
+        let _ = stepper.step(&mut e).expect("steps");
+        // Cancel one mid-flight request: its prefill + partial decode
+        // energy is surfaced, its KV and batch share disappear.
+        let live_before = stepper.live_queries();
+        let energy = stepper.cancel(a.id).expect("slot is live");
+        assert!(energy > 0.0, "accrued energy must be booked: {energy}");
+        assert_eq!(stepper.live_queries(), live_before - 2);
+        // Unknown / already-cancelled ids are a no-op.
+        assert_eq!(stepper.cancel(a.id), None);
+        // The survivor drains normally and every block comes back.
+        let mut retired = Vec::new();
+        while stepper.is_busy() {
+            retired.extend(stepper.step(&mut e).expect("steps").retired);
+        }
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].id, b.id);
+        assert_eq!(stepper.kv_free_tokens(), cap, "cancel must not leak KV");
     }
 
     #[test]

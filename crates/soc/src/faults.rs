@@ -49,6 +49,13 @@ pub enum FaultKind {
     /// A rare kernel/driver stall: the GPU sits idle for the window's
     /// duration (charged at idle power when the run crosses the window).
     KernelStall,
+    /// The whole device crashes and reboots: the window is the outage
+    /// (MTTR). A crash is *not* a derate — the fleet layer
+    /// (`engine::cluster`) interprets it as "KV cache zeroed, all in-flight
+    /// sequences voided, restart pays a cold-start penalty". On the
+    /// single-device derate path it is a no-op, so schedules without
+    /// crashes — and single-device runs that ignore them — stay bit-exact.
+    DeviceCrash,
 }
 
 /// One disturbance window on the simulated wall clock.
@@ -80,6 +87,7 @@ impl Disturbance {
             FaultKind::BandwidthContention { .. } => 1,
             FaultKind::PowerModeDrop { .. } => 2,
             FaultKind::KernelStall => 3,
+            FaultKind::DeviceCrash => 4,
         }
     }
 }
@@ -175,6 +183,50 @@ impl FaultSchedule {
         Self::from_events(events)
     }
 
+    /// Generates a seeded schedule of [`FaultKind::DeviceCrash`] outages
+    /// over `[0, horizon_s]`: exponential inter-crash gaps with mean
+    /// `mtbf_s`, lognormal repair windows with mean `mttr_s`. Crashes use
+    /// their own RNG lane (distinct from [`FaultSchedule::generate`]), so
+    /// adding crash weather never perturbs the derate weather of an equal
+    /// seed. Non-positive `mtbf_s` or `horizon_s` yields the empty
+    /// schedule.
+    #[must_use]
+    pub fn generate_crashes(seed: u64, mtbf_s: f64, mttr_s: f64, horizon_s: f64) -> Self {
+        if mtbf_s <= 0.0 || !mtbf_s.is_finite() || horizon_s <= 0.0 {
+            return Self::none();
+        }
+        let mut rng = Rng::seed_from_u64(seed ^ 0x00c7_a5b0);
+        let mttr = mttr_s.max(0.1);
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential gap; next_f64 is in [0, 1), so ln(1 - u) is finite.
+            t += -(1.0 - rng.next_f64()).ln() * mtbf_s;
+            if t >= horizon_s {
+                break;
+            }
+            let outage = rng.lognormal_mean_std(mttr, 0.5 * mttr);
+            events.push(Disturbance {
+                start_s: t,
+                duration_s: outage,
+                kind: FaultKind::DeviceCrash,
+            });
+            t += outage;
+        }
+        Self::from_events(events)
+    }
+
+    /// The `(start_s, end_s)` outage windows of every
+    /// [`FaultKind::DeviceCrash`] event, in start order.
+    #[must_use]
+    pub fn crash_windows(&self) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev.kind, FaultKind::DeviceCrash))
+            .map(|ev| (ev.start_s, ev.end_s()))
+            .collect()
+    }
+
     /// Whether the schedule has no windows.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -213,7 +265,10 @@ impl FaultSchedule {
                     d.freq = d.freq.min(forced.freq_scale() / mode.freq_scale());
                     d.cap_w = d.cap_w.min(forced.power_cap_w());
                 }
-                FaultKind::KernelStall => {}
+                // Crashes and stalls are not derates: the engine charges
+                // stall windows as idle gaps, and the fleet layer handles
+                // crash windows (void + restart) above the device.
+                FaultKind::KernelStall | FaultKind::DeviceCrash => {}
             }
         }
         d.freq = d.freq.min(1.0);
@@ -357,6 +412,44 @@ mod tests {
         let d15 = s.derate_at(1.0, PowerMode::W15);
         assert_eq!(d15.freq, 1.0);
         assert_eq!(d15.cap_w, 30.0);
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_and_disjoint() {
+        let a = FaultSchedule::generate_crashes(9, 120.0, 20.0, 1000.0);
+        let b = FaultSchedule::generate_crashes(9, 120.0, 20.0, 1000.0);
+        assert_eq!(a, b);
+        let windows = a.crash_windows();
+        assert_eq!(windows.len(), a.events().len(), "crash-only schedule");
+        // Repair precedes the next failure: outages never overlap.
+        for w in windows.windows(2) {
+            assert!(w[0].1 <= w[1].0, "outages overlap: {w:?}");
+        }
+        assert!(FaultSchedule::generate_crashes(9, 0.0, 20.0, 1000.0).is_empty());
+        assert!(FaultSchedule::generate_crashes(9, 120.0, 20.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn crashes_are_invisible_to_the_derate_path() {
+        let s = FaultSchedule::from_events(vec![Disturbance {
+            start_s: 1.0,
+            duration_s: 50.0,
+            kind: FaultKind::DeviceCrash,
+        }]);
+        for t in [0.0, 1.0, 25.0, 51.0] {
+            assert_eq!(s.derate_at(t, PowerMode::MaxN), Derate::IDENTITY);
+        }
+        assert_eq!(s.stalls_in(0.0, 100.0), (0, 0.0));
+        assert_eq!(s.crash_windows(), vec![(1.0, 51.0)]);
+    }
+
+    #[test]
+    fn crash_lane_never_perturbs_derate_weather() {
+        // Same seed: the derate generator must be unaffected by the crash
+        // generator existing (separate RNG lanes).
+        let derates = FaultSchedule::generate(7, 1.5, 500.0);
+        let _ = FaultSchedule::generate_crashes(7, 100.0, 15.0, 500.0);
+        assert_eq!(derates, FaultSchedule::generate(7, 1.5, 500.0));
     }
 
     #[test]

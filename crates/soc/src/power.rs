@@ -175,12 +175,14 @@ impl PowerGovernor {
     /// Snaps a continuous power draw to the smallest state that covers it
     /// (the highest state if the draw exceeds them all).
     pub fn quantize(&self, power_w: f64) -> f64 {
+        let mut highest = f64::NAN; // unreachable: `new` requires ≥ 1 state
         for &s in &self.states_w {
             if power_w <= s {
                 return s;
             }
+            highest = s;
         }
-        *self.states_w.last().expect("non-empty")
+        highest
     }
 
     /// Like [`PowerGovernor::quantize`], but honours a fault-induced power

@@ -117,10 +117,13 @@ where
     for (i, r) in buffers.into_iter().flatten() {
         slots[i] = Some(r);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index produced exactly once"))
-        .collect()
+    let results: Vec<R> = slots.into_iter().flatten().collect();
+    assert_eq!(
+        results.len(),
+        items.len(),
+        "every index produced exactly once"
+    );
+    results
 }
 
 #[cfg(test)]

@@ -168,11 +168,10 @@ pub struct Summary {
 impl Summary {
     /// Summarizes a slice of samples.
     pub fn of(xs: &[f64]) -> Self {
-        if xs.is_empty() {
+        // `mean`/`std_dev` return None only for the empty slice.
+        let (Some(mean), Some(std_dev)) = (mean(xs), std_dev(xs)) else {
             return Self::default();
-        }
-        let mean = mean(xs).expect("non-empty");
-        let std_dev = std_dev(xs).expect("non-empty");
+        };
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self {

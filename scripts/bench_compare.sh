@@ -5,9 +5,10 @@
 #
 # Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold_pct]
 #
-# BENCH_REQUIRE_PREFIXES (comma-separated, default "serving/") lists bench
-# group prefixes that must be present in the candidate snapshot, so a group
-# silently dropping out of the build can't dodge the gate.
+# BENCH_REQUIRE_PREFIXES (comma-separated, default "serving/,cluster/")
+# lists bench group prefixes that must be present in the candidate
+# snapshot, so a group silently dropping out of the build can't dodge the
+# gate.
 set -euo pipefail
 if [[ $# -lt 2 ]]; then
   echo "usage: $0 BASELINE.json CANDIDATE.json [threshold_pct]" >&2
@@ -17,7 +18,7 @@ base="$1"
 cand="$2"
 threshold="${3:-20}"
 
-require="${BENCH_REQUIRE_PREFIXES:-serving/}"
+require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/}"
 
 python3 - "$base" "$cand" "$threshold" "$require" <<'EOF'
 import json

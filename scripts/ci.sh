@@ -44,4 +44,14 @@ cargo run --release -q -p edgereasoning-bench --bin serving_study -- --smoke
 cmp "$SERVING_CSV" "$SERVING_CSV.first" || { echo "FAIL: serving smoke not deterministic"; exit 1; }
 rm -f "$SERVING_CSV.first"
 
+echo "==> fleet_study --smoke (deterministic fleet/failover CSV)"
+cargo run --release -q -p edgereasoning-bench --bin fleet_study -- --smoke
+FLEET_CSV=outputs/fleet_study_smoke.csv
+[ -s "$FLEET_CSV" ] || { echo "FAIL: $FLEET_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$FLEET_CSV")" -gt 1 ] || { echo "FAIL: $FLEET_CSV has no data rows"; exit 1; }
+cp "$FLEET_CSV" "$FLEET_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin fleet_study -- --smoke
+cmp "$FLEET_CSV" "$FLEET_CSV.first" || { echo "FAIL: fleet smoke not deterministic"; exit 1; }
+rm -f "$FLEET_CSV.first"
+
 echo "CI OK"

@@ -12,6 +12,7 @@ BINS=(
   ablation_power_modes ablation_future_work
   resilience_study
   serving_study
+  fleet_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

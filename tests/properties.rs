@@ -7,6 +7,7 @@ use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, Tota
 use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
 use edgereasoning::core::rig::RigConfig;
 use edgereasoning::core::study::{Study, StudyCell};
+use edgereasoning::engine::cluster::{simulate_cluster, ClusterConfig};
 use edgereasoning::engine::engine::{EngineConfig, OomPolicy};
 use edgereasoning::engine::kv_cache::KvCacheManager;
 use edgereasoning::engine::request::GenerationRequest;
@@ -20,8 +21,8 @@ use edgereasoning::kernels::dtype::Precision;
 use edgereasoning::kernels::phases::{decode_step_kernels, prefill_kernels};
 use edgereasoning::models::evaluate::{evaluate, EvalOptions};
 use edgereasoning::models::profile::{expected_min, natural_mean_for_observed};
-use edgereasoning::soc::faults::FaultSchedule;
-use edgereasoning::soc::gpu::{ExecCalib, Gpu};
+use edgereasoning::soc::faults::{Disturbance, FaultKind, FaultSchedule};
+use edgereasoning::soc::gpu::{Derate, ExecCalib, Gpu};
 use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
 use edgereasoning::soc::power::ramp_avg_factor;
 use edgereasoning::soc::rng::Rng;
@@ -477,6 +478,106 @@ proptest! {
             prop_assert_eq!(a, b);
         }
     }
+
+    /// Disturbance windows are half-open `[start, end)`: the derate applies
+    /// at the first instant and is gone at exactly the last.
+    #[test]
+    fn derate_windows_are_half_open(
+        start in 0.0f64..1000.0, dur in 0.01f64..100.0, scale in 0.1f64..0.9
+    ) {
+        let sched = FaultSchedule::from_events(vec![Disturbance {
+            start_s: start,
+            duration_s: dur,
+            kind: FaultKind::ThermalThrottle { freq_scale: scale },
+        }]);
+        let mode = PowerMode::MaxN;
+        prop_assert_eq!(sched.derate_at(start, mode).freq, scale);
+        prop_assert_eq!(sched.derate_at(start + 0.5 * dur, mode).freq, scale);
+        prop_assert_eq!(sched.derate_at(start + dur, mode), Derate::IDENTITY);
+        if start > 0.0 {
+            prop_assert_eq!(
+                sched.derate_at(start * 0.999_999, mode), Derate::IDENTITY);
+        }
+    }
+
+    /// Overlapping windows compose by a commutative min on each axis: any
+    /// event order yields the bitwise-identical derate, and the combined
+    /// scale equals the plain fold over active windows.
+    #[test]
+    fn derate_combine_is_order_invariant_min(
+        raw in prop::collection::vec(
+            (0.0f64..50.0, 0.1f64..30.0, 0.05f64..1.0, 0.05f64..1.0), 1..12),
+        t in 0.0f64..80.0
+    ) {
+        let events: Vec<Disturbance> = raw
+            .iter()
+            .flat_map(|&(start_s, duration_s, freq_scale, bw_scale)| {
+                [
+                    Disturbance {
+                        start_s,
+                        duration_s,
+                        kind: FaultKind::ThermalThrottle { freq_scale },
+                    },
+                    Disturbance {
+                        start_s,
+                        duration_s,
+                        kind: FaultKind::BandwidthContention { bw_scale },
+                    },
+                ]
+            })
+            .collect();
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let mode = PowerMode::MaxN;
+        let a = FaultSchedule::from_events(events.clone()).derate_at(t, mode);
+        let b = FaultSchedule::from_events(reversed).derate_at(t, mode);
+        prop_assert_eq!(a.freq.to_bits(), b.freq.to_bits());
+        prop_assert_eq!(a.bw.to_bits(), b.bw.to_bits());
+        prop_assert_eq!(a.cap_w.to_bits(), b.cap_w.to_bits());
+        let expect_freq = events
+            .iter()
+            .filter(|ev| ev.active_at(t))
+            .fold(1.0f64, |acc, ev| match ev.kind {
+                FaultKind::ThermalThrottle { freq_scale } => acc.min(freq_scale),
+                _ => acc,
+            });
+        prop_assert_eq!(a.freq.to_bits(), expect_freq.to_bits());
+    }
+
+    /// The empty schedule is the IEEE-bit-exact identity at every instant
+    /// and in every power mode.
+    #[test]
+    fn empty_schedule_derate_is_bit_exact_identity(t in -10.0f64..1e6) {
+        for mode in [PowerMode::MaxN, PowerMode::W30, PowerMode::W15] {
+            let d = FaultSchedule::none().derate_at(t, mode);
+            prop_assert_eq!(d.freq.to_bits(), 1.0f64.to_bits());
+            prop_assert_eq!(d.bw.to_bits(), 1.0f64.to_bits());
+            prop_assert_eq!(d.cap_w.to_bits(), f64::INFINITY.to_bits());
+        }
+    }
+
+    /// A one-replica fleet with no crash weather and no hedging *is* the
+    /// single-device continuous simulation, bit for bit, at any seed.
+    #[test]
+    fn quiet_single_replica_cluster_is_the_continuous_sim(seed in 0u64..500) {
+        let cfg = ServingConfig::new(1.8, 6, 12, 96, 64)
+            .with_deadline(150.0)
+            .with_retries(2, 0.5);
+        let fleet = simulate_cluster(
+            &ClusterConfig::new(1, EngineConfig::vllm()),
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            seed,
+        )
+        .expect("cluster runs");
+        let mut e = SimEngine::new(EngineConfig::vllm(), seed);
+        let single =
+            simulate_serving_continuous(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("runs");
+        prop_assert_eq!(fleet.fleet, single);
+        prop_assert_eq!(fleet.replicas[0], single);
+    }
 }
 
 /// Parallel dataset evaluation is bit-identical to sequential at every
@@ -602,6 +703,41 @@ fn parallel_continuous_serving_bit_identical_at_every_thread_count() {
                 i as u64,
             )
             .expect("runs")
+        })
+    };
+    let sequential = run(1);
+    for threads in [2usize, 3, 0] {
+        assert_eq!(sequential, run(threads), "differ at {threads} threads");
+    }
+}
+
+/// A fan-out of fleet simulations (as `fleet_study` runs them) is
+/// bit-identical at every thread count: every replica's RNG lanes derive
+/// from the cell's item seed, never from scheduling.
+#[test]
+fn parallel_cluster_serving_bit_identical_at_every_thread_count() {
+    use edgereasoning::engine::cluster::CrashConfig;
+    let cells: Vec<u64> = (0..4).collect();
+    let run = |threads: usize| {
+        par_map_deterministic(&cells, threads, |i, _| {
+            let cfg = ServingConfig::new(1.5, 6, 12, 96, 64)
+                .with_deadline(120.0)
+                .with_retries(2, 0.5);
+            let cluster = ClusterConfig::new(1 + i % 3, EngineConfig::vllm())
+                .with_crashes(CrashConfig {
+                    mtbf_s: 40.0,
+                    mttr_s: 8.0,
+                    cold_start_s: 4.0,
+                })
+                .with_hedging(2.0);
+            simulate_cluster(
+                &cluster,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &cfg,
+                item_seed(0xf1ee7, i as u64),
+            )
+            .expect("cluster runs")
         })
     };
     let sequential = run(1);
