@@ -42,13 +42,15 @@ use edgereasoning_soc::faults::FaultSchedule;
 use edgereasoning_soc::runtime::item_seed;
 use serde::{Deserialize, Serialize};
 
+use crate::arrivals::ArrivalProcess;
+use crate::des::{PendingQueue, QKey};
 use crate::engine::{EngineConfig, InferenceEngine};
 use crate::request::GenerationRequest;
 use crate::serving::{
-    effective_batch, effective_out_tokens, poisson_arrivals, restore_pending, retry_or_drop, Accum,
-    ServingConfig, ServingReport, MAX_DEGRADE_LEVEL,
+    effective_batch, effective_out_tokens, ServingConfig, ServingReport, MAX_DEGRADE_LEVEL,
 };
 use crate::stepper::{BatchStepper, SlotId};
+use crate::telemetry::ServingAccumulator;
 use crate::EngineError;
 
 /// Seed-lane tags: every replica derives independent engine / disturbance /
@@ -287,7 +289,7 @@ struct ClusterSlot {
     id: SlotId,
     admit_s: f64,
     out_tokens: usize,
-    members: Vec<usize>,
+    members: Vec<QKey>,
     /// Key of this slot's hedge twin, if one is live.
     pair: Option<u64>,
     /// Whether this slot is the hedge clone (vs the original).
@@ -324,7 +326,7 @@ pub fn simulate_cluster(
 
     let n = cluster.replicas;
     let mut reps: Vec<Replica> = Vec::with_capacity(n);
-    let mut rep_accs: Vec<Accum> = Vec::with_capacity(n);
+    let mut rep_accs: Vec<ServingAccumulator> = Vec::with_capacity(n);
     for r in 0..n {
         let engine_seed = if r == 0 {
             seed
@@ -361,14 +363,20 @@ pub fn simulate_cluster(
             level: 0,
             throttle_streak: 0,
         });
-        rep_accs.push(Accum::default());
+        rep_accs.push(ServingAccumulator::default());
     }
 
-    let mut queries = poisson_arrivals(cfg, seed);
-    let mut pending: Vec<usize> = (0..cfg.queries).collect();
+    // The shared arrival stream, drawn lazily (same bits as the legacy
+    // pre-expanded `poisson_arrivals` vector).
+    let mut pq = PendingQueue::new(
+        ArrivalProcess::PoissonLegacy,
+        cfg.arrival_qps,
+        cfg.queries,
+        seed,
+    );
     let mut live: Vec<ClusterSlot> = Vec::new();
-    let mut fleet = Accum::default();
-    let mut crashed: Vec<bool> = vec![false; cfg.queries];
+    let mut group: Vec<QKey> = Vec::new();
+    let mut fleet = ServingAccumulator::default();
     let mut next_key = 0u64;
     let mut lat_est: Option<f64> = None;
     let mut crash_events = 0usize;
@@ -378,12 +386,10 @@ pub fn simulate_cluster(
     let mut hedge_wins = 0usize;
     let mut hedge_energy_j = 0.0f64;
 
-    while !pending.is_empty() || reps.iter().any(|rep| rep.stepper.is_busy()) {
-        // Earliest instant any pending query becomes ready.
-        let min_ready = pending
-            .iter()
-            .map(|&i| queries[i].ready_s)
-            .fold(f64::INFINITY, f64::min);
+    while !pq.is_exhausted() || reps.iter().any(|rep| rep.stepper.is_busy()) {
+        // Earliest instant any pending (or still-undrawn) query becomes
+        // ready — O(log) against the queue instead of a scan of all n.
+        let min_ready = pq.min_ready();
 
         // Route: the replica that can act earliest wins; ties go to the
         // healthiest, then the least loaded (most free KV tokens), then
@@ -445,16 +451,14 @@ pub fn simulate_cluster(
                     continue;
                 }
                 crash_lost += slot.members.len();
-                for &i in &slot.members {
-                    crashed[i] = true;
+                for &k in &slot.members {
+                    pq.mark_crashed(k);
                 }
-                restore_pending(&mut pending, &slot.members);
-                retry_or_drop(
-                    &mut queries,
-                    &mut pending,
+                pq.requeue_failed(
                     &slot.members,
                     t_act,
-                    cfg,
+                    cfg.max_retries,
+                    cfg.retry_backoff_s,
                     &mut fleet,
                 );
             }
@@ -470,27 +474,23 @@ pub fn simulate_cluster(
         reps[r].clock = t_act;
         reps[r].served = reps[r].served.max(t_act);
         let now = t_act;
+        // Materialize every arrival due by this instant; later ones stay
+        // inside the generator.
+        pq.pump(now);
 
         // Fleet-level admission control, identical rules to the
         // single-device loops.
         if let Some(d) = cfg.deadline_s {
-            let before = pending.len();
-            pending.retain(|&i| now <= queries[i].arrival_s + d);
-            if pending.len() != before {
-                fleet.shed += before - pending.len();
+            let shed = pq.shed_expired(now, d);
+            if shed > 0 {
+                fleet.shed += shed;
                 continue;
             }
         }
         if cfg.queue_capacity > 0 {
-            let waiting: Vec<usize> = pending
-                .iter()
-                .copied()
-                .filter(|&i| queries[i].ready_s <= now)
-                .collect();
-            if waiting.len() > cfg.queue_capacity {
-                let excess = &waiting[cfg.queue_capacity..];
-                pending.retain(|i| !excess.contains(i));
-                fleet.shed += excess.len();
+            let shed = pq.shed_over_capacity(now, cfg.queue_capacity);
+            if shed > 0 {
+                fleet.shed += shed;
                 continue;
             }
         }
@@ -499,15 +499,7 @@ pub fn simulate_cluster(
         let eff_batch = effective_batch(cfg, reps[r].level);
         let room = eff_batch.saturating_sub(reps[r].stepper.live_queries());
         if room > 0 {
-            let mut group = Vec::with_capacity(room);
-            for &i in &pending {
-                if queries[i].ready_s <= now {
-                    group.push(i);
-                    if group.len() == room {
-                        break;
-                    }
-                }
-            }
+            pq.collect_ready(now, room, &mut group);
             if !group.is_empty() {
                 let out_tokens = effective_out_tokens(cfg, reps[r].level);
                 let req =
@@ -515,14 +507,14 @@ pub fn simulate_cluster(
                 let rep = &mut reps[r];
                 match rep.stepper.admit(&mut rep.engine, now, &req) {
                     Ok(adm) => {
-                        pending.retain(|i| !group.contains(i));
+                        pq.commit_admitted(&group);
                         live.push(ClusterSlot {
                             key: next_key,
                             replica: r,
                             id: adm.id,
                             admit_s: now,
                             out_tokens,
-                            members: group,
+                            members: std::mem::take(&mut group),
                             pair: None,
                             is_hedge: false,
                         });
@@ -531,7 +523,13 @@ pub fn simulate_cluster(
                         rep.served = rep.served.max(adm.end_s);
                     }
                     Err(_) => {
-                        retry_or_drop(&mut queries, &mut pending, &group, now, cfg, &mut fleet);
+                        pq.requeue_failed(
+                            &group,
+                            now,
+                            cfg.max_retries,
+                            cfg.retry_backoff_s,
+                            &mut fleet,
+                        );
                         if cfg.degradation {
                             rep.level = (rep.level + 1).min(MAX_DEGRADE_LEVEL);
                         }
@@ -556,7 +554,7 @@ pub fn simulate_cluster(
                 let age = |s: &ClusterSlot| {
                     s.members
                         .iter()
-                        .map(|&i| now - queries[i].arrival_s)
+                        .map(|&k| now - pq.arrival_s(k))
                         .fold(0.0f64, f64::max)
                 };
                 let candidates: Vec<u64> = live
@@ -661,14 +659,12 @@ pub fn simulate_cluster(
                         hedge_wins += 1;
                     }
                     let mut step_missed = false;
-                    for &i in &slot.members {
-                        let latency = completion - queries[i].arrival_s;
-                        fleet.latencies.push(latency);
-                        fleet.queue_waits.push(slot.admit_s - queries[i].arrival_s);
-                        rep_accs[r].latencies.push(latency);
-                        rep_accs[r]
-                            .queue_waits
-                            .push(slot.admit_s - queries[i].arrival_s);
+                    for &k in &slot.members {
+                        let arrival_s = pq.arrival_s(k);
+                        let latency = completion - arrival_s;
+                        let wait = slot.admit_s - arrival_s;
+                        fleet.record_query(latency, wait);
+                        rep_accs[r].record_query(latency, wait);
                         if let Some(d) = cfg.deadline_s {
                             if latency > d {
                                 fleet.deadline_misses += 1;
@@ -676,8 +672,7 @@ pub fn simulate_cluster(
                                 step_missed = true;
                             }
                         }
-                        if crashed[i] {
-                            crashed[i] = false;
+                        if pq.take_crashed(k) {
                             crash_recovered += 1;
                         }
                         lat_est = Some(match lat_est {
@@ -685,13 +680,19 @@ pub fn simulate_cluster(
                             Some(e) => HEDGE_EWMA_ALPHA * latency + (1.0 - HEDGE_EWMA_ALPHA) * e,
                         });
                     }
+                    // Metrics booked; the winner retires its members' arena
+                    // slots (a cancelled hedge loser shares these keys and
+                    // must not release them again).
+                    for &k in &slot.members {
+                        pq.release(k);
+                    }
                     fleet.energy += f.outcome.total_energy_j();
                     fleet.tokens += f.outcome.total_generated_tokens() as f64;
-                    fleet.batches.push(slot.members.len() as f64);
+                    fleet.record_batch(slot.members.len());
                     fleet.preemptions += f.outcome.preemptions;
                     rep_accs[r].energy += f.outcome.total_energy_j();
                     rep_accs[r].tokens += f.outcome.total_generated_tokens() as f64;
-                    rep_accs[r].batches.push(slot.members.len() as f64);
+                    rep_accs[r].record_batch(slot.members.len());
                     rep_accs[r].preemptions += f.outcome.preemptions;
                     if reps[r].level > 0 {
                         fleet.degraded_s += service;
@@ -733,13 +734,11 @@ pub fn simulate_cluster(
                         }
                         continue;
                     }
-                    restore_pending(&mut pending, &slot.members);
-                    retry_or_drop(
-                        &mut queries,
-                        &mut pending,
+                    pq.requeue_failed(
                         &slot.members,
                         now,
-                        cfg,
+                        cfg.max_retries,
+                        cfg.retry_backoff_s,
                         &mut fleet,
                     );
                 }

@@ -42,15 +42,20 @@
 // never as panics (tests keep their expect/unwrap for brevity).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arrivals;
 pub mod cluster;
+mod des;
 pub mod engine;
 pub mod kv_cache;
 pub mod outcome;
 pub mod plan_cache;
 pub mod request;
 pub mod serving;
+pub mod serving_reference;
 pub mod stepper;
+pub mod telemetry;
 
+pub use arrivals::ArrivalProcess;
 pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport, CrashConfig, ReplicaHealth};
 pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
 pub use kv_cache::{KvCacheManager, KvError, SeqId};
@@ -58,10 +63,12 @@ pub use outcome::{InferenceOutcome, TbtSample};
 pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 pub use request::GenerationRequest;
 pub use serving::{
-    simulate_serving, simulate_serving_continuous, simulate_serving_with, SchedulerKind,
-    ServingConfig, ServingConfigError, ServingReport,
+    simulate_serving, simulate_serving_continuous, simulate_serving_traffic, simulate_serving_with,
+    SchedulerKind, ServingConfig, ServingConfigError, ServingReport,
 };
+pub use serving_reference::simulate_serving_continuous_reference;
 pub use stepper::{AdmitOutcome, BatchStepper, FinishedSlot, SlotId, StepOutcome};
+pub use telemetry::ServingAccumulator;
 
 /// Canonical alias for the cached, deterministic simulation engine.
 pub type SimEngine = InferenceEngine;

@@ -45,9 +45,12 @@ use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::stats;
 use serde::{Deserialize, Serialize};
 
+use crate::arrivals::ArrivalProcess;
+use crate::des::{PendingQueue, QKey};
 use crate::engine::InferenceEngine;
 use crate::request::GenerationRequest;
 use crate::stepper::{BatchStepper, SlotId};
+use crate::telemetry::ServingAccumulator;
 use crate::EngineError;
 
 /// Highest degradation-ladder level (batch shrink saturates at `2^-6`).
@@ -246,6 +249,8 @@ pub struct ServingReport {
     pub achieved_qps: f64,
     /// Mean end-to-end (queue + service) latency, seconds.
     pub avg_latency_s: f64,
+    /// Median (50th-percentile) end-to-end latency, seconds.
+    pub p50_latency_s: f64,
     /// 95th-percentile latency, seconds.
     pub p95_latency_s: f64,
     /// Mean admitted batch size.
@@ -292,6 +297,7 @@ impl PartialEq for ServingReport {
         self.completed == other.completed
             && b(self.achieved_qps, other.achieved_qps)
             && b(self.avg_latency_s, other.avg_latency_s)
+            && b(self.p50_latency_s, other.p50_latency_s)
             && b(self.p95_latency_s, other.p95_latency_s)
             && b(self.avg_batch, other.avg_batch)
             && b(self.energy_per_query_j, other.energy_per_query_j)
@@ -368,6 +374,7 @@ impl Accum {
                 0.0
             },
             avg_latency_s: stats::mean(&self.latencies).unwrap_or(0.0),
+            p50_latency_s: stats::percentile(&self.latencies, 50.0).unwrap_or(f64::NAN),
             p95_latency_s: stats::percentile(&self.latencies, 95.0).unwrap_or(f64::NAN),
             avg_batch: stats::mean(&self.batches).unwrap_or(0.0),
             energy_per_query_j: if completed == 0 {
@@ -417,12 +424,13 @@ pub(crate) fn retry_or_drop(
     members: &[usize],
     now: f64,
     cfg: &ServingConfig,
-    acc: &mut Accum,
+    retries: &mut usize,
+    failed: &mut usize,
 ) {
     for &i in members {
         queries[i].attempts += 1;
         if queries[i].attempts <= cfg.max_retries {
-            acc.retries += 1;
+            *retries += 1;
             let exp = (queries[i].attempts - 1).min(16);
             queries[i].ready_s = now + cfg.retry_backoff_s * f64::from(1u32 << exp);
         }
@@ -434,7 +442,7 @@ pub(crate) fn retry_or_drop(
         if queries[i].attempts <= cfg.max_retries {
             true
         } else {
-            acc.failed += 1;
+            *failed += 1;
             false
         }
     });
@@ -504,7 +512,7 @@ pub fn simulate_serving(
     let mut pending: Vec<usize> = (0..cfg.queries).collect();
     let mut now = 0.0f64;
     let mut level: u32 = 0; // degradation-ladder level
-    let mut acc = Accum::default();
+    let mut acc = ServingAccumulator::default();
 
     while !pending.is_empty() {
         // Wait for work if idle: jump to the earliest ready instant.
@@ -568,8 +576,7 @@ pub fn simulate_serving(
                 let mut step_missed = false;
                 for &i in &admitted {
                     let latency = now - queries[i].arrival_s;
-                    acc.latencies.push(latency);
-                    acc.queue_waits.push(batch_start - queries[i].arrival_s);
+                    acc.record_query(latency, batch_start - queries[i].arrival_s);
                     if let Some(d) = cfg.deadline_s {
                         if latency > d {
                             acc.deadline_misses += 1;
@@ -579,7 +586,7 @@ pub fn simulate_serving(
                 }
                 acc.energy += outcome.total_energy_j();
                 acc.tokens += outcome.total_generated_tokens() as f64;
-                acc.batches.push(admitted.len() as f64);
+                acc.record_batch(admitted.len());
                 acc.preemptions += outcome.preemptions;
                 if level > 0 {
                     acc.degraded_s += service;
@@ -595,7 +602,15 @@ pub fn simulate_serving(
             }
             Err(_) => {
                 // The batch could not run (e.g. KV OOM under FailFast).
-                retry_or_drop(&mut queries, &mut pending, &admitted, now, cfg, &mut acc);
+                retry_or_drop(
+                    &mut queries,
+                    &mut pending,
+                    &admitted,
+                    now,
+                    cfg,
+                    &mut acc.retries,
+                    &mut acc.failed,
+                );
                 if cfg.degradation {
                     level = (level + 1).min(MAX_DEGRADE_LEVEL);
                 }
@@ -610,7 +625,7 @@ pub fn simulate_serving(
 struct LiveSlot {
     id: SlotId,
     admit_s: f64,
-    members: Vec<usize>,
+    members: Vec<QKey>,
 }
 
 /// Runs the continuous (iteration-level) serving simulation: an
@@ -622,6 +637,14 @@ struct LiveSlot {
 /// report bit-exactly; under load it sustains strictly higher throughput
 /// at equal or better SLO attainment because admission no longer waits for
 /// the whole previous batch to drain.
+///
+/// Since the discrete-event rewrite the loop runs on the
+/// [`crate::des`] core — a lazy arrival generator, an arena-backed pending
+/// queue and an event heap — so each scheduling boundary costs O(affected
+/// queries), not O(total trace length). Decisions and reports are
+/// bit-identical to the retired per-boundary-scan implementation (kept as
+/// [`crate::serving_reference::simulate_serving_continuous_reference`] and
+/// asserted against in the regression suite).
 ///
 /// # Errors
 ///
@@ -636,12 +659,61 @@ pub fn simulate_serving_continuous(
     cfg: &ServingConfig,
     seed: u64,
 ) -> Result<ServingReport, EngineError> {
+    simulate_serving_des(
+        engine,
+        model,
+        prec,
+        cfg,
+        ArrivalProcess::PoissonLegacy,
+        seed,
+    )
+}
+
+/// Runs the continuous scheduler against an arbitrary [`ArrivalProcess`] —
+/// principled Poisson, sinusoidal diurnal, or MMPP flash-crowd traffic —
+/// instead of the legacy Poisson stream. This is the entry point the
+/// city-scale `traffic_study` sweeps use; with
+/// [`ArrivalProcess::PoissonLegacy`] it is exactly
+/// [`simulate_serving_continuous`].
+///
+/// # Errors
+///
+/// As [`simulate_serving_continuous`].
+pub fn simulate_serving_traffic(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    process: ArrivalProcess,
+    seed: u64,
+) -> Result<ServingReport, EngineError> {
+    simulate_serving_des(engine, model, prec, cfg, process, seed)
+}
+
+/// The discrete-event continuous-batching loop shared by
+/// [`simulate_serving_continuous`] and [`simulate_serving_traffic`].
+///
+/// Structure and decision order mirror the legacy loop boundary for
+/// boundary (idle jump → deadline shed → capacity shed → admission → step);
+/// only the data structures changed, so the emitted schedule — and with it
+/// every RNG draw and float operation — is identical.
+fn simulate_serving_des(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    process: ArrivalProcess,
+    seed: u64,
+) -> Result<ServingReport, EngineError> {
     cfg.validate()
         .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
-    let mut queries = poisson_arrivals(cfg, seed);
-    let mut pending: Vec<usize> = (0..cfg.queries).collect();
+    let mut pq = PendingQueue::new(process, cfg.arrival_qps, cfg.queries, seed);
     let mut stepper = BatchStepper::new(engine, model, prec)?;
     let mut live: Vec<LiveSlot> = Vec::new();
+    // Recycled member vectors: slot membership lists churn once per
+    // admission, so reuse their allocations instead of growing the heap.
+    let mut member_pool: Vec<Vec<QKey>> = Vec::new();
+    let mut group: Vec<QKey> = Vec::new();
     let mut now = 0.0f64;
     // Latest completion instant seen so far; when the stepper drains, the
     // wall clock snaps to it (this is what makes the drained schedule
@@ -649,41 +721,37 @@ pub fn simulate_serving_continuous(
     // jittered outcome latency rather than the stepper's internal clock).
     let mut drain_now = 0.0f64;
     let mut level: u32 = 0;
-    let mut acc = Accum::default();
+    let mut acc = ServingAccumulator::default();
 
-    while !pending.is_empty() || stepper.is_busy() {
-        if !stepper.is_busy() && !pending.is_empty() {
+    loop {
+        if !stepper.is_busy() {
+            if pq.is_exhausted() {
+                break;
+            }
             // Idle: jump to the earliest ready instant.
-            let min_ready = pending
-                .iter()
-                .map(|&i| queries[i].ready_s)
-                .fold(f64::INFINITY, f64::min);
+            let min_ready = pq.min_ready();
             if now < min_ready {
                 now = min_ready;
             }
         }
+        // Materialize every arrival due by the current instant; later ones
+        // stay inside the generator (the legacy loop pre-expanded them all).
+        pq.pump(now);
 
         // Admission control, evaluated at every scheduling boundary
         // (identical rules to the static loop; at drained-queue loads they
         // fire at the same instants and decisions).
         if let Some(d) = cfg.deadline_s {
-            let before = pending.len();
-            pending.retain(|&i| now <= queries[i].arrival_s + d);
-            if pending.len() != before {
-                acc.shed += before - pending.len();
+            let shed = pq.shed_expired(now, d);
+            if shed > 0 {
+                acc.shed += shed;
                 continue;
             }
         }
         if cfg.queue_capacity > 0 {
-            let waiting: Vec<usize> = pending
-                .iter()
-                .copied()
-                .filter(|&i| queries[i].ready_s <= now)
-                .collect();
-            if waiting.len() > cfg.queue_capacity {
-                let excess = &waiting[cfg.queue_capacity..];
-                pending.retain(|i| !excess.contains(i));
-                acc.shed += excess.len();
+            let shed = pq.shed_over_capacity(now, cfg.queue_capacity);
+            if shed > 0 {
+                acc.shed += shed;
                 continue;
             }
         }
@@ -693,31 +761,32 @@ pub fn simulate_serving_continuous(
         let eff_batch = effective_batch(cfg, level);
         let room = eff_batch.saturating_sub(stepper.live_queries());
         if room > 0 {
-            let mut group = Vec::with_capacity(room);
-            for &i in &pending {
-                if queries[i].ready_s <= now {
-                    group.push(i);
-                    if group.len() == room {
-                        break;
-                    }
-                }
-            }
+            pq.collect_ready(now, room, &mut group);
             if !group.is_empty() {
                 let out_tokens = effective_out_tokens(cfg, level);
                 let req =
                     GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(group.len());
                 match stepper.admit(engine, now, &req) {
                     Ok(adm) => {
-                        pending.retain(|i| !group.contains(i));
+                        pq.commit_admitted(&group);
+                        let mut members = member_pool.pop().unwrap_or_default();
+                        members.clear();
+                        members.extend_from_slice(&group);
                         live.push(LiveSlot {
                             id: adm.id,
                             admit_s: now,
-                            members: group,
+                            members,
                         });
                         now = adm.end_s;
                     }
                     Err(_) => {
-                        retry_or_drop(&mut queries, &mut pending, &group, now, cfg, &mut acc);
+                        pq.requeue_failed(
+                            &group,
+                            now,
+                            cfg.max_retries,
+                            cfg.retry_backoff_s,
+                            &mut acc,
+                        );
                         if cfg.degradation {
                             level = (level + 1).min(MAX_DEGRADE_LEVEL);
                         }
@@ -745,10 +814,9 @@ pub fn simulate_serving_continuous(
                     let completion = slot.admit_s + service;
                     drain_now = drain_now.max(completion);
                     let mut step_missed = false;
-                    for &i in &slot.members {
-                        let latency = completion - queries[i].arrival_s;
-                        acc.latencies.push(latency);
-                        acc.queue_waits.push(slot.admit_s - queries[i].arrival_s);
+                    for &k in &slot.members {
+                        let latency = completion - pq.arrival_s(k);
+                        acc.record_query(latency, slot.admit_s - pq.arrival_s(k));
                         if let Some(d) = cfg.deadline_s {
                             if latency > d {
                                 acc.deadline_misses += 1;
@@ -758,7 +826,7 @@ pub fn simulate_serving_continuous(
                     }
                     acc.energy += f.outcome.total_energy_j();
                     acc.tokens += f.outcome.total_generated_tokens() as f64;
-                    acc.batches.push(slot.members.len() as f64);
+                    acc.record_batch(slot.members.len());
                     acc.preemptions += f.outcome.preemptions;
                     if level > 0 {
                         acc.degraded_s += service;
@@ -770,6 +838,11 @@ pub fn simulate_serving_continuous(
                             level = level.saturating_sub(1);
                         }
                     }
+                    let mut members = slot.members;
+                    for k in members.drain(..) {
+                        pq.release(k);
+                    }
+                    member_pool.push(members);
                 }
                 if !stepper.is_busy() {
                     // Drained: completions (which carry the run-level
@@ -780,25 +853,23 @@ pub fn simulate_serving_continuous(
             }
             Err(_) => {
                 // The whole batch is stuck (e.g. an unplaceable waiting
-                // group): fail every live slot and run the retry machinery.
+                // group): fail every live slot and run the retry machinery
+                // (which re-defers or drops the in-flight members).
                 let failed_ids = stepper.fail_all();
                 for id in failed_ids {
                     let Some(pos) = live.iter().position(|s| s.id == id) else {
                         continue;
                     };
-                    let slot = live.remove(pos);
-                    // In-flight members left the pending queue at admission;
-                    // put them back before the retry machinery decides
-                    // their fate (they used to vanish uncounted here).
-                    restore_pending(&mut pending, &slot.members);
-                    retry_or_drop(
-                        &mut queries,
-                        &mut pending,
+                    let mut slot = live.remove(pos);
+                    pq.requeue_failed(
                         &slot.members,
                         now,
-                        cfg,
+                        cfg.max_retries,
+                        cfg.retry_backoff_s,
                         &mut acc,
                     );
+                    slot.members.clear();
+                    member_pool.push(slot.members);
                 }
                 if cfg.degradation {
                     level = (level + 1).min(MAX_DEGRADE_LEVEL);
@@ -1214,10 +1285,18 @@ mod tests {
         }];
         let mut pending = vec![0usize];
         let load = cfg(1.0, 8).with_retries(64, 0.5);
-        let mut acc = Accum::default();
+        let (mut retries, mut failed) = (0usize, 0usize);
         let mut last_backoff = 0.0;
         for round in 0..64 {
-            retry_or_drop(&mut queries, &mut pending, &[0], 0.0, &load, &mut acc);
+            retry_or_drop(
+                &mut queries,
+                &mut pending,
+                &[0],
+                0.0,
+                &load,
+                &mut retries,
+                &mut failed,
+            );
             assert_eq!(pending, vec![0], "attempt {round} stays retriable");
             let backoff = queries[0].ready_s;
             assert!(backoff.is_finite() && backoff > 0.0, "finite backoff");
@@ -1226,11 +1305,19 @@ mod tests {
         }
         // Saturated: clamped exponent means the last doublings are flat.
         assert_eq!(last_backoff, 0.5 * f64::from(1u32 << 16));
-        assert_eq!(acc.retries, 64);
+        assert_eq!(retries, 64);
         // The 65th attempt exhausts the budget and drops the query.
-        retry_or_drop(&mut queries, &mut pending, &[0], 0.0, &load, &mut acc);
+        retry_or_drop(
+            &mut queries,
+            &mut pending,
+            &[0],
+            0.0,
+            &load,
+            &mut retries,
+            &mut failed,
+        );
         assert!(pending.is_empty());
-        assert_eq!(acc.failed, 1);
+        assert_eq!(failed, 1);
     }
 
     #[test]

@@ -138,6 +138,16 @@ pub struct BatchStepper {
     arch_fp: u64,
     kv: KvCacheManager,
     slots: Vec<Option<Slot>>,
+    /// Indices of retired/cancelled `slots` entries available for reuse:
+    /// the slab free list that keeps `slots` sized by the *live* high-water
+    /// mark instead of growing by one per admission forever.
+    free: Vec<usize>,
+    /// Live slot indices in admission order. Every per-slot walk (wait
+    /// charging, retirement, readmission eligibility, fail-all) iterates
+    /// this, both for O(live) cost and because retirement order drives
+    /// `finalize_parts`'s RNG draws — with index reuse, ascending slot
+    /// index no longer equals admission order.
+    order: Vec<usize>,
     cohorts: Vec<Cohort>,
     waiting: VecDeque<WaitEntry>,
     /// (gpu_fp, batch) -> context-independent decode base aggregate,
@@ -145,6 +155,11 @@ pub struct BatchStepper {
     base_cache: Option<(u64, usize, PhaseStats)>,
     clock: f64,
     next_slot: u64,
+    /// Step-scoped scratch buffers, recycled across iterations so the
+    /// steady-state decode loop allocates nothing.
+    ctx_scratch: Vec<(usize, PhaseStats)>,
+    share_scratch: Vec<f64>,
+    weight_scratch: Vec<f64>,
 }
 
 impl BatchStepper {
@@ -170,23 +185,32 @@ impl BatchStepper {
             arch_fp,
             kv,
             slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
             cohorts: Vec::new(),
             waiting: VecDeque::new(),
             base_cache: None,
             clock: 0.0,
             next_slot: 0,
+            ctx_scratch: Vec::new(),
+            share_scratch: Vec::new(),
+            weight_scratch: Vec::new(),
         })
     }
 
     /// Whether any admitted request has not yet retired.
     pub fn is_busy(&self) -> bool {
-        self.slots.iter().any(Option::is_some)
+        !self.order.is_empty()
     }
 
     /// Total sequences across unretired slots (admitted batch sizes), the
     /// scheduler's admission headroom input.
     pub fn live_queries(&self) -> usize {
-        self.slots.iter().flatten().map(|s| s.batch).sum()
+        self.order
+            .iter()
+            .filter_map(|&i| self.slots[i].as_ref())
+            .map(|s| s.batch)
+            .sum()
     }
 
     /// Current stepper clock, seconds of simulated time.
@@ -241,11 +265,12 @@ impl BatchStepper {
     /// Charges `busy` seconds of other-request work to every unretired
     /// slot except `except`.
     fn charge_wait(&mut self, busy: f64, except: usize) {
-        for (i, slot) in self.slots.iter_mut().enumerate() {
+        for oi in 0..self.order.len() {
+            let i = self.order[oi];
             if i == except {
                 continue;
             }
-            if let Some(s) = slot.as_mut() {
+            if let Some(s) = self.slots[i].as_mut() {
                 s.wait_s += busy;
             }
         }
@@ -296,7 +321,9 @@ impl BatchStepper {
             }
         }
 
-        let slot_idx = self.slots.len();
+        // Reuse a retired slab index when one is free; the slab stays sized
+        // by the live high-water mark across arbitrarily long runs.
+        let slot_idx = self.free.pop().unwrap_or(self.slots.len());
         let id = SlotId(self.next_slot);
         self.next_slot += 1;
         let mut slot = Slot {
@@ -377,7 +404,12 @@ impl BatchStepper {
             });
         }
 
-        self.slots.push(Some(slot));
+        if slot_idx == self.slots.len() {
+            self.slots.push(Some(slot));
+        } else {
+            self.slots[slot_idx] = Some(slot);
+        }
+        self.order.push(slot_idx);
         if busy > 0.0 {
             self.charge_wait(busy, slot_idx);
         }
@@ -392,8 +424,17 @@ impl BatchStepper {
     /// the previous one drains" order — charging their context
     /// recomputation as the static path does.
     fn readmit_waiting(&mut self, engine: &mut InferenceEngine) -> Result<(), EngineError> {
+        if self.waiting.is_empty() {
+            // Hot path: nothing preempted, nothing to place.
+            return Ok(());
+        }
         // Slots with live cohorts keep their waiting groups queued.
-        let eligible: Vec<usize> = (0..self.slots.len())
+        // Admission order (`order`), which pre-slab equalled ascending slot
+        // index, decides who re-places first.
+        let eligible: Vec<usize> = self
+            .order
+            .iter()
+            .copied()
             .filter(|&i| {
                 self.slots[i].is_some()
                     && self.waiting.iter().any(|w| w.slot == i)
@@ -633,8 +674,10 @@ impl BatchStepper {
             }
         };
         let mut step_det = base_det;
-        // (ctx, deterministic attention aggregate) per cohort, in order.
-        let mut ctx_dets: Vec<(usize, PhaseStats)> = Vec::with_capacity(self.cohorts.len());
+        // (ctx, deterministic attention aggregate) per cohort, in order
+        // (recycled scratch: the steady-state iteration allocates nothing).
+        let mut ctx_dets = std::mem::take(&mut self.ctx_scratch);
+        ctx_dets.clear();
         for c in &self.cohorts {
             let ctx = c.prompt_tokens + c.produced + chunk / 2;
             let ctx_det = engine.deterministic_phase(
@@ -660,7 +703,9 @@ impl BatchStepper {
 
         // Attribute the iteration to the participating slots.
         let m = self.cohorts.len();
-        let mut slot_share = vec![0.0f64; self.slots.len()];
+        let mut slot_share = std::mem::take(&mut self.share_scratch);
+        slot_share.clear();
+        slot_share.resize(self.slots.len(), 0.0);
         if m == 1 {
             // Single cohort: identical float operations to the static loop.
             let (ctx, _) = ctx_dets[0];
@@ -683,13 +728,11 @@ impl BatchStepper {
             // Mixed batch: split the perturbed iteration by each cohort's
             // share of the deterministic energy (attention + its share of
             // the base), so per-request totals still sum to the iteration.
-            let weights: Vec<f64> = ctx_dets
-                .iter()
-                .zip(&self.cohorts)
-                .map(|((_, det), c)| {
-                    det.energy_j + base_det.energy_j * (c.seqs.len() as f64 / n_total as f64)
-                })
-                .collect();
+            let mut weights = std::mem::take(&mut self.weight_scratch);
+            weights.clear();
+            weights.extend(ctx_dets.iter().zip(&self.cohorts).map(|((_, det), c)| {
+                det.energy_j + base_det.energy_j * (c.seqs.len() as f64 / n_total as f64)
+            }));
             let wsum: f64 = weights.iter().sum();
             for ((&(ctx, _), c), &w) in ctx_dets.iter().zip(&self.cohorts).zip(&weights) {
                 let frac = if wsum > 0.0 { w / wsum } else { 1.0 / m as f64 };
@@ -709,16 +752,20 @@ impl BatchStepper {
                 }
                 slot_share[c.slot] += frac;
             }
+            self.weight_scratch = weights;
         }
         let busy = span + stall_s;
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(s) = slot.as_mut() {
+        for oi in 0..self.order.len() {
+            let i = self.order[oi];
+            if let Some(s) = self.slots[i].as_mut() {
                 let idle_frac = (1.0 - slot_share[i]).max(0.0);
                 if idle_frac > 0.0 {
                     s.wait_s += busy * idle_frac;
                 }
             }
         }
+        self.share_scratch = slot_share;
+        self.ctx_scratch = ctx_dets;
         self.clock += busy;
         for c in &mut self.cohorts {
             c.produced += chunk;
@@ -743,11 +790,17 @@ impl BatchStepper {
         }
         let mut retired = Vec::new();
         if finished_any {
-            for i in 0..self.slots.len() {
+            // Walk live slots in admission order (pre-slab: ascending slot
+            // index): finalize_parts draws run-level jitter RNG per retired
+            // slot, so this order is part of the bit-exactness contract.
+            let mut oi = 0;
+            while oi < self.order.len() {
+                let i = self.order[oi];
                 let done = self.slots[i]
                     .as_ref()
                     .is_some_and(|s| s.done_seqs == s.batch);
                 if !done {
+                    oi += 1;
                     continue;
                 }
                 if let Some(s) = self.slots[i].take() {
@@ -770,11 +823,14 @@ impl BatchStepper {
                         extra_wait_s: s.wait_s * jitter,
                     });
                 }
+                self.order.remove(oi);
+                self.free.push(i);
             }
             if !self.is_busy() {
-                // Fully drained: drop retired slot shells so slot indices
-                // never grow without bound across a long serving run.
+                // Fully drained: drop retired slot shells so slab capacity
+                // never outlives a burst across a long serving run.
                 self.slots.clear();
+                self.free.clear();
                 self.waiting.clear();
             }
         }
@@ -808,9 +864,14 @@ impl BatchStepper {
         }
         self.waiting.retain(|w| w.slot != idx);
         let s = self.slots[idx].take()?;
+        if let Some(pos) = self.order.iter().position(|&i| i == idx) {
+            self.order.remove(pos);
+        }
+        self.free.push(idx);
         if !self.is_busy() {
             // Same shell cleanup as a retiring drain: indices stay bounded.
             self.slots.clear();
+            self.free.clear();
             self.waiting.clear();
         }
         Some(s.prefill.energy_j + s.decode.energy_j)
@@ -827,8 +888,16 @@ impl BatchStepper {
         }
         self.cohorts.clear();
         self.waiting.clear();
-        let failed = self.slots.iter().flatten().map(|s| s.id).collect();
+        // Admission order, as the pre-slab ascending-index walk produced.
+        let failed = self
+            .order
+            .iter()
+            .filter_map(|&i| self.slots[i].as_ref())
+            .map(|s| s.id)
+            .collect();
         self.slots.clear();
+        self.order.clear();
+        self.free.clear();
         failed
     }
 }

@@ -70,3 +70,4 @@ pub use power::{EnergyMeter, PowerGovernor, PowerModel};
 pub use rng::Rng;
 pub use runtime::{available_threads, item_seed, par_map_deterministic, splitmix64};
 pub use spec::{CpuSpec, GpuSpec, OrinSpec, PowerMode};
+pub use stats::sketch::DdSketch;

@@ -72,6 +72,14 @@ impl Rng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Uniform draw in `(0, 1]`: `1.0 - next_f64()`. Safe to feed to `ln`
+    /// for exponential inter-arrival sampling (`-ln(u)/rate`) — the draw can
+    /// never be zero, so no `max(epsilon)` clamp is needed downstream.
+    /// Consumes exactly one `next_u64`, same as [`Rng::next_f64`].
+    pub fn next_open01(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
     /// Uniform draw in `[lo, hi)`.
     ///
     /// # Panics
@@ -115,7 +123,7 @@ impl Rng {
             return f64::from_bits(bits);
         }
         // Draw u1 in (0, 1] to avoid ln(0).
-        let u1 = 1.0 - self.next_f64();
+        let u1 = self.next_open01();
         let u2 = self.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;

@@ -4,6 +4,8 @@
 //! and VIII), and fitted-model goodness; this module provides those plus the
 //! small helpers (percentiles, linspace-style sweeps) the benches need.
 
+pub mod sketch;
+
 /// Arithmetic mean; returns `None` for an empty slice.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -100,6 +102,27 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Like [`percentile`], but over a slice the caller has *already* sorted
+/// (ascending, `total_cmp` order). Report finalization reads p50/p95/p99
+/// from one sorted buffer instead of re-cloning and re-sorting per call;
+/// the interpolation is identical, so results are bit-for-bit the same as
+/// `percentile` on the unsorted data.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if sorted.is_empty() {
+        return None;
+    }
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -240,6 +263,20 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), Some(4.0));
         assert_eq!(percentile(&xs, 50.0), Some(2.5));
         assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile_bitwise() {
+        let xs: [f64; 7] = [4.0, 1.0, 3.0, 2.0, 8.5, 0.25, 7.125];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 12.5, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile_sorted(&sorted, q).map(f64::to_bits),
+                percentile(&xs, q).map(f64::to_bits),
+            );
+        }
+        assert!(percentile_sorted(&[], 50.0).is_none());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property tests for the DDSketch quantile sketch (PR6):
+//!
+//! * the relative-error bound holds against exact order statistics on
+//!   randomized heavy-tailed streams, at every quantile and alpha tried;
+//! * merges are bit-for-bit order-invariant under re-sharding: slicing one
+//!   stream into shards (built on `par_map_deterministic` lanes) and
+//!   merging the shard sketches in any order reproduces the whole-stream
+//!   sketch's quantiles exactly.
+
+use edgereasoning_soc::rng::Rng;
+use edgereasoning_soc::runtime::par_map_deterministic;
+use edgereasoning_soc::stats::sketch::DdSketch;
+
+/// A deterministic heavy-tailed latency-like stream: an exponential base
+/// with a long multiplicative tail on every 17th draw.
+fn stream(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let base = -rng.next_f64().max(1e-12).ln() * 0.25 + 1e-3;
+            if i % 17 == 0 {
+                base * (1.0 + 40.0 * rng.next_f64())
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// The exact sample the sketch's rank convention targets:
+/// `sorted[floor(q * (n - 1))]`.
+fn exact_rank(sorted: &[f64], q: f64) -> f64 {
+    #[allow(clippy::cast_sign_loss)]
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+const QUANTILES: [f64; 9] = [0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+
+#[test]
+fn quantiles_stay_within_alpha_of_exact_order_statistics() {
+    for &alpha in &[0.01, 0.02, 0.05] {
+        for seed in [3u64, 17, 2024] {
+            let xs = stream(seed, 20_000);
+            let mut sketch = DdSketch::new(alpha);
+            for &x in &xs {
+                sketch.record(x);
+            }
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            for &q in &QUANTILES {
+                let exact = exact_rank(&sorted, q);
+                let est = sketch.quantile(q).expect("non-empty");
+                assert!(
+                    (est - exact).abs() <= alpha * exact,
+                    "alpha={alpha} seed={seed} q={q}: est {est} vs exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_shards_are_bit_identical_to_whole_stream_ingestion() {
+    let xs = stream(7, 50_000);
+    let mut whole = DdSketch::new(0.01);
+    for &x in &xs {
+        whole.record(x);
+    }
+    // Re-shard the same stream three different ways: round-robin over 3
+    // and 13 lanes, and contiguous chunks over 7 lanes.
+    let shardings: Vec<Vec<Vec<f64>>> = vec![
+        shard_round_robin(&xs, 3),
+        shard_round_robin(&xs, 13),
+        xs.chunks(xs.len().div_ceil(7))
+            .map(<[f64]>::to_vec)
+            .collect(),
+    ];
+    for shards in shardings {
+        // Build each shard's sketch on its own deterministic lane.
+        let lane_sketches: Vec<DdSketch> = par_map_deterministic(&shards, 0, |_, shard| {
+            let mut s = DdSketch::new(0.01);
+            for &x in shard {
+                s.record(x);
+            }
+            s
+        });
+        // Merge in lane order, reverse order, and a pairwise tree: the
+        // quantiles must come out bit-identical every time.
+        let orders: [Vec<usize>; 2] = [
+            (0..lane_sketches.len()).collect(),
+            (0..lane_sketches.len()).rev().collect(),
+        ];
+        for order in orders {
+            let mut merged = DdSketch::new(0.01);
+            for &i in &order {
+                merged.merge(&lane_sketches[i]);
+            }
+            assert_eq!(merged.count(), whole.count());
+            for &q in &QUANTILES {
+                assert_eq!(
+                    merged.quantile(q).expect("non-empty").to_bits(),
+                    whole.quantile(q).expect("non-empty").to_bits(),
+                    "q={q}: merge order {order:?} must not change the estimate"
+                );
+            }
+        }
+        let tree = tree_merge(&lane_sketches);
+        for &q in &QUANTILES {
+            assert_eq!(
+                tree.quantile(q).expect("non-empty").to_bits(),
+                whole.quantile(q).expect("non-empty").to_bits(),
+                "q={q}: tree merge must not change the estimate"
+            );
+        }
+    }
+}
+
+fn shard_round_robin(xs: &[f64], lanes: usize) -> Vec<Vec<f64>> {
+    let mut shards = vec![Vec::new(); lanes];
+    for (i, &x) in xs.iter().enumerate() {
+        shards[i % lanes].push(x);
+    }
+    shards
+}
+
+/// Pairwise reduction, the grouping a parallel reducer would use.
+fn tree_merge(sketches: &[DdSketch]) -> DdSketch {
+    let mut layer: Vec<DdSketch> = sketches.to_vec();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                m
+            })
+            .collect();
+    }
+    layer
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| DdSketch::new(0.01))
+}

@@ -54,4 +54,14 @@ cargo run --release -q -p edgereasoning-bench --bin fleet_study -- --smoke
 cmp "$FLEET_CSV" "$FLEET_CSV.first" || { echo "FAIL: fleet smoke not deterministic"; exit 1; }
 rm -f "$FLEET_CSV.first"
 
+echo "==> traffic_study --smoke (deterministic arrival-process CSV)"
+cargo run --release -q -p edgereasoning-bench --bin traffic_study -- --smoke
+TRAFFIC_CSV=outputs/traffic_study_smoke.csv
+[ -s "$TRAFFIC_CSV" ] || { echo "FAIL: $TRAFFIC_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$TRAFFIC_CSV")" -gt 1 ] || { echo "FAIL: $TRAFFIC_CSV has no data rows"; exit 1; }
+cp "$TRAFFIC_CSV" "$TRAFFIC_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin traffic_study -- --smoke
+cmp "$TRAFFIC_CSV" "$TRAFFIC_CSV.first" || { echo "FAIL: traffic smoke not deterministic"; exit 1; }
+rm -f "$TRAFFIC_CSV.first"
+
 echo "CI OK"

@@ -13,6 +13,7 @@ BINS=(
   resilience_study
   serving_study
   fleet_study
+  traffic_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="
