@@ -4,6 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use edgereasoning_engine::cluster::{simulate_cluster, ClusterConfig, CrashConfig};
 use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
+use edgereasoning_engine::kv_cache::KvCacheManager;
+use edgereasoning_engine::prefix_cache::PrefixCache;
 use edgereasoning_engine::request::GenerationRequest;
 use edgereasoning_engine::serving::{simulate_serving_with, SchedulerKind, ServingConfig};
 use edgereasoning_kernels::arch::ModelId;
@@ -227,6 +229,70 @@ fn bench_cluster(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_prefix_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_cache");
+    let arch = ModelId::Dsr1Qwen1_5b.arch();
+    // Hit-heavy admission: every acquire walks a resident 64-block
+    // template path and only bumps refcounts — the steady state of a
+    // template-dominated fleet.
+    let template: Vec<u64> = (0..64).map(|b| 0xbe9c_0000 + b).collect();
+    g.bench_function("hit_heavy_acquire_64blk", |b| {
+        let mut kv = KvCacheManager::new(&arch, 8 << 30, 16).expect("kv");
+        let mut cache = PrefixCache::new();
+        let warm = cache.acquire(&mut kv, &template, 1); // seed residency
+        b.iter(|| {
+            let acq = cache.acquire(&mut kv, black_box(&template), 1);
+            if let Some(h) = acq.handle {
+                cache.release(h, 1);
+            }
+            acq.hit_blocks
+        });
+        if let Some(h) = warm.handle {
+            cache.release(h, 1);
+        }
+    });
+    // Miss-heavy admission on a small allocator: every acquire inserts 32
+    // fresh blocks and, once the pool fills, evicts 32 cold leaves — the
+    // churn path (tree insert + LRU heap + allocator round-trips).
+    g.bench_function("miss_heavy_churn_32blk", |b| {
+        let blocks = 1024u64;
+        let bytes = blocks * 16 * arch.kv_bytes_per_token();
+        let mut kv = KvCacheManager::new(&arch, bytes, 16).expect("kv");
+        let mut cache = PrefixCache::new();
+        let mut next = 0u64;
+        b.iter(|| {
+            let sigs: Vec<u64> = (0..32).map(|j| (next << 8) | j).collect();
+            next += 1;
+            let acq = cache.acquire(&mut kv, black_box(&sigs), 1);
+            if let Some(h) = acq.handle {
+                cache.release(h, 1);
+            }
+            acq.resident_blocks
+        });
+    });
+    // Pure lookup against 10k resident sequences (a 4-block shared stem
+    // fanning out into 10k private leaves): the router's warm-replica
+    // peek, no mutation.
+    let stem: Vec<u64> = (0..4).map(|b| 0x57e_a000 + b).collect();
+    let mut kv = KvCacheManager::new(&arch, 64 << 30, 16).expect("kv");
+    let mut cache = PrefixCache::new();
+    for s in 0..10_000u64 {
+        let mut sigs = stem.clone();
+        sigs.push(0xdead_0000 + s);
+        let acq = cache.acquire(&mut kv, &sigs, 1);
+        if let Some(h) = acq.handle {
+            cache.release(h, 1);
+        }
+    }
+    assert!(cache.resident_blocks() >= 10_000);
+    g.bench_function("lookup_10k_resident", |b| {
+        let mut probe = stem.clone();
+        probe.push(0xdead_0000 + 4_999);
+        b.iter(|| cache.match_blocks(black_box(&probe)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
@@ -235,6 +301,7 @@ criterion_group!(
     bench_dataset_eval,
     bench_cache_effect,
     bench_serving,
-    bench_cluster
+    bench_cluster,
+    bench_prefix_cache
 );
 criterion_main!(benches);

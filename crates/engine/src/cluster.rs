@@ -113,6 +113,12 @@ pub struct ClusterConfig {
     pub hedge_factor: Option<f64>,
     /// Horizon for fault/crash schedule generation, seconds.
     pub horizon_s: f64,
+    /// Block-granular prefix signature shared by every request (a fleet
+    /// serving one prompt template). When set, admissions go through the
+    /// per-replica radix prefix cache and the router breaks ties toward
+    /// the replica with the longest cached prefix. `None` keeps the
+    /// legacy unprefixed path bit for bit.
+    pub shared_prefix: Option<Vec<u64>>,
 }
 
 impl ClusterConfig {
@@ -127,7 +133,16 @@ impl ClusterConfig {
             crash: CrashConfig::none(),
             hedge_factor: None,
             horizon_s: 3600.0,
+            shared_prefix: None,
         }
+    }
+
+    /// Routes every request through the per-replica prefix caches under
+    /// the given shared template signature, builder-style.
+    #[must_use]
+    pub fn with_shared_prefix(mut self, prefix: Vec<u64>) -> Self {
+        self.shared_prefix = Some(prefix);
+        self
     }
 
     /// Sets the disturbance-weather intensity, builder-style.
@@ -392,10 +407,14 @@ pub fn simulate_cluster(
         let min_ready = pq.min_ready();
 
         // Route: the replica that can act earliest wins; ties go to the
-        // healthiest, then the least loaded (most free KV tokens), then
-        // the lowest index. Busy replicas act at their own clock (their
-        // next decode boundary); idle ones at the next arrival.
-        let mut best: Option<(f64, u8, u64, usize)> = None;
+        // healthiest, then the warmest prefix cache (longest cached
+        // template prefix — zero for every replica when no shared prefix
+        // is configured, leaving the legacy order intact), then the least
+        // loaded (most free KV tokens), then the lowest index. Busy
+        // replicas act at their own clock (their next decode boundary);
+        // idle ones at the next arrival.
+        let shared_prefix: &[u64] = cluster.shared_prefix.as_deref().unwrap_or(&[]);
+        let mut best: Option<(f64, u8, u64, u64, usize)> = None;
         for (r, rep) in reps.iter().enumerate() {
             let t_act = if rep.stepper.is_busy() {
                 rep.clock
@@ -405,20 +424,29 @@ pub fn simulate_cluster(
                 continue;
             };
             let health = rep.health_at(t_act).rank();
+            let cached = if shared_prefix.is_empty() {
+                0
+            } else {
+                rep.stepper
+                    .cached_prefix_tokens(shared_prefix, cfg.prompt_tokens) as u64
+            };
             let free = rep.stepper.kv_free_tokens();
             let better = match best {
                 None => true,
-                Some((bt, bh, bf, _)) => match t_act.total_cmp(&bt) {
+                Some((bt, bh, bc, bf, _)) => match t_act.total_cmp(&bt) {
                     std::cmp::Ordering::Less => true,
                     std::cmp::Ordering::Greater => false,
-                    std::cmp::Ordering::Equal => health < bh || (health == bh && free > bf),
+                    std::cmp::Ordering::Equal => {
+                        health < bh
+                            || (health == bh && (cached > bc || (cached == bc && free > bf)))
+                    }
                 },
             };
             if better {
-                best = Some((t_act, health, free, r));
+                best = Some((t_act, health, cached, free, r));
             }
         }
-        let Some((t_act, _, _, r)) = best else {
+        let Some((t_act, _, _, _, r)) = best else {
             break; // nothing can act: only unreachable future crash windows
         };
 
@@ -505,7 +533,10 @@ pub fn simulate_cluster(
                 let req =
                     GenerationRequest::new(cfg.prompt_tokens, out_tokens).with_batch(group.len());
                 let rep = &mut reps[r];
-                match rep.stepper.admit(&mut rep.engine, now, &req) {
+                match rep
+                    .stepper
+                    .admit_prefixed(&mut rep.engine, now, &req, shared_prefix)
+                {
                     Ok(adm) => {
                         pq.commit_admitted(&group);
                         live.push(ClusterSlot {
@@ -604,7 +635,10 @@ pub fn simulate_cluster(
                     let req = GenerationRequest::new(cfg.prompt_tokens, out_tokens)
                         .with_batch(members.len());
                     let rep = &mut reps[q];
-                    let Ok(adm) = rep.stepper.admit(&mut rep.engine, now, &req) else {
+                    let Ok(adm) =
+                        rep.stepper
+                            .admit_prefixed(&mut rep.engine, now, &req, shared_prefix)
+                    else {
                         continue; // refusal leaves the target untouched
                     };
                     rep.clock = rep.clock.max(adm.end_s);
@@ -821,6 +855,30 @@ mod tests {
             assert_eq!(fleet.availability, 1.0);
             assert_eq!((fleet.crash_events, fleet.hedges_fired), (0, 0));
         }
+    }
+
+    #[test]
+    fn shared_template_prefix_cuts_fleet_energy() {
+        // A fleet serving one 112-token (7-block) template: after the
+        // first admission per replica the template blocks are resident,
+        // so later prefills pay only the private suffix. Drained arrivals
+        // keep the batching identical so only prefill reuse differs.
+        let cfg = serving(1e-3, 40);
+        let base = ClusterConfig::new(2, EngineConfig::vllm());
+        let warm = base
+            .clone()
+            .with_shared_prefix((0..7).map(|b| 0xfee_d000 + b).collect());
+        let cold =
+            simulate_cluster(&base, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 5).expect("runs");
+        let hot =
+            simulate_cluster(&warm, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 5).expect("runs");
+        assert_eq!(hot.fleet.completed, cold.fleet.completed);
+        assert!(
+            hot.fleet.energy_per_query_j < cold.fleet.energy_per_query_j,
+            "warm {} vs cold {}",
+            hot.fleet.energy_per_query_j,
+            cold.fleet.energy_per_query_j
+        );
     }
 
     #[test]

@@ -413,7 +413,7 @@ impl InferenceEngine {
     ) -> Result<InferenceOutcome, EngineError> {
         let arch = model.arch();
         let cache_bytes = self.kv_budget_bytes(model, prec)?;
-        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens);
+        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens)?;
 
         // Reserve the whole request up front (vLLM would admit and preempt;
         // for a single request the effect is the same).
@@ -569,7 +569,7 @@ impl InferenceEngine {
     ) -> Result<InferenceOutcome, EngineError> {
         let arch = model.arch();
         let cache_bytes = self.kv_budget_bytes(model, prec)?;
-        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens);
+        let mut kv = KvCacheManager::new(&arch, cache_bytes, self.config.kv_block_tokens)?;
         let total_tokens = req.prompt_tokens + req.max_new_tokens;
         // Even a lone sequence must fit end to end, else no amount of
         // preemption can ever complete the request.

@@ -29,6 +29,8 @@ pub enum KvError {
     UnknownSequence(SeqId),
     /// The sequence id was issued but already released.
     DoubleFree(SeqId),
+    /// The manager was constructed with a zero block size.
+    InvalidBlockSize,
 }
 
 impl std::fmt::Display for KvError {
@@ -36,6 +38,7 @@ impl std::fmt::Display for KvError {
         match self {
             KvError::UnknownSequence(id) => write!(f, "unknown sequence {id}"),
             KvError::DoubleFree(id) => write!(f, "double free of {id}"),
+            KvError::InvalidBlockSize => write!(f, "KV block size must be positive"),
         }
     }
 }
@@ -57,22 +60,26 @@ impl KvCacheManager {
     /// Creates a manager for `arch` given the bytes available for KV cache
     /// (device memory minus weights minus activation headroom).
     ///
-    /// # Panics
+    /// Capacity is block-granular: `cache_bytes` is rounded *down* to whole
+    /// blocks of `block_tokens` tokens, and every per-sequence figure in
+    /// this module rounds token counts *up* to whole blocks.
     ///
-    /// Panics if `block_tokens == 0`.
-    pub fn new(arch: &ModelArch, cache_bytes: u64, block_tokens: usize) -> Self {
-        assert!(block_tokens > 0, "block size must be positive");
+    /// Returns [`KvError::InvalidBlockSize`] when `block_tokens == 0`.
+    pub fn new(arch: &ModelArch, cache_bytes: u64, block_tokens: usize) -> Result<Self, KvError> {
+        if block_tokens == 0 {
+            return Err(KvError::InvalidBlockSize);
+        }
         let bytes_per_token = arch.kv_bytes_per_token();
         let block_bytes = bytes_per_token * block_tokens as u64;
         let total_blocks = cache_bytes.checked_div(block_bytes).unwrap_or(0);
-        Self {
+        Ok(Self {
             block_tokens,
             bytes_per_token,
             total_blocks,
             free_blocks: total_blocks,
             next_id: 0,
             seqs: HashMap::new(),
-        }
+        })
     }
 
     /// Tokens of KV state one block holds.
@@ -95,6 +102,10 @@ impl KvCacheManager {
         self.bytes_per_token
     }
 
+    /// Blocks needed to hold `tokens` of context: a block-aligned *round-up*
+    /// (`ceil(tokens / block_tokens)`), so a partially filled last block
+    /// occupies a whole block. All allocation, growth and fit checks below
+    /// charge in these rounded units, never raw tokens.
     fn blocks_for(&self, tokens: usize) -> u64 {
         (tokens as u64).div_ceil(self.block_tokens as u64)
     }
@@ -109,7 +120,8 @@ impl KvCacheManager {
         }
     }
 
-    /// Allocates a new sequence holding `tokens` of context.
+    /// Allocates a new sequence holding `tokens` of context, charged as
+    /// whole blocks (`tokens` rounded up to the block size).
     ///
     /// Returns `None` (allocation failure) when not enough blocks remain.
     pub fn allocate(&mut self, tokens: usize) -> Option<SeqId> {
@@ -124,7 +136,9 @@ impl KvCacheManager {
         Some(id)
     }
 
-    /// Grows a sequence to hold `new_tokens` total context.
+    /// Grows a sequence to hold `new_tokens` total context. Growth is
+    /// block-granular: nothing is charged until the target crosses the next
+    /// block boundary, then a whole block at a time.
     ///
     /// Returns `Ok(false)` (and leaves the allocation unchanged) when not
     /// enough blocks remain, and [`KvError`] when `seq` is not live.
@@ -161,7 +175,10 @@ impl KvCacheManager {
     }
 
     /// Whether a request of `batch` sequences × `tokens` context fits in the
-    /// current free space.
+    /// current free space. `tokens` is rounded up to whole blocks per
+    /// sequence before multiplying by `batch` (each sequence pays its own
+    /// partial-block round-up; the check never packs two sequences' tails
+    /// into one block).
     pub fn would_fit(&self, batch: usize, tokens: usize) -> bool {
         self.blocks_for(tokens) * batch as u64 <= self.free_blocks
     }
@@ -169,7 +186,9 @@ impl KvCacheManager {
     /// Whether a request of `batch` sequences × `tokens` context could ever
     /// fit in an *empty* cache — the admission feasibility check: if this
     /// fails, no amount of preemption or waiting will ever place the
-    /// request.
+    /// request. Like [`Self::would_fit`], the comparison is in whole blocks
+    /// per sequence, so a request one token past a block boundary needs a
+    /// full extra block per sequence.
     pub fn would_fit_capacity(&self, batch: usize, tokens: usize) -> bool {
         self.blocks_for(tokens) * batch as u64 <= self.total_blocks
     }
@@ -184,6 +203,26 @@ impl KvCacheManager {
     pub(crate) fn free_blocks(&self) -> u64 {
         self.free_blocks
     }
+
+    /// Reserves `blocks` raw blocks outside any sequence — the prefix
+    /// cache's tree-resident blocks are charged through here so shared
+    /// prefixes occupy device memory exactly once, no matter how many live
+    /// sequences pin them.
+    ///
+    /// Returns `false` (and reserves nothing) when fewer blocks are free.
+    pub(crate) fn reserve_blocks(&mut self, blocks: u64) -> bool {
+        if blocks > self.free_blocks {
+            return false;
+        }
+        self.free_blocks -= blocks;
+        true
+    }
+
+    /// Returns `blocks` previously taken via [`Self::reserve_blocks`].
+    pub(crate) fn unreserve_blocks(&mut self, blocks: u64) {
+        self.free_blocks += blocks;
+        debug_assert!(self.free_blocks <= self.total_blocks);
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +232,45 @@ mod tests {
 
     fn mgr(cache_mb: u64) -> KvCacheManager {
         KvCacheManager::new(&ModelId::Dsr1Llama8b.arch(), cache_mb << 20, 16)
+            .expect("positive block size")
+    }
+
+    #[test]
+    fn zero_block_size_is_a_typed_error() {
+        assert_eq!(
+            KvCacheManager::new(&ModelId::Dsr1Llama8b.arch(), 1 << 30, 0).err(),
+            Some(KvError::InvalidBlockSize)
+        );
+    }
+
+    #[test]
+    fn would_fit_capacity_pins_exact_block_boundaries() {
+        let m = mgr(4); // 2 blocks of 16 tokens
+        assert_eq!(m.capacity_tokens(), 32);
+        // Exactly on a block boundary: 32 tokens is 2 blocks, a perfect fit.
+        assert!(m.would_fit_capacity(1, 32));
+        // One past the boundary rounds up to 3 blocks and no longer fits.
+        assert!(!m.would_fit_capacity(1, 33));
+        // Per-sequence round-up: 16 tokens is exactly 1 block, 17 is 2, so
+        // batch 2 × 17 needs 4 blocks even though 34 raw tokens < 3 blocks.
+        assert!(m.would_fit_capacity(2, 16));
+        assert!(!m.would_fit_capacity(2, 17));
+        // Zero tokens needs zero blocks at any batch.
+        assert!(m.would_fit_capacity(1000, 0));
+    }
+
+    #[test]
+    fn reserved_blocks_come_out_of_free_space() {
+        let mut m = mgr(4); // 2 blocks
+        assert!(m.reserve_blocks(1));
+        assert_eq!(m.free_tokens(), 16);
+        assert!(!m.reserve_blocks(2), "only one block left");
+        assert_eq!(m.free_tokens(), 16, "failed reserve charges nothing");
+        let a = m.allocate(16).expect("one block free");
+        assert!(m.allocate(1).is_none());
+        m.release(a).expect("live");
+        m.unreserve_blocks(1);
+        assert_eq!(m.free_tokens(), 32);
     }
 
     #[test]

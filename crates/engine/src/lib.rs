@@ -49,9 +49,11 @@ pub mod engine;
 pub mod kv_cache;
 pub mod outcome;
 pub mod plan_cache;
+pub mod prefix_cache;
 pub mod request;
 pub mod serving;
 pub mod serving_reference;
+pub mod session;
 pub mod stepper;
 pub mod telemetry;
 
@@ -61,12 +63,16 @@ pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
 pub use kv_cache::{KvCacheManager, KvError, SeqId};
 pub use outcome::{InferenceOutcome, TbtSample};
 pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
+pub use prefix_cache::{PrefixCache, PrefixCacheStats};
 pub use request::GenerationRequest;
 pub use serving::{
     simulate_serving, simulate_serving_continuous, simulate_serving_traffic, simulate_serving_with,
     SchedulerKind, ServingConfig, ServingConfigError, ServingReport,
 };
 pub use serving_reference::simulate_serving_continuous_reference;
+pub use session::{
+    simulate_serving_sessions, uniform_session_trace, SessionConfig, SessionReport, SessionRequest,
+};
 pub use stepper::{AdmitOutcome, BatchStepper, FinishedSlot, SlotId, StepOutcome};
 pub use telemetry::ServingAccumulator;
 

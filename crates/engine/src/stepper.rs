@@ -40,6 +40,7 @@ use crate::engine::{idle_gap, oom_error, InferenceEngine, OomPolicy};
 use crate::kv_cache::{KvCacheManager, SeqId};
 use crate::outcome::{InferenceOutcome, TbtSample, TraceRec};
 use crate::plan_cache::{PhaseKey, PhaseKind};
+use crate::prefix_cache::{PrefixCache, PrefixCacheStats, PrefixHandle};
 use crate::request::GenerationRequest;
 use crate::EngineError;
 
@@ -61,6 +62,9 @@ pub struct AdmitOutcome {
     pub id: SlotId,
     /// Stepper clock after the admission prefill, seconds.
     pub end_s: f64,
+    /// Prompt tokens served from the prefix cache (prefill skipped); zero
+    /// for [`BatchStepper::admit`] and on cache misses.
+    pub cached_tokens: usize,
 }
 
 /// A request that completed during a [`BatchStepper::step`] call.
@@ -105,6 +109,16 @@ struct Slot {
     /// zero-allocation preempt-mode admission waits for KV space).
     prefilled: bool,
     done_seqs: usize,
+    /// Prompt tokens resident in the prefix tree for this slot (pinned for
+    /// its whole lifetime); per-sequence private allocations start past
+    /// this point.
+    shared_tokens: usize,
+    /// Prompt tokens that were already resident at admission: the prefill
+    /// charge covers only `prompt_tokens - cached_tokens`.
+    cached_tokens: usize,
+    /// Pinned prefix-tree path, released when the slot retires, cancels or
+    /// fails (never on preemption — only private blocks are evicted).
+    prefix_path: Option<PrefixHandle>,
 }
 
 /// A group of live sequences of one slot sharing a progress point.
@@ -114,6 +128,9 @@ struct Cohort {
     prompt_tokens: usize,
     max_new_tokens: usize,
     produced: usize,
+    /// Prompt tokens held by the shared prefix tree, not by these
+    /// sequences' private allocations (growth targets subtract this).
+    shared_tokens: usize,
     seqs: Vec<SeqId>,
 }
 
@@ -150,6 +167,10 @@ pub struct BatchStepper {
     order: Vec<usize>,
     cohorts: Vec<Cohort>,
     waiting: VecDeque<WaitEntry>,
+    /// Radix tree of resident shared KV blocks. Created lazily on the first
+    /// prefixed admission, so unprefixed runs never touch it — that keeps
+    /// the legacy paths bit-identical (see the contract above).
+    prefix: Option<Box<PrefixCache>>,
     /// (gpu_fp, batch) -> context-independent decode base aggregate,
     /// amortized across the whole iteration (and across runs).
     base_cache: Option<(u64, usize, PhaseStats)>,
@@ -176,7 +197,7 @@ impl BatchStepper {
     ) -> Result<Self, EngineError> {
         let arch = model.arch();
         let cache_bytes = engine.kv_budget_bytes(model, prec)?;
-        let kv = KvCacheManager::new(&arch, cache_bytes, engine.config().kv_block_tokens);
+        let kv = KvCacheManager::new(&arch, cache_bytes, engine.config().kv_block_tokens)?;
         let arch_fp = arch.fingerprint();
         Ok(Self {
             model,
@@ -189,6 +210,7 @@ impl BatchStepper {
             order: Vec::new(),
             cohorts: Vec::new(),
             waiting: VecDeque::new(),
+            prefix: None,
             base_cache: None,
             clock: 0.0,
             next_slot: 0,
@@ -237,6 +259,51 @@ impl BatchStepper {
         self.kv.capacity_tokens()
     }
 
+    /// Tokens reclaimable right now by evicting zero-ref prefix-tree paths.
+    /// *Effective* free space for admission and shedding decisions is
+    /// [`kv_free_tokens`](Self::kv_free_tokens) plus this.
+    pub fn kv_evictable_tokens(&self) -> u64 {
+        self.prefix
+            .as_ref()
+            .map_or(0, |c| c.evictable_blocks() * self.kv.block_tokens() as u64)
+    }
+
+    /// Tokens currently resident in the prefix tree (shared blocks, charged
+    /// against the KV budget exactly once). After a drain,
+    /// `kv_free_tokens + prefix_resident_tokens == kv_capacity_tokens`.
+    pub fn prefix_resident_tokens(&self) -> u64 {
+        self.prefix
+            .as_ref()
+            .map_or(0, |c| c.resident_blocks() * self.kv.block_tokens() as u64)
+    }
+
+    /// Outstanding prefix-tree pins (zero once every admitted request has
+    /// retired, cancelled or failed — the refcount conservation property).
+    pub fn prefix_outstanding_pins(&self) -> u64 {
+        self.prefix.as_ref().map_or(0, |c| c.outstanding_pins())
+    }
+
+    /// Prefix-cache behaviour counters (all zero when no prefixed request
+    /// was ever admitted).
+    pub fn prefix_stats(&self) -> PrefixCacheStats {
+        self.prefix
+            .as_ref()
+            .map_or_else(Default::default, |c| c.stats())
+    }
+
+    /// Prompt tokens of `prefix` that are resident right now, capped so the
+    /// un-cached suffix keeps at least one token of a `prompt_tokens`-long
+    /// prompt. Read-only — the fleet router peeks this to prefer the
+    /// replica with the longest cached prefix without perturbing LRU order.
+    pub fn cached_prefix_tokens(&self, prefix: &[u64], prompt_tokens: usize) -> usize {
+        let Some(cache) = self.prefix.as_ref() else {
+            return 0;
+        };
+        let bt = self.kv.block_tokens();
+        let limit = prefix.len().min(prompt_tokens.saturating_sub(1) / bt);
+        cache.match_blocks(&prefix[..limit]) * bt
+    }
+
     fn key(&self, gpu_fp: u64, kind: PhaseKind, batch: usize, shape: usize) -> PhaseKey {
         PhaseKey {
             arch_fp: self.arch_fp,
@@ -255,11 +322,43 @@ impl BatchStepper {
         self.cohorts
             .iter()
             .map(|c| {
-                let full = self.kv.blocks_needed(c.prompt_tokens + c.max_new_tokens);
-                let held = self.kv.blocks_needed(c.prompt_tokens + c.produced);
+                // Private footprint only: the shared prefix lives in the
+                // tree and never grows with decode.
+                let full = self
+                    .kv
+                    .blocks_needed(c.prompt_tokens + c.max_new_tokens - c.shared_tokens);
+                let held = self
+                    .kv
+                    .blocks_needed(c.prompt_tokens + c.produced - c.shared_tokens);
                 full.saturating_sub(held) * c.seqs.len() as u64
             })
             .sum()
+    }
+
+    /// Allocates a private sequence, reclaiming cold prefix-tree blocks on
+    /// demand. With no prefix cache this is exactly
+    /// [`KvCacheManager::allocate`].
+    fn alloc_private(&mut self, tokens: usize) -> Option<SeqId> {
+        if let Some(id) = self.kv.allocate(tokens) {
+            return Some(id);
+        }
+        let cache = self.prefix.as_mut()?;
+        let deficit = self
+            .kv
+            .blocks_needed(tokens)
+            .saturating_sub(self.kv.free_blocks());
+        if deficit > 0 && cache.evict(&mut self.kv, deficit) < deficit {
+            return None;
+        }
+        self.kv.allocate(tokens)
+    }
+
+    /// Releases a slot's pinned prefix path (retire/cancel/fail — never
+    /// preemption).
+    fn unpin_prefix(&mut self, path: Option<PrefixHandle>, count: usize) {
+        if let (Some(handle), Some(cache)) = (path, self.prefix.as_mut()) {
+            cache.release(handle, count as u32);
+        }
     }
 
     /// Charges `busy` seconds of other-request work to every unretired
@@ -297,6 +396,32 @@ impl BatchStepper {
         now: f64,
         req: &GenerationRequest,
     ) -> Result<AdmitOutcome, EngineError> {
+        self.admit_prefixed(engine, now, req, &[])
+    }
+
+    /// [`admit`](Self::admit) with a block-granular prefix signature: one
+    /// `u64` per full KV block of the prompt, identifying its token
+    /// contents. The signature is matched against the prefix tree; already
+    /// resident blocks skip prefill (latency, energy and KV growth are
+    /// charged only for the un-cached suffix), missing shareable blocks are
+    /// inserted for later requests, and the whole path is pinned until the
+    /// slot retires, cancels or fails. At most `prompt_tokens - 1` tokens
+    /// are shareable — the last prompt token is always computed privately,
+    /// which is also where copy-on-write diverges from the cached path.
+    ///
+    /// With an empty signature this *is* [`admit`](Self::admit), running
+    /// the identical instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// As [`admit`](Self::admit); on error no pins or blocks are retained.
+    pub fn admit_prefixed(
+        &mut self,
+        engine: &mut InferenceEngine,
+        now: f64,
+        req: &GenerationRequest,
+        prefix: &[u64],
+    ) -> Result<AdmitOutcome, EngineError> {
         req.validate().map_err(EngineError::InvalidRequest)?;
         if self.clock < now {
             self.clock = now;
@@ -304,20 +429,67 @@ impl BatchStepper {
         let total_tokens = req.prompt_tokens + req.max_new_tokens;
         let policy = engine.config().oom_policy;
 
-        // Admission feasibility, mirroring the static paths bit-for-bit in
-        // the drained (empty-stepper) case.
-        match policy {
-            OomPolicy::FailFast => {
-                let need = self.kv.blocks_needed(total_tokens) * req.batch as u64;
-                let outstanding = self.outstanding_growth_blocks();
-                if need + outstanding > self.kv.free_blocks() {
-                    return Err(oom_error(&self.kv, req));
+        // Shareable limit: full prompt blocks only, and the un-cached
+        // suffix keeps at least one token (vLLM recomputes the last token
+        // too — its logits drive the first decode step).
+        let share_limit = if prefix.is_empty() {
+            0
+        } else {
+            prefix
+                .len()
+                .min(req.prompt_tokens.saturating_sub(1) / self.kv.block_tokens())
+        };
+
+        let mut shared_tokens = 0usize;
+        let mut cached_tokens = 0usize;
+        let mut prefix_path = None;
+        if share_limit == 0 {
+            // Admission feasibility, mirroring the static paths bit-for-bit
+            // in the drained (empty-stepper) case.
+            match policy {
+                OomPolicy::FailFast => {
+                    let need = self.kv.blocks_needed(total_tokens) * req.batch as u64;
+                    let outstanding = self.outstanding_growth_blocks();
+                    if need + outstanding > self.kv.free_blocks() {
+                        return Err(oom_error(&self.kv, req));
+                    }
+                }
+                OomPolicy::PreemptRecompute => {
+                    if !self.kv.would_fit_capacity(1, total_tokens) {
+                        return Err(oom_error(&self.kv, req));
+                    }
                 }
             }
-            OomPolicy::PreemptRecompute => {
-                if !self.kv.would_fit_capacity(1, total_tokens) {
-                    return Err(oom_error(&self.kv, req));
+        } else {
+            let outstanding = self.outstanding_growth_blocks();
+            let bt = self.kv.block_tokens();
+            let batch = req.batch as u32;
+            let cache = self.prefix.get_or_insert_with(Default::default);
+            // Pin the resident prefix first (protecting it from eviction),
+            // then extend the tree with the shareable remainder.
+            let acq = cache.acquire(&mut self.kv, &prefix[..share_limit], batch);
+            shared_tokens = acq.resident_blocks * bt;
+            cached_tokens = acq.hit_blocks * bt;
+            prefix_path = acq.handle;
+            let feasible = match policy {
+                OomPolicy::FailFast => {
+                    // Reserve the private suffix (prompt tail + full output
+                    // growth) up front, reclaiming cold paths on demand.
+                    let need =
+                        self.kv.blocks_needed(total_tokens - shared_tokens) * req.batch as u64;
+                    let free = self.kv.free_blocks();
+                    if need + outstanding > free {
+                        cache.evict(&mut self.kv, need + outstanding - free);
+                    }
+                    need + outstanding <= self.kv.free_blocks()
                 }
+                OomPolicy::PreemptRecompute => self.kv.would_fit_capacity(1, total_tokens),
+            };
+            if !feasible {
+                if let Some(handle) = prefix_path {
+                    cache.release(handle, batch);
+                }
+                return Err(oom_error(&self.kv, req));
             }
         }
 
@@ -340,13 +512,17 @@ impl BatchStepper {
             recomputed_tokens: 0,
             prefilled: false,
             done_seqs: 0,
+            shared_tokens,
+            cached_tokens,
+            prefix_path,
         };
 
         // Place as many sequences as fit right now (FailFast: all of them,
-        // by the reservation above).
+        // by the reservation above). Private allocations cover only the
+        // prompt past the shared prefix.
         let mut seqs = Vec::with_capacity(req.batch);
         for placed in 0..req.batch {
-            match self.kv.allocate(req.prompt_tokens) {
+            match self.alloc_private(req.prompt_tokens - shared_tokens) {
                 Some(sid) => seqs.push(sid),
                 None => match policy {
                     OomPolicy::FailFast => return Err(oom_error(&self.kv, req)),
@@ -364,15 +540,18 @@ impl BatchStepper {
 
         let mut busy = 0.0;
         if !seqs.is_empty() {
-            // Prompt prefill (batch 1, shared prompt — the paper's setup).
+            // Prompt prefill (batch 1, shared prompt — the paper's setup),
+            // shaped by the un-cached suffix only: cache hits skip their
+            // share of the prefill compute, latency and energy entirely.
+            let suffix_tokens = req.prompt_tokens - cached_tokens;
             let t = self.clock;
             let throttled = engine.apply_faults_at(t);
             let gpu_fp = engine.gpu_fingerprint();
             let arch = &self.arch;
             let det = engine.deterministic_phase(
-                self.key(gpu_fp, PhaseKind::Prefill, 1, req.prompt_tokens),
+                self.key(gpu_fp, PhaseKind::Prefill, 1, suffix_tokens),
                 &arch.calib.prefill,
-                |plan| build_prefill_into(plan, arch, self.prec, 1, req.prompt_tokens),
+                |plan| build_prefill_into(plan, arch, self.prec, 1, suffix_tokens),
             );
             let mut prefill = engine.perturb(&det);
             if throttled {
@@ -400,6 +579,7 @@ impl BatchStepper {
                 prompt_tokens: req.prompt_tokens,
                 max_new_tokens: req.max_new_tokens,
                 produced: 0,
+                shared_tokens,
                 seqs,
             });
         }
@@ -416,6 +596,7 @@ impl BatchStepper {
         Ok(AdmitOutcome {
             id,
             end_s: self.clock,
+            cached_tokens,
         })
     }
 
@@ -462,15 +643,24 @@ impl BatchStepper {
                 self.waiting.remove(i);
             }
 
-            let (prompt_tokens, max_new_tokens, prefilled) = match self.slots[slot_idx].as_ref() {
-                Some(s) => (s.prompt_tokens, s.max_new_tokens, s.prefilled),
-                None => continue,
-            };
+            let (prompt_tokens, max_new_tokens, prefilled, shared_tokens, cached_tokens) =
+                match self.slots[slot_idx].as_ref() {
+                    Some(s) => (
+                        s.prompt_tokens,
+                        s.max_new_tokens,
+                        s.prefilled,
+                        s.shared_tokens,
+                        s.cached_tokens,
+                    ),
+                    None => continue,
+                };
             let ctx0 = prompt_tokens + produced0;
-            // Admit as many as currently fit; the rest keep waiting.
+            // Admit as many as currently fit; the rest keep waiting. Only
+            // the private context (past the still-resident shared prefix)
+            // needs blocks.
             let mut seqs = Vec::with_capacity(count);
             for placed in 0..count {
-                match self.kv.allocate(ctx0) {
+                match self.alloc_private(ctx0 - shared_tokens) {
                     Some(sid) => seqs.push(sid),
                     None => {
                         self.waiting.push_back(WaitEntry {
@@ -492,11 +682,13 @@ impl BatchStepper {
             let prec = self.prec;
             let busy;
             if !prefilled && produced0 == 0 {
-                // The slot's very first placement: a true prompt prefill.
+                // The slot's very first placement: a true prompt prefill
+                // (cache hits skip their share, as at admission).
+                let suffix_tokens = prompt_tokens - cached_tokens;
                 let det = engine.deterministic_phase(
-                    self.key(gpu_fp, PhaseKind::Prefill, 1, prompt_tokens),
+                    self.key(gpu_fp, PhaseKind::Prefill, 1, suffix_tokens),
                     &arch.calib.prefill,
-                    |plan| build_prefill_into(plan, arch, prec, 1, prompt_tokens),
+                    |plan| build_prefill_into(plan, arch, prec, 1, suffix_tokens),
                 );
                 let prefill = engine.perturb(&det);
                 if let Some(s) = self.slots[slot_idx].as_mut() {
@@ -510,14 +702,17 @@ impl BatchStepper {
                 busy = prefill.latency_s;
             } else {
                 // Context recomputation: a batch-1 prefill-shaped pass over
-                // the lost context, once per recovered sequence.
+                // the lost *private* context, once per recovered sequence —
+                // the shared prefix stayed pinned in the tree, so preempted
+                // sequences never recompute it.
+                let lost = ctx0 - shared_tokens;
                 let det = engine.deterministic_phase(
-                    self.key(gpu_fp, PhaseKind::Prefill, 1, ctx0),
+                    self.key(gpu_fp, PhaseKind::Prefill, 1, lost),
                     &arch.calib.prefill,
-                    |plan| build_prefill_into(plan, arch, prec, 1, ctx0),
+                    |plan| build_prefill_into(plan, arch, prec, 1, lost),
                 );
                 let recompute = engine.perturb(&det).repeated(seqs.len());
-                let recovered = ctx0 * seqs.len();
+                let recovered = lost * seqs.len();
                 engine.counters_mut().recomputed_tokens += recovered as u64;
                 if throttled {
                     engine.counters_mut().throttled_phases += 1;
@@ -542,6 +737,7 @@ impl BatchStepper {
                 prompt_tokens,
                 max_new_tokens,
                 produced: produced0,
+                shared_tokens,
                 seqs,
             });
         }
@@ -628,11 +824,29 @@ impl BatchStepper {
         let policy = engine.config().oom_policy;
         let mut ci = 0;
         while ci < self.cohorts.len() {
-            let target = self.cohorts[ci].prompt_tokens + self.cohorts[ci].produced + chunk;
+            // Private growth target: decode extends the sequence's own
+            // allocation; the shared prefix is the tree's, held elsewhere.
+            let target = self.cohorts[ci].prompt_tokens + self.cohorts[ci].produced + chunk
+                - self.cohorts[ci].shared_tokens;
             let mut si = 0;
             while si < self.cohorts.get(ci).map_or(0, |c| c.seqs.len()) {
                 let seq = self.cohorts[ci].seqs[si];
                 if self.kv.grow(seq, target)? {
+                    si += 1;
+                    continue;
+                }
+                // Reclaim cold prefix-tree paths before touching live work.
+                let mut grown = false;
+                while let Some(cache) = self.prefix.as_mut() {
+                    if cache.evict(&mut self.kv, 1) == 0 {
+                        break;
+                    }
+                    if self.kv.grow(seq, target)? {
+                        grown = true;
+                        break;
+                    }
+                }
+                if grown {
                     si += 1;
                     continue;
                 }
@@ -804,6 +1018,7 @@ impl BatchStepper {
                     continue;
                 }
                 if let Some(s) = self.slots[i].take() {
+                    self.unpin_prefix(s.prefix_path, s.batch);
                     let (outcome, jitter) = engine.finalize_parts(
                         self.model,
                         self.prec,
@@ -864,6 +1079,7 @@ impl BatchStepper {
         }
         self.waiting.retain(|w| w.slot != idx);
         let s = self.slots[idx].take()?;
+        self.unpin_prefix(s.prefix_path, s.batch);
         if let Some(pos) = self.order.iter().position(|&i| i == idx) {
             self.order.remove(pos);
         }
@@ -895,6 +1111,13 @@ impl BatchStepper {
             .filter_map(|&i| self.slots[i].as_ref())
             .map(|s| s.id)
             .collect();
+        // Failed slots drop their prefix pins too; the tree itself stays
+        // warm for whatever the scheduler admits next.
+        for i in 0..self.slots.len() {
+            if let Some(s) = self.slots[i].take() {
+                self.unpin_prefix(s.prefix_path, s.batch);
+            }
+        }
         self.slots.clear();
         self.order.clear();
         self.free.clear();

@@ -13,8 +13,9 @@
 use edgereasoning_engine::engine::{EngineConfig, OomPolicy};
 use edgereasoning_engine::{
     simulate_cluster, simulate_serving, simulate_serving_continuous,
-    simulate_serving_continuous_reference, simulate_serving_traffic, ArrivalProcess, ClusterConfig,
-    InferenceEngine, ServingConfig,
+    simulate_serving_continuous_reference, simulate_serving_sessions, simulate_serving_traffic,
+    uniform_session_trace, ArrivalProcess, ClusterConfig, InferenceEngine, ServingConfig,
+    SessionConfig,
 };
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
@@ -166,6 +167,46 @@ fn drained_des_matches_static_oracle() {
         rs, rc,
         "drained DES continuous must equal the static oracle"
     );
+}
+
+#[test]
+fn cache_disabled_session_loop_matches_continuous_when_drained() {
+    // The session-aware loop (PR7) with prefix caching off, replaying the
+    // legacy Poisson trace, must be the continuous/DES scheduler bit for
+    // bit in the drained regime — whether the cache is switched off by
+    // config or starved by all-empty signatures.
+    let cfg = ServingConfig::new(1e-4, 8, 24, 128, 128);
+    for seed in [1, 7, 42] {
+        let mut ce = engine();
+        let want = simulate_serving_continuous(
+            &mut ce,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            seed,
+        )
+        .expect("continuous runs");
+        for scfg in [
+            SessionConfig::new(8).with_prefix_caching(false),
+            SessionConfig::new(8), // caching on, but the trace has no signatures
+        ] {
+            let mut se = engine();
+            let mut it = uniform_session_trace(&cfg, seed).into_iter();
+            let got = simulate_serving_sessions(
+                &mut se,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &scfg,
+                || it.next(),
+            )
+            .expect("session loop runs");
+            assert_eq!(
+                got.serving, want,
+                "seed {seed}: idle prefix cache must be invisible"
+            );
+            assert_eq!(got.cached_prompt_tokens, 0, "seed {seed}");
+        }
+    }
 }
 
 #[test]

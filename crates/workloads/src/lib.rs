@@ -36,8 +36,10 @@
 
 pub mod prompt;
 pub mod question;
+pub mod session;
 pub mod suite;
 
 pub use prompt::PromptConfig;
 pub use question::Question;
+pub use session::{SessionGen, SessionMixConfig, SessionTurn};
 pub use suite::{Benchmark, PlanTask};

@@ -64,4 +64,14 @@ cargo run --release -q -p edgereasoning-bench --bin traffic_study -- --smoke
 cmp "$TRAFFIC_CSV" "$TRAFFIC_CSV.first" || { echo "FAIL: traffic smoke not deterministic"; exit 1; }
 rm -f "$TRAFFIC_CSV.first"
 
+echo "==> session_study --smoke (deterministic prefix-cache/session CSV)"
+cargo run --release -q -p edgereasoning-bench --bin session_study -- --smoke
+SESSION_CSV=outputs/session_study_smoke.csv
+[ -s "$SESSION_CSV" ] || { echo "FAIL: $SESSION_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$SESSION_CSV")" -gt 1 ] || { echo "FAIL: $SESSION_CSV has no data rows"; exit 1; }
+cp "$SESSION_CSV" "$SESSION_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin session_study -- --smoke
+cmp "$SESSION_CSV" "$SESSION_CSV.first" || { echo "FAIL: session smoke not deterministic"; exit 1; }
+rm -f "$SESSION_CSV.first"
+
 echo "CI OK"

@@ -14,6 +14,7 @@ BINS=(
   serving_study
   fleet_study
   traffic_study
+  session_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

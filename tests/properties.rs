@@ -14,6 +14,9 @@ use edgereasoning::engine::request::GenerationRequest;
 use edgereasoning::engine::serving::{
     simulate_serving, simulate_serving_continuous, ServingConfig,
 };
+use edgereasoning::engine::session::{
+    simulate_serving_sessions, uniform_session_trace, SessionConfig,
+};
 use edgereasoning::engine::stepper::BatchStepper;
 use edgereasoning::engine::SimEngine;
 use edgereasoning::kernels::arch::ModelId;
@@ -142,7 +145,7 @@ proptest! {
     #[test]
     fn kv_cache_conserves_blocks(sizes in prop::collection::vec(1usize..4000, 1..20)) {
         let arch = ModelId::Dsr1Llama8b.arch();
-        let mut mgr = KvCacheManager::new(&arch, 2 << 30, 16);
+        let mut mgr = KvCacheManager::new(&arch, 2 << 30, 16).expect("positive block size");
         let cap = mgr.free_tokens();
         let mut live = Vec::new();
         for &s in &sizes {
@@ -459,6 +462,87 @@ proptest! {
         }
         prop_assert_eq!(stepper.kv_free_tokens(), cap);
         prop_assert_eq!(stepper.live_queries(), 0);
+    }
+
+    /// Prefix-cache refcounts are conserved across admit/preempt/cancel/
+    /// retire: after the stepper drains, every pin has been released, and
+    /// free KV plus tree-resident KV add back up to capacity — no leaked
+    /// and no double-freed blocks, at any interleaving.
+    #[test]
+    fn prefix_pins_conserved_across_lifecycle(
+        seed in 0u64..200,
+        admits in prop::collection::vec(
+            // (template, shared path length in blocks, prompt, output, batch)
+            (0u64..3, 1usize..6, 96usize..512, 1usize..96, 1usize..4), 1..8),
+        kv_tokens in 1200u64..4000,
+        cancel_mask in 0u32..256
+    ) {
+        let mut config = EngineConfig::vllm().with_oom_policy(OomPolicy::PreemptRecompute);
+        let arch = ModelId::Dsr1Qwen1_5b.arch();
+        let budget = arch.weight_bytes(Precision::Fp16) + kv_tokens * arch.kv_bytes_per_token();
+        config.memory_budget_frac = budget as f64 / config.soc.gpu.dram_capacity as f64;
+        let mut e = SimEngine::new(config, seed);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("weights fit");
+        let cap = stepper.kv_capacity_tokens();
+        let mut t = 0.0;
+        for (i, &(template, len, prompt, output, batch)) in admits.iter().enumerate() {
+            // Shared stems per template force refcounted sharing and
+            // copy-on-write divergence across admissions.
+            let sigs: Vec<u64> = (0..len as u64).map(|j| template * 1000 + j).collect();
+            let req = GenerationRequest::new(prompt, output).with_batch(batch);
+            if let Ok(adm) = stepper.admit_prefixed(&mut e, t, &req, &sigs) {
+                t = adm.end_s;
+                if cancel_mask & (1 << (i % 8)) != 0 {
+                    stepper.cancel(adm.id);
+                }
+            }
+            if stepper.is_busy() {
+                let out = stepper.step(&mut e).expect("preempting stepper steps");
+                t = out.end_s;
+            }
+        }
+        let mut guard = 0usize;
+        while stepper.is_busy() {
+            stepper.step(&mut e).expect("preempting stepper drains");
+            guard += 1;
+            prop_assert!(guard < 10_000, "stepper failed to drain");
+        }
+        prop_assert_eq!(stepper.live_queries(), 0);
+        prop_assert_eq!(stepper.prefix_outstanding_pins(), 0);
+        prop_assert_eq!(
+            stepper.kv_free_tokens() + stepper.prefix_resident_tokens(),
+            cap
+        );
+        prop_assert_eq!(stepper.kv_evictable_tokens(), stepper.prefix_resident_tokens());
+    }
+
+    /// With prefix caching disabled, the session loop over the legacy
+    /// Poisson trace reproduces the continuous/DES serving report bit for
+    /// bit on drained queues — the cache is invisible unless asked for.
+    #[test]
+    fn cache_disabled_session_loop_is_the_continuous_sim(seed in 0u64..500) {
+        let cfg = ServingConfig::new(1e-4, 8, 10, 128, 96);
+        let trace = uniform_session_trace(&cfg, seed);
+        let offered = trace.len();
+        let mut se = SimEngine::new(EngineConfig::vllm(), seed);
+        let mut it = trace.into_iter();
+        let scfg = SessionConfig::new(8).with_prefix_caching(false);
+        let got = simulate_serving_sessions(
+            &mut se,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &scfg,
+            || it.next(),
+        )
+        .expect("session loop runs");
+        let mut ce = SimEngine::new(EngineConfig::vllm(), seed);
+        let want =
+            simulate_serving_continuous(&mut ce, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("runs");
+        prop_assert_eq!(got.serving, want);
+        prop_assert_eq!(got.offered, offered);
+        prop_assert_eq!(got.cached_prompt_tokens, 0);
     }
 
     /// The phase-plan cache is invisible to results: a cache-disabled
