@@ -14,6 +14,7 @@ use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
 use edgereasoning_models::evaluate::{evaluate, EvalOptions};
 use edgereasoning_soc::gpu::{ExecCalib, Gpu};
 use edgereasoning_soc::spec::{OrinSpec, PowerMode};
+use edgereasoning_soc::thermal::{GovernanceConfig, ThermalConfig, ThermalGovernor};
 use edgereasoning_workloads::prompt::PromptConfig;
 use edgereasoning_workloads::suite::Benchmark;
 use std::hint::black_box;
@@ -293,6 +294,72 @@ fn bench_prefix_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_thermal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thermal");
+    g.sample_size(10);
+    // Governed vs ungoverned continuous serving: the same 24-query stream
+    // with the thermal RC + ladder in the loop. The delta is the whole
+    // cost of closed-loop governance (exp() per busy segment).
+    let cfg = ServingConfig::new(1.0, 8, 24, 128, 128).with_deadline(20.0);
+    for (label, governance) in [
+        ("ungoverned_24q", None),
+        (
+            "governed_24q",
+            Some(
+                GovernanceConfig {
+                    thermal: ThermalConfig {
+                        c_j_per_c: 8.6,
+                        ..ThermalConfig::default()
+                    },
+                    ..GovernanceConfig::default()
+                }
+                .with_trip(40.0, 36.0),
+            ),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            let mut engine_cfg = EngineConfig::vllm();
+            if let Some(gov) = governance {
+                engine_cfg = engine_cfg.with_governance(gov);
+            }
+            let mut engine = InferenceEngine::new(engine_cfg, 3);
+            b.iter(|| {
+                simulate_serving_with(
+                    SchedulerKind::Continuous,
+                    &mut engine,
+                    ModelId::Dsr1Qwen1_5b,
+                    Precision::Fp16,
+                    black_box(&cfg),
+                    7,
+                )
+                .expect("runs")
+            })
+        });
+    }
+    // The raw governor: one million exact RC feed segments.
+    g.bench_function("governor_1m_feeds", |b| {
+        b.iter(|| {
+            let gov = GovernanceConfig {
+                thermal: ThermalConfig {
+                    c_j_per_c: 8.6,
+                    ..ThermalConfig::default()
+                },
+                ..GovernanceConfig::default()
+            }
+            .with_trip(40.0, 36.0);
+            let mut governor = ThermalGovernor::new(gov, 4.3);
+            let mut t = 0.0;
+            for i in 0..1_000_000u64 {
+                let dt = 0.001 + (i % 7) as f64 * 1e-4;
+                governor.feed(black_box(0.03), t, t + dt);
+                t += dt;
+            }
+            governor.stats()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
@@ -302,6 +369,7 @@ criterion_group!(
     bench_cache_effect,
     bench_serving,
     bench_cluster,
-    bench_prefix_cache
+    bench_prefix_cache,
+    bench_thermal
 );
 criterion_main!(benches);

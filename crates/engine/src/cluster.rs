@@ -40,6 +40,7 @@ use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_soc::faults::FaultSchedule;
 use edgereasoning_soc::runtime::item_seed;
+use edgereasoning_soc::thermal::GovernanceStats;
 use serde::{Deserialize, Serialize};
 
 use crate::arrivals::ArrivalProcess;
@@ -257,6 +258,13 @@ pub struct ClusterReport {
     /// Energy accrued by cancelled hedge losers, joules (already included
     /// in the fleet energy total: a lost hedge still burned the watts).
     pub hedge_energy_j: f64,
+    /// Battery brown-out windows the router actually processed (device
+    /// Down until recharged; in-flight work voided into failover, like a
+    /// crash window but *endogenous* — caused by the fleet's own draw).
+    pub brownout_events: usize,
+    /// Thermal/battery governance counters summed across replicas, when
+    /// the engine config enables closed-loop governance.
+    pub governance: Option<GovernanceStats>,
 }
 
 /// One replica's simulation state.
@@ -286,6 +294,12 @@ impl Replica {
             .get(self.next_crash)
             .is_some_and(|&(start, _)| start <= t)
         {
+            return ReplicaHealth::Down;
+        }
+        // An open battery brown-out window (the governor's clock hasn't
+        // reached the recharge point yet) reads as Down so routing and
+        // hedge targeting avoid a device that is rebooting.
+        if self.engine.governance_down_until().is_some() {
             return ReplicaHealth::Down;
         }
         if self.throttle_streak >= DEGRADED_STREAK {
@@ -400,6 +414,7 @@ pub fn simulate_cluster(
     let mut hedges_fired = 0usize;
     let mut hedge_wins = 0usize;
     let mut hedge_energy_j = 0.0f64;
+    let mut brownout_events = 0usize;
 
     while !pq.is_exhausted() || reps.iter().any(|rep| rep.stepper.is_busy()) {
         // Earliest instant any pending (or still-undrawn) query becomes
@@ -423,6 +438,13 @@ pub fn simulate_cluster(
             } else {
                 continue;
             };
+            // A replica browned out with no recharge path has an infinite
+            // recovery time: it never acts again. Skipping it here (rather
+            // than letting `max` swallow the jump) keeps the loop's exit
+            // condition honest when the whole fleet is dead.
+            if !t_act.is_finite() {
+                continue;
+            }
             let health = rep.health_at(t_act).rank();
             let cached = if shared_prefix.is_empty() {
                 0
@@ -481,6 +503,40 @@ pub fn simulate_cluster(
                 crash_lost += slot.members.len();
                 for &k in &slot.members {
                     pq.mark_crashed(k);
+                }
+                pq.requeue_failed(
+                    &slot.members,
+                    t_act,
+                    cfg.max_retries,
+                    cfg.retry_backoff_s,
+                    &mut fleet,
+                );
+            }
+            reps[r].clock = reps[r].clock.max(recovery);
+            reps[r].drain_now = reps[r].drain_now.max(reps[r].clock);
+            reps[r].throttle_streak = 0;
+            continue;
+        }
+
+        // A battery brown-out detected by the replica's own governor fires
+        // exactly like a crash window, except the recovery instant comes
+        // from the recharge model instead of the repair weather. Voided
+        // sequences re-enter the retry queue (no `mark_crashed`: the crash
+        // counters stay exogenous-only; `brownout_events` owns this path).
+        if let Some((start, recovery)) = reps[r].engine.governance_take_outage() {
+            brownout_events += 1;
+            reps[r].outages.push((start, recovery));
+            let voided = reps[r].stepper.fail_all();
+            for id in voided {
+                let Some(pos) = live.iter().position(|s| s.replica == r && s.id == id) else {
+                    continue;
+                };
+                let slot = live.remove(pos);
+                if let Some(peer) = slot.pair {
+                    if let Some(p) = live.iter_mut().find(|s| s.key == peer) {
+                        p.pair = None;
+                    }
+                    continue;
                 }
                 pq.requeue_failed(
                     &slot.members,
@@ -801,6 +857,14 @@ pub fn simulate_cluster(
         .zip(&reps)
         .map(|(acc, rep)| acc.into_report(cfg, rep.served))
         .collect();
+    let mut governance: Option<GovernanceStats> = None;
+    for rep in &reps {
+        if let Some(stats) = rep.engine.governance_stats() {
+            governance
+                .get_or_insert_with(GovernanceStats::default)
+                .absorb(&stats);
+        }
+    }
     Ok(ClusterReport {
         fleet: fleet.into_report(cfg, wall),
         replicas,
@@ -811,6 +875,8 @@ pub fn simulate_cluster(
         hedges_fired,
         hedge_wins,
         hedge_energy_j,
+        brownout_events,
+        governance,
     })
 }
 
@@ -1033,5 +1099,67 @@ mod tests {
             40
         );
         assert!(r.fleet.completed > 0);
+    }
+
+    #[test]
+    fn battery_brownout_fires_like_a_crash_window() {
+        use edgereasoning_soc::thermal::{BatteryConfig, GovernanceConfig, RechargeProfile};
+        // A battery far too small for the run, trickle-charged well below
+        // the serving draw: the replica must brown out mid-run, book an
+        // outage window, and resume serving once the charge climbs back
+        // past `resume_frac`.
+        let battery = BatteryConfig {
+            capacity_j: 150.0,
+            recharge: RechargeProfile::Constant { watts: 5.0 },
+            ..BatteryConfig::default()
+        };
+        let gov = GovernanceConfig::default()
+            .with_trip(10_000.0, 9_000.0) // thermal path inert: battery only
+            .with_battery(battery);
+        let cluster = ClusterConfig::new(1, EngineConfig::vllm().with_governance(gov));
+        let cfg = serving(2.0, 40).with_retries(3, 0.5);
+        let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 7)
+            .expect("runs");
+        assert!(r.brownout_events > 0, "battery must brown out: {r:?}");
+        assert_eq!(r.crash_events, 0, "brown-outs must not count as crashes");
+        assert!(
+            r.availability < 1.0,
+            "brown-out windows are downtime: {}",
+            r.availability
+        );
+        assert!(r.fleet.completed > 0, "fleet must recover after recharge");
+        let g = r.governance.expect("governance enabled");
+        assert!(g.brownouts >= r.brownout_events as u64);
+        assert!(g.energy_drawn_j > 0.0);
+        // Determinism across runs, brown-outs and all.
+        let again = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 7)
+            .expect("runs");
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn dead_battery_without_recharge_strands_the_fleet_gracefully() {
+        use edgereasoning_soc::thermal::{BatteryConfig, GovernanceConfig};
+        // No recharge path: once the only replica browns out its recovery
+        // time is infinite. The router must terminate (not spin or emit
+        // NaN schedules), leaving the unserved remainder as failures.
+        let battery = BatteryConfig {
+            capacity_j: 300.0,
+            ..BatteryConfig::default()
+        };
+        let gov = GovernanceConfig::default()
+            .with_trip(10_000.0, 9_000.0)
+            .with_battery(battery);
+        let cluster = ClusterConfig::new(1, EngineConfig::vllm().with_governance(gov));
+        let cfg = serving(2.0, 40).with_deadline(120.0);
+        let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 7)
+            .expect("a stranded fleet is a result, not an error");
+        assert_eq!(r.brownout_events, 1);
+        assert!(
+            r.fleet.completed < 40,
+            "a dead fleet cannot finish the trace"
+        );
+        assert!(r.fleet.wall_s.is_finite());
+        assert!(r.availability.is_finite());
     }
 }

@@ -11,6 +11,7 @@ use edgereasoning_soc::faults::FaultSchedule;
 use edgereasoning_soc::gpu::{Derate, ExecCalib, Gpu, PhaseStats};
 use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
+use edgereasoning_soc::thermal::{GovernanceConfig, GovernanceStats, ThermalGovernor};
 use serde::{Deserialize, Serialize};
 
 use crate::kv_cache::{KvCacheManager, SeqId};
@@ -104,6 +105,10 @@ pub struct EngineConfig {
     /// feeds back into phase aggregates, so the cap cannot change
     /// TTFT/TBT statistics.
     pub tbt_trace_cap: usize,
+    /// Optional closed-loop thermal/battery governance
+    /// ([`edgereasoning_soc::thermal`]). `None` — the default — keeps every
+    /// execution path bit-identical to the ungoverned engine.
+    pub governance: Option<GovernanceConfig>,
 }
 
 impl EngineConfig {
@@ -122,6 +127,7 @@ impl EngineConfig {
             power_ramp_tau_s: 10.0,
             oom_policy: OomPolicy::FailFast,
             tbt_trace_cap: 512,
+            governance: None,
         }
     }
 
@@ -177,6 +183,12 @@ impl EngineConfig {
         self.oom_policy = policy;
         self
     }
+
+    /// Enables closed-loop thermal/battery governance, builder-style.
+    pub fn with_governance(mut self, governance: GovernanceConfig) -> Self {
+        self.governance = Some(governance);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -204,6 +216,7 @@ pub struct InferenceEngine {
     cache_enabled: bool,
     counters: EngineCounters,
     faults: FaultSchedule,
+    governor: Option<ThermalGovernor>,
     clock_s: f64,
 }
 
@@ -211,6 +224,9 @@ impl InferenceEngine {
     /// Creates an engine with a deterministic measurement-noise seed.
     pub fn new(config: EngineConfig, seed: u64) -> Self {
         let gpu = Gpu::new(config.soc.gpu.clone(), config.mode, seed);
+        let governor = config
+            .governance
+            .map(|g| ThermalGovernor::new(g, config.soc.gpu.idle_power_w));
         Self {
             config,
             gpu,
@@ -220,6 +236,7 @@ impl InferenceEngine {
             cache_enabled: true,
             counters: EngineCounters::default(),
             faults: FaultSchedule::none(),
+            governor,
             clock_s: 0.0,
         }
     }
@@ -250,16 +267,75 @@ impl InferenceEngine {
         self.clock_s
     }
 
-    /// Applies the disturbance schedule at instant `t` to the GPU.
-    /// Returns whether a non-identity derate is active. With an empty
-    /// schedule this is a no-op that never touches the GPU.
+    /// Applies the disturbance schedule — and, when governance is enabled,
+    /// the thermal governor's endogenous derate — at instant `t`. Returns
+    /// whether a non-identity derate is active.
+    ///
+    /// With no governor and an empty schedule this is a no-op that never
+    /// touches the GPU (the PR 3 bit-exactness guarantee). With a governor,
+    /// scripted and endogenous derates compose via the per-axis min
+    /// ([`Derate::combine`]); a never-tripped governor contributes the
+    /// exact [`Derate::IDENTITY`], so the scripted bits pass through
+    /// unchanged.
     pub(crate) fn apply_faults_at(&mut self, t: f64) -> bool {
-        if self.faults.is_empty() {
-            return false;
+        let Some(governor) = self.governor.as_mut() else {
+            if self.faults.is_empty() {
+                return false;
+            }
+            let derate = self.faults.derate_at(t, self.gpu.mode());
+            self.gpu.set_derate(derate);
+            return !derate.is_identity();
+        };
+        governor.advance_to(t);
+        let mut derate = governor.derate();
+        if !self.faults.is_empty() {
+            derate = derate.combine(&self.faults.derate_at(t, self.gpu.mode()));
         }
-        let derate = self.faults.derate_at(t, self.gpu.mode());
         self.gpu.set_derate(derate);
         !derate.is_identity()
+    }
+
+    /// Feeds a simulated busy segment's energy into the governance loop
+    /// (no-op when governance is disabled). The serving stepper calls this
+    /// after every admit/readmit/decode step, so DVFS throttling and
+    /// battery brown-outs emerge from the load actually served.
+    pub(crate) fn feed_governance(&mut self, energy_j: f64, from_s: f64, to_s: f64) {
+        if let Some(governor) = self.governor.as_mut() {
+            governor.feed(energy_j, from_s, to_s);
+        }
+    }
+
+    /// Absolute end of an active battery brown-out window, if any. The
+    /// fleet router treats this like a crash window.
+    pub fn governance_down_until(&self) -> Option<f64> {
+        self.governor.as_ref().and_then(|g| g.down_until())
+    }
+
+    /// Takes the most recent brown-out window `(start_s, end_s)` exactly
+    /// once; the fleet router uses it to open an availability outage.
+    pub(crate) fn governance_take_outage(&mut self) -> Option<(f64, f64)> {
+        self.governor.as_mut().and_then(|g| g.take_pending_outage())
+    }
+
+    /// Governance counters so far (`None` when governance is disabled).
+    pub fn governance_stats(&self) -> Option<GovernanceStats> {
+        self.governor.as_ref().map(|g| g.stats())
+    }
+
+    /// The live governor — die temperature, ladder level, battery charge —
+    /// when governance is enabled.
+    pub fn governor(&self) -> Option<&ThermalGovernor> {
+        self.governor.as_ref()
+    }
+
+    /// Rejects a malformed [`GovernanceConfig`] before a serving loop
+    /// starts; cheap enough to call per run.
+    pub(crate) fn validate_governance(&self) -> Result<(), EngineError> {
+        if let Some(g) = &self.config.governance {
+            g.validate()
+                .map_err(|e| EngineError::InvalidRequest(format!("governance: {e}")))?;
+        }
+        Ok(())
     }
 
     /// Returns the engine configuration.
@@ -394,6 +470,7 @@ impl InferenceEngine {
         req: &GenerationRequest,
     ) -> Result<InferenceOutcome, EngineError> {
         req.validate().map_err(EngineError::InvalidRequest)?;
+        self.validate_governance()?;
         match self.config.oom_policy {
             OomPolicy::FailFast => self.run_fail_fast(model, prec, req),
             OomPolicy::PreemptRecompute => self.run_preempt_recompute(model, prec, req),
@@ -1193,6 +1270,32 @@ mod tests {
             .run(ModelId::Dsr1Llama8b, Precision::Fp16, &req)
             .expect("fits");
         assert_eq!(a, b, "no-op schedule must not perturb a single bit");
+    }
+
+    #[test]
+    fn quiet_engine_skips_the_derate_path_entirely() {
+        // The original fault-injection guarantee, re-pinned after the
+        // governance min-combine path landed: with an empty schedule and
+        // governance off, `apply_faults_at` must take the early return —
+        // never computing a derate, never touching the GPU — so quiet runs
+        // cannot drift from the pre-governance engine by even one bit.
+        let mut quiet = InferenceEngine::new(EngineConfig::vllm(), 9);
+        quiet.set_fault_schedule(FaultSchedule::none());
+        for t in [0.0, 1.0, 1e3, 1e9] {
+            assert!(
+                !quiet.apply_faults_at(t),
+                "quiet engine must report no throttle at t = {t}"
+            );
+        }
+        let req = GenerationRequest::new(384, 256).with_batch(2);
+        let a = quiet
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        let mut plain = InferenceEngine::new(EngineConfig::vllm(), 9);
+        let b = plain
+            .run(ModelId::Dsr1Qwen1_5b, Precision::Fp16, &req)
+            .expect("fits");
+        assert_eq!(a, b, "the early-return path must stay bit-exact");
     }
 
     #[test]

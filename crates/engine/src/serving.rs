@@ -1356,4 +1356,95 @@ mod tests {
         assert!(r.shed_queries > 0, "overload must shed: {r:?}");
         assert_eq!(r.completed + r.shed_queries, 40);
     }
+
+    #[test]
+    fn inert_governance_is_bit_identical_to_none() {
+        // A trip point no simulated workload can reach keeps the governor
+        // at ladder level 0, whose derate is the exact `Derate::IDENTITY`
+        // constant — so enabling governance must not move a single bit of
+        // the serving schedule.
+        use edgereasoning_soc::thermal::GovernanceConfig;
+        let load = cfg(2.0, 8);
+        let mut base = engine();
+        let want = simulate_serving_continuous(
+            &mut base,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &load,
+            3,
+        )
+        .expect("runs");
+        let inert = GovernanceConfig::default().with_trip(10_000.0, 9_000.0);
+        let mut gov = InferenceEngine::new(EngineConfig::vllm().with_governance(inert), 3);
+        let got =
+            simulate_serving_continuous(&mut gov, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 3)
+                .expect("runs");
+        assert_eq!(want, got, "inert governor must be a bit-exact no-op");
+        let stats = gov.governance_stats().expect("governance enabled");
+        assert_eq!(stats.throttle_steps, 0);
+        assert_eq!(stats.time_above_trip_s, 0.0);
+        assert!(stats.energy_drawn_j > 0.0, "energy must still be metered");
+    }
+
+    #[test]
+    fn sustained_soak_trips_governor_and_lengthens_decode() {
+        // A fast thermal mass (tau ~12 s) and a low trip point make a
+        // sustained-load soak cross the trip temperature mid-run: the
+        // governor must log time above trip, take throttle steps, and the
+        // resulting frequency derate must lengthen decode (higher average
+        // latency than the ungoverned run of the same workload).
+        use edgereasoning_soc::thermal::{GovernanceConfig, ThermalConfig};
+        let load = cfg(3.0, 8);
+        let mut base = engine();
+        let cool = simulate_serving_continuous(
+            &mut base,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &load,
+            3,
+        )
+        .expect("runs");
+        let hot = GovernanceConfig {
+            thermal: ThermalConfig {
+                c_j_per_c: 8.6, // tau = 12 s: trips within the soak
+                ..ThermalConfig::default()
+            },
+            ..GovernanceConfig::default()
+        }
+        .with_trip(45.0, 40.0);
+        let mut gov = InferenceEngine::new(EngineConfig::vllm().with_governance(hot), 3);
+        let throttled =
+            simulate_serving_continuous(&mut gov, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &load, 3)
+                .expect("runs");
+        let stats = gov.governance_stats().expect("governance enabled");
+        assert!(
+            stats.time_above_trip_s > 0.0,
+            "soak must cross the trip point: {stats:?}"
+        );
+        assert!(stats.throttle_steps > 0, "trip must force down-steps");
+        assert!(stats.peak_temp_c > 45.0);
+        assert!(
+            throttled.avg_latency_s > cool.avg_latency_s,
+            "thermal derate must lengthen decode: {} vs {}",
+            throttled.avg_latency_s,
+            cool.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn governance_config_is_validated_at_the_entry_points() {
+        use edgereasoning_soc::thermal::GovernanceConfig;
+        // release above trip: inverted hysteresis band.
+        let bad = GovernanceConfig::default().with_trip(50.0, 60.0);
+        let mut e = InferenceEngine::new(EngineConfig::vllm().with_governance(bad), 3);
+        let err = simulate_serving_continuous(
+            &mut e,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg(1.0, 4),
+            3,
+        )
+        .expect_err("inverted hysteresis must be rejected");
+        assert!(matches!(err, EngineError::InvalidRequest(_)), "{err:?}");
+    }
 }

@@ -196,6 +196,7 @@ impl BatchStepper {
         prec: Precision,
     ) -> Result<Self, EngineError> {
         let arch = model.arch();
+        engine.validate_governance()?;
         let cache_bytes = engine.kv_budget_bytes(model, prec)?;
         let kv = KvCacheManager::new(&arch, cache_bytes, engine.config().kv_block_tokens)?;
         let arch_fp = arch.fingerprint();
@@ -574,6 +575,7 @@ impl BatchStepper {
             slot.prefilled = true;
             busy = prefill.latency_s;
             self.clock += busy;
+            engine.feed_governance(prefill.energy_j, t, self.clock);
             self.cohorts.push(Cohort {
                 slot: slot_idx,
                 prompt_tokens: req.prompt_tokens,
@@ -676,11 +678,13 @@ impl BatchStepper {
                 continue; // other slots hold the cache; retry next step
             }
 
-            let throttled = engine.apply_faults_at(self.clock);
+            let t = self.clock;
+            let throttled = engine.apply_faults_at(t);
             let gpu_fp = engine.gpu_fingerprint();
             let arch = &self.arch;
             let prec = self.prec;
             let busy;
+            let energy_j;
             if !prefilled && produced0 == 0 {
                 // The slot's very first placement: a true prompt prefill
                 // (cache hits skip their share, as at admission).
@@ -700,6 +704,7 @@ impl BatchStepper {
                     s.prefilled = true;
                 }
                 busy = prefill.latency_s;
+                energy_j = prefill.energy_j;
             } else {
                 // Context recomputation: a batch-1 prefill-shaped pass over
                 // the lost *private* context, once per recovered sequence —
@@ -727,8 +732,10 @@ impl BatchStepper {
                     }
                 }
                 busy = recompute.latency_s;
+                energy_j = recompute.energy_j;
             }
             self.clock += busy;
+            engine.feed_governance(energy_j, t, self.clock);
             if busy > 0.0 {
                 self.charge_wait(busy, slot_idx);
             }
@@ -980,7 +987,15 @@ impl BatchStepper {
         }
         self.share_scratch = slot_share;
         self.ctx_scratch = ctx_dets;
+        let t_step = self.clock;
         self.clock += busy;
+        // The device's actual draw this iteration: the fused decode step
+        // repeated over the chunk, plus stall time idling at the floor.
+        engine.feed_governance(
+            step.energy_j * chunk as f64 + stall_s * idle_w,
+            t_step,
+            self.clock,
+        );
         for c in &mut self.cohorts {
             c.produced += chunk;
         }

@@ -37,6 +37,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must not panic on recoverable states; tests keep their
+// expect/unwrap for brevity.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arch;
 pub mod dtype;

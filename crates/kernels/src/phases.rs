@@ -208,8 +208,9 @@ pub fn build_prefill_into(
             )
             .with_occupancy(occupancy),
         );
-        let attn = out.last_mut().expect("just pushed");
-        attn.flops = 4.0 * batch as f64 * (seq as f64).powi(2) * da as f64;
+        if let Some(attn) = out.last_mut() {
+            attn.flops = 4.0 * batch as f64 * (seq as f64).powi(2) * da as f64;
+        }
         // Output projection.
         push_linear(out, KernelClass::Gemm, prec, m, d, da);
         out.push(rms_norm(m, d));
@@ -371,8 +372,9 @@ pub fn build_decode_attn_into(
                 m as f64 * da as f64 * ACT,
             ),
         );
-        let attn = out.last_mut().expect("just pushed");
-        attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
+        if let Some(attn) = out.last_mut() {
+            attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
+        }
     }
 }
 

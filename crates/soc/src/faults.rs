@@ -18,6 +18,22 @@
 //! inject idle-power gaps. An empty schedule produces the identity derate,
 //! which is an exact no-op on the roofline arithmetic — so fault-free runs
 //! are bit-identical to a build without this module.
+//!
+//! # Composing with endogenous governance
+//!
+//! Scripted disturbances are *exogenous* weather. The closed-loop
+//! [`ThermalGovernor`](crate::thermal::ThermalGovernor) produces
+//! *endogenous* throttling from the workload's own power draw; when both
+//! are active the engine combines them with
+//! [`Derate::combine`](crate::gpu::Derate::combine) — the same
+//! per-axis worst-wins minimum this module uses for overlapping windows.
+//! Because every fault derate component is at most its identity value
+//! (`freq`/`bw` ≤ 1, `cap_w` ≤ +∞), combining with a level-0 governor's
+//! exact [`Derate::IDENTITY`] reproduces the scripted derate bit for bit:
+//! adding an inert governor never perturbs a faulted run, and an empty
+//! schedule plus governance-off never touches the GPU at all (the engine
+//! early-returns before computing any derate, preserving this module's
+//! original bit-exactness guarantee verbatim).
 
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +75,11 @@ pub enum FaultKind {
 }
 
 /// One disturbance window on the simulated wall clock.
+///
+/// Windows are scripted ahead of time (exogenous weather), unlike the
+/// temperature- and charge-driven windows the
+/// [`ThermalGovernor`](crate::thermal::ThermalGovernor) emits at run time;
+/// the two compose by per-axis minimum (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Disturbance {
     /// Window start, seconds on the simulation clock.

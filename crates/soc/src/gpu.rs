@@ -191,6 +191,19 @@ impl Derate {
     pub fn is_identity(&self) -> bool {
         *self == Self::IDENTITY
     }
+
+    /// Composes two derates by the per-axis min — the same worst-wins rule
+    /// `FaultSchedule::derate_at` applies across overlapping windows, so
+    /// scripted fault weather and endogenous governor throttling stack.
+    /// Combining with [`Derate::IDENTITY`] is IEEE-bit-exact: `freq`/`bw`
+    /// never exceed 1.0 and `cap_w` never exceeds `+inf`.
+    pub fn combine(&self, other: &Derate) -> Derate {
+        Derate {
+            freq: self.freq.min(other.freq),
+            bw: self.bw.min(other.bw),
+            cap_w: self.cap_w.min(other.cap_w),
+        }
+    }
 }
 
 impl Default for Derate {

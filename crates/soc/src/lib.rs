@@ -22,6 +22,10 @@
 //!   throttling, DRAM-bandwidth contention, power-mode drops, kernel
 //!   stalls) applied to the GPU as a [`gpu::Derate`]; the empty schedule is
 //!   bit-identical to a fault-free build.
+//! * [`thermal`] — *endogenous* throttling: a thermal RC model, a
+//!   battery/energy budget with solar recharge, and a
+//!   [`thermal::ThermalGovernor`] that converts sustained power draw into
+//!   DVFS down-steps and brown-out windows the serving stack must survive.
 //! * [`cpu::Cpu`] — the 12-core Arm Cortex-A78AE, used for the paper's
 //!   Appendix C CPU-vs-GPU comparison.
 //! * [`rng`] / [`stats`] — from-scratch deterministic xoshiro256++ RNG with
@@ -61,13 +65,18 @@ pub mod rng;
 pub mod runtime;
 pub mod spec;
 pub mod stats;
+pub mod thermal;
 
 pub use cpu::Cpu;
 pub use faults::{Disturbance, FaultKind, FaultSchedule};
 pub use gpu::{Derate, Gpu, KernelExec, PhaseStats};
 pub use kernel::{ComputeKind, KernelClass, KernelDesc};
-pub use power::{EnergyMeter, PowerGovernor, PowerModel};
+pub use power::{EnergyMeter, PowerError, PowerGovernor, PowerModel};
 pub use rng::Rng;
 pub use runtime::{available_threads, item_seed, par_map_deterministic, splitmix64};
 pub use spec::{CpuSpec, GpuSpec, OrinSpec, PowerMode};
 pub use stats::sketch::DdSketch;
+pub use thermal::{
+    BatteryConfig, GovernanceConfig, GovernanceError, GovernanceStats, RechargeProfile,
+    ThermalConfig, ThermalGovernor,
+};

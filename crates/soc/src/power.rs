@@ -42,7 +42,66 @@ impl Default for PowerModel {
     }
 }
 
+/// Errors produced when constructing power components from bad inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A governor was given no power states at all.
+    EmptyStates,
+    /// A value that must be finite was NaN or infinite.
+    NonFinite {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value that must be non-negative was negative.
+    Negative {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerError::EmptyStates => write!(f, "governor needs at least one power state"),
+            PowerError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            PowerError::Negative { what, value } => {
+                write!(f, "{what} must be non-negative, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+fn checked(what: &'static str, value: f64) -> Result<(), PowerError> {
+    if !value.is_finite() {
+        return Err(PowerError::NonFinite { what, value });
+    }
+    if value < 0.0 {
+        return Err(PowerError::Negative { what, value });
+    }
+    Ok(())
+}
+
 impl PowerModel {
+    /// Checks every coefficient is finite and non-negative; a NaN energy
+    /// coefficient would silently poison every downstream energy integral.
+    pub fn validate(&self) -> Result<(), PowerError> {
+        checked("idle_w", self.idle_w)?;
+        checked("energy_per_byte", self.energy_per_byte)?;
+        checked("energy_per_flop_fp16", self.energy_per_flop_fp16)?;
+        checked("energy_per_flop_int8", self.energy_per_flop_int8)?;
+        checked("energy_per_flop_fp32", self.energy_per_flop_fp32)?;
+        checked("attention_active_w", self.attention_active_w)?;
+        Ok(())
+    }
+
     /// Instantaneous power for a kernel achieving `flops_per_s` on the given
     /// functional unit while moving `bytes_per_s` of DRAM traffic.
     /// `scale` is a per-model calibration multiplier on the dynamic part;
@@ -157,14 +216,21 @@ impl Default for PowerGovernor {
 impl PowerGovernor {
     /// Creates a governor with custom states (sorted ascending internally).
     ///
-    /// # Panics
-    ///
-    /// Panics if `states_w` is empty or contains non-finite values.
-    pub fn new(mut states_w: Vec<f64>) -> Self {
-        assert!(!states_w.is_empty(), "governor needs at least one state");
-        assert!(states_w.iter().all(|p| p.is_finite()), "non-finite state");
+    /// An empty list or any non-finite state is a [`PowerError`] — a NaN
+    /// state would make [`quantize`](Self::quantize) return garbage instead
+    /// of a real operating point.
+    pub fn new(mut states_w: Vec<f64>) -> Result<Self, PowerError> {
+        if states_w.is_empty() {
+            return Err(PowerError::EmptyStates);
+        }
+        if let Some(&bad) = states_w.iter().find(|p| !p.is_finite()) {
+            return Err(PowerError::NonFinite {
+                what: "states_w",
+                value: bad,
+            });
+        }
         states_w.sort_by(|a, b| a.total_cmp(b));
-        Self { states_w }
+        Ok(Self { states_w })
     }
 
     /// The available states, ascending.
@@ -294,8 +360,65 @@ mod tests {
 
     #[test]
     fn governor_custom_states_sorted() {
-        let g = PowerGovernor::new(vec![30.0, 10.0, 20.0]);
+        let g = PowerGovernor::new(vec![30.0, 10.0, 20.0]).expect("valid states");
         assert_eq!(g.states_w(), &[10.0, 20.0, 30.0]);
         assert_eq!(g.quantize(12.0), 20.0);
+    }
+
+    #[test]
+    fn governor_rejects_empty_and_non_finite_states() {
+        assert_eq!(PowerGovernor::new(vec![]), Err(PowerError::EmptyStates));
+        assert!(matches!(
+            PowerGovernor::new(vec![10.0, f64::NAN]),
+            Err(PowerError::NonFinite {
+                what: "states_w",
+                ..
+            })
+        ));
+        assert!(matches!(
+            PowerGovernor::new(vec![f64::INFINITY]),
+            Err(PowerError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn quantize_capped_at_exact_state_edges() {
+        let g = PowerGovernor::default();
+        // A draw exactly on a state snaps to that state, capped or not.
+        assert_eq!(g.quantize(19.0), 19.0);
+        assert_eq!(g.quantize_capped(19.0, f64::INFINITY), 19.0);
+        // A cap exactly on a state admits that state...
+        assert_eq!(g.quantize_capped(19.0, 19.0), 19.0);
+        assert_eq!(g.quantize_capped(60.0, 60.0), 60.0);
+        // ...and a cap one ulp below it forces the next state down.
+        let just_below = f64::from_bits(19.0f64.to_bits() - 1);
+        assert_eq!(g.quantize_capped(19.0, just_below), 14.0);
+        // The floor state is its own edge: cap at the floor returns it.
+        assert_eq!(g.quantize_capped(4.3, 4.3), 4.3);
+        assert_eq!(g.quantize_capped(0.0, 4.3), 4.3);
+    }
+
+    #[test]
+    fn power_model_validation() {
+        assert!(PowerModel::default().validate().is_ok());
+        let nan = PowerModel {
+            energy_per_byte: f64::NAN,
+            ..PowerModel::default()
+        };
+        assert!(matches!(
+            nan.validate(),
+            Err(PowerError::NonFinite {
+                what: "energy_per_byte",
+                ..
+            })
+        ));
+        let neg = PowerModel {
+            idle_w: -1.0,
+            ..PowerModel::default()
+        };
+        assert!(matches!(
+            neg.validate(),
+            Err(PowerError::Negative { what: "idle_w", .. })
+        ));
     }
 }

@@ -1,0 +1,879 @@
+//! Closed-loop thermal and energy-budget governance.
+//!
+//! Everything in [`faults`](crate::faults) is *exogenous*: a scripted
+//! schedule of derate windows the simulation replays. Real Jetson-class
+//! devices also throttle *endogenously* — sustained decode heats the die,
+//! the DVFS governor steps the clocks down, decode slows, the die cools.
+//! This module supplies the physics and the governor for that loop:
+//!
+//! * [`ThermalConfig`] — a first-order thermal RC model. Die temperature
+//!   relaxes toward `ambient + R·P` with time constant `τ = R·C`, using the
+//!   *exact* exponential solution per integration segment
+//!   (`T' = T_ss + (T − T_ss)·e^{−dt/τ}`), so results depend only on the
+//!   sequence of `(power, duration)` segments fed in — never on step size,
+//!   seed, or thread count.
+//! * [`BatteryConfig`] — a finite energy budget with an optional recharge
+//!   source ([`RechargeProfile`]: constant trickle or a rectified-sine
+//!   solar profile with closed-form harvest integrals). Falling to the
+//!   brown-out threshold forces the device into a Down/recovering state
+//!   until charge returns to the resume threshold.
+//! * [`ThermalGovernor`] — closes the loop. The serving engine feeds each
+//!   simulated busy segment's energy in and reads back a [`Derate`];
+//!   temperature crossing the trip point forces one DVFS down-step per
+//!   segment (the ladder mirrors the Orin power modes), and temperature
+//!   falling below the release point steps back up. The trip/release gap
+//!   is the hysteresis band that prevents limit-cycling.
+//!
+//! Bit-exactness contract: a governor that never trips returns the exact
+//! [`Derate::IDENTITY`] constant, so a governance-enabled run under light
+//! load is IEEE-bit-identical to a governance-off run — pinned by unit
+//! tests here and by serving-level proptests in `tests/properties.rs`.
+
+use std::f64::consts::PI;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::Derate;
+
+/// First-order thermal RC model of the die + heat-sink assembly.
+///
+/// Physical reading: `r_c_per_w` is the junction-to-ambient thermal
+/// resistance (how many °C the die sits above ambient per sustained watt),
+/// `c_j_per_c` the lumped heat capacity (joules to raise the assembly one
+/// °C). Their product is the thermal time constant `τ` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Junction-to-ambient thermal resistance, °C per watt.
+    pub r_c_per_w: f64,
+    /// Lumped thermal capacitance, joules per °C.
+    pub c_j_per_c: f64,
+    /// Ambient temperature at `t = 0`, °C.
+    pub ambient_c: f64,
+    /// Linear ambient drift, °C per second (a "heat wave" ramp). The
+    /// ambient is evaluated at each segment's start and held constant
+    /// across the segment, keeping the per-segment solution exact.
+    pub ambient_ramp_c_per_s: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        // τ ≈ 120 s; 50 W sustained settles ~70 °C above ambient — the
+        // passive AGX Orin heat-sink regime.
+        Self {
+            r_c_per_w: 1.4,
+            c_j_per_c: 86.0,
+            ambient_c: 25.0,
+            ambient_ramp_c_per_s: 0.0,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// Thermal time constant `τ = R·C`, seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.r_c_per_w * self.c_j_per_c
+    }
+
+    /// Ambient temperature at absolute time `t`, °C.
+    pub fn ambient_at(&self, t_s: f64) -> f64 {
+        self.ambient_c + self.ambient_ramp_c_per_s * t_s
+    }
+}
+
+/// Energy source recharging a [`BatteryConfig`] while the device runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RechargeProfile {
+    /// No recharge: the battery only drains.
+    None,
+    /// Constant trickle charge (wall adapter, fuel cell).
+    Constant {
+        /// Charge power, watts.
+        watts: f64,
+    },
+    /// Rectified-sine solar harvest: `max(0, peak·sin(2πt/period))` —
+    /// daylight for the first half of each period, darkness for the rest.
+    Solar {
+        /// Peak harvest power at "noon", watts.
+        peak_w: f64,
+        /// Full day/night period, seconds.
+        period_s: f64,
+    },
+}
+
+/// `∫₀ᵗ max(0, sin(2πx/P)) dx` — closed-form harvest integral of the unit
+/// rectified sine with period `P`.
+fn solar_unit_integral(t_s: f64, period_s: f64) -> f64 {
+    let omega = 2.0 * PI / period_s;
+    let per_period = period_s / PI; // ∫ over one full period
+    let n = (t_s / period_s).floor();
+    let x = t_s - n * period_s;
+    let partial = if x <= 0.5 * period_s {
+        (1.0 - (omega * x).cos()) / omega
+    } else {
+        per_period
+    };
+    n * per_period + partial
+}
+
+impl RechargeProfile {
+    /// Energy harvested over the absolute interval `[from_s, to_s]`, joules.
+    pub fn energy_j(&self, from_s: f64, to_s: f64) -> f64 {
+        match *self {
+            RechargeProfile::None => 0.0,
+            RechargeProfile::Constant { watts } => watts * (to_s - from_s),
+            RechargeProfile::Solar { peak_w, period_s } => {
+                peak_w
+                    * (solar_unit_integral(to_s, period_s) - solar_unit_integral(from_s, period_s))
+            }
+        }
+    }
+
+    /// Earliest absolute time `t ≥ now_s` at which `need_j` joules have been
+    /// harvested since `now_s`; `+inf` when the source can never supply it.
+    pub fn time_to_recharge(&self, now_s: f64, need_j: f64) -> f64 {
+        if need_j <= 0.0 {
+            return now_s;
+        }
+        match *self {
+            RechargeProfile::None => f64::INFINITY,
+            RechargeProfile::Constant { watts } => {
+                if watts > 0.0 {
+                    now_s + need_j / watts
+                } else {
+                    f64::INFINITY
+                }
+            }
+            RechargeProfile::Solar { peak_w, period_s } => {
+                if peak_w <= 0.0 {
+                    return f64::INFINITY;
+                }
+                // Invert the harvest integral G: find t with
+                // G(t) − G(now) = need/peak. Split the target into full
+                // periods plus a partial ascending-arc remainder.
+                let omega = 2.0 * PI / period_s;
+                let per_period = period_s / PI;
+                let target = solar_unit_integral(now_s, period_s) + need_j / peak_w;
+                let n = (target / per_period).floor();
+                let rem = target - n * per_period;
+                let c = (1.0 - omega * rem).clamp(-1.0, 1.0);
+                let t = n * period_s + c.acos() / omega;
+                t.max(now_s)
+            }
+        }
+    }
+}
+
+/// A finite on-device energy budget with brown-out semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryConfig {
+    /// Usable battery capacity, joules.
+    pub capacity_j: f64,
+    /// Initial state of charge as a fraction of capacity, `[0, 1]`.
+    pub initial_frac: f64,
+    /// Charge fraction at or below which the device browns out.
+    pub brownout_frac: f64,
+    /// Charge fraction the battery must recover to before the device
+    /// rejoins; must exceed `brownout_frac` (charge hysteresis).
+    pub resume_frac: f64,
+    /// Recharge source active at all times (including while down).
+    pub recharge: RechargeProfile,
+}
+
+impl Default for BatteryConfig {
+    fn default() -> Self {
+        // ~25 Wh drone-class pack, full at start, 5 %/25 % thresholds.
+        Self {
+            capacity_j: 90_000.0,
+            initial_frac: 1.0,
+            brownout_frac: 0.05,
+            resume_frac: 0.25,
+            recharge: RechargeProfile::None,
+        }
+    }
+}
+
+/// Configuration for the closed governance loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernanceConfig {
+    /// The thermal RC plant.
+    pub thermal: ThermalConfig,
+    /// Die temperature forcing a DVFS down-step, °C.
+    pub trip_c: f64,
+    /// Die temperature allowing an up-step back, °C; must be below
+    /// `trip_c` (the hysteresis band).
+    pub release_c: f64,
+    /// Optional finite energy budget; `None` models wall power.
+    pub battery: Option<BatteryConfig>,
+}
+
+impl Default for GovernanceConfig {
+    fn default() -> Self {
+        Self {
+            thermal: ThermalConfig::default(),
+            trip_c: 70.0,
+            release_c: 60.0,
+            battery: None,
+        }
+    }
+}
+
+/// Errors produced by [`GovernanceConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GovernanceError {
+    /// A parameter that must be finite and strictly positive was not.
+    NonPositive {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter that must be finite was NaN or infinite.
+    NonFinite {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fraction parameter fell outside `[0, 1]`.
+    OutOfRange {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `release_c` did not sit strictly below `trip_c`.
+    Hysteresis {
+        /// Configured trip point, °C.
+        trip_c: f64,
+        /// Configured release point, °C.
+        release_c: f64,
+    },
+    /// `resume_frac` did not sit strictly above `brownout_frac`.
+    BatteryThresholds {
+        /// Configured brown-out fraction.
+        brownout_frac: f64,
+        /// Configured resume fraction.
+        resume_frac: f64,
+    },
+}
+
+impl std::fmt::Display for GovernanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GovernanceError::NonPositive { what, value } => {
+                write!(f, "{what} must be finite and > 0, got {value}")
+            }
+            GovernanceError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            GovernanceError::OutOfRange { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            GovernanceError::Hysteresis { trip_c, release_c } => write!(
+                f,
+                "release_c ({release_c}) must be strictly below trip_c ({trip_c})"
+            ),
+            GovernanceError::BatteryThresholds {
+                brownout_frac,
+                resume_frac,
+            } => write!(
+                f,
+                "resume_frac ({resume_frac}) must be strictly above brownout_frac ({brownout_frac})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GovernanceError {}
+
+fn positive(what: &'static str, value: f64) -> Result<(), GovernanceError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(GovernanceError::NonPositive { what, value })
+    }
+}
+
+fn finite(what: &'static str, value: f64) -> Result<(), GovernanceError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(GovernanceError::NonFinite { what, value })
+    }
+}
+
+fn fraction(what: &'static str, value: f64) -> Result<(), GovernanceError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(GovernanceError::OutOfRange { what, value })
+    }
+}
+
+impl GovernanceConfig {
+    /// Builder: attach a battery/energy budget.
+    pub fn with_battery(mut self, battery: BatteryConfig) -> Self {
+        self.battery = Some(battery);
+        self
+    }
+
+    /// Builder: set the trip/release hysteresis band.
+    pub fn with_trip(mut self, trip_c: f64, release_c: f64) -> Self {
+        self.trip_c = trip_c;
+        self.release_c = release_c;
+        self
+    }
+
+    /// Checks every parameter before the loop runs; the serving engine
+    /// calls this and refuses to start on a malformed configuration.
+    pub fn validate(&self) -> Result<(), GovernanceError> {
+        positive("thermal.r_c_per_w", self.thermal.r_c_per_w)?;
+        positive("thermal.c_j_per_c", self.thermal.c_j_per_c)?;
+        finite("thermal.ambient_c", self.thermal.ambient_c)?;
+        finite(
+            "thermal.ambient_ramp_c_per_s",
+            self.thermal.ambient_ramp_c_per_s,
+        )?;
+        finite("trip_c", self.trip_c)?;
+        finite("release_c", self.release_c)?;
+        if self.release_c >= self.trip_c {
+            return Err(GovernanceError::Hysteresis {
+                trip_c: self.trip_c,
+                release_c: self.release_c,
+            });
+        }
+        if let Some(batt) = &self.battery {
+            positive("battery.capacity_j", batt.capacity_j)?;
+            fraction("battery.initial_frac", batt.initial_frac)?;
+            fraction("battery.brownout_frac", batt.brownout_frac)?;
+            fraction("battery.resume_frac", batt.resume_frac)?;
+            if batt.resume_frac <= batt.brownout_frac {
+                return Err(GovernanceError::BatteryThresholds {
+                    brownout_frac: batt.brownout_frac,
+                    resume_frac: batt.resume_frac,
+                });
+            }
+            match batt.recharge {
+                RechargeProfile::None => {}
+                RechargeProfile::Constant { watts } => {
+                    finite("battery.recharge.watts", watts)?;
+                    if watts < 0.0 {
+                        return Err(GovernanceError::NonPositive {
+                            what: "battery.recharge.watts",
+                            value: watts,
+                        });
+                    }
+                }
+                RechargeProfile::Solar { peak_w, period_s } => {
+                    finite("battery.recharge.peak_w", peak_w)?;
+                    if peak_w < 0.0 {
+                        return Err(GovernanceError::NonPositive {
+                            what: "battery.recharge.peak_w",
+                            value: peak_w,
+                        });
+                    }
+                    positive("battery.recharge.period_s", period_s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters accumulated by a [`ThermalGovernor`] over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GovernanceStats {
+    /// Simulated seconds the die spent above the trip point.
+    pub time_above_trip_s: f64,
+    /// Hottest die temperature reached, °C.
+    pub peak_temp_c: f64,
+    /// DVFS down-steps the governor forced.
+    pub throttle_steps: u64,
+    /// Battery brown-outs (device forced Down until recharge).
+    pub brownouts: u64,
+    /// Total energy drawn from the supply, joules.
+    pub energy_drawn_j: f64,
+}
+
+impl GovernanceStats {
+    /// Folds another governor's counters into this one (fleet aggregation).
+    pub fn absorb(&mut self, other: &GovernanceStats) {
+        self.time_above_trip_s += other.time_above_trip_s;
+        self.peak_temp_c = self.peak_temp_c.max(other.peak_temp_c);
+        self.throttle_steps += other.throttle_steps;
+        self.brownouts += other.brownouts;
+        self.energy_drawn_j += other.energy_drawn_j;
+    }
+}
+
+/// DVFS down-step ladder: `(relative clock scale, absolute power cap)` per
+/// throttle level. Level 0 is the exact identity; deeper levels mirror the
+/// Orin W50/W30/W15 operating points relative to the configured mode.
+const LADDER: [(f64, f64); 4] = [
+    (1.0, f64::INFINITY),
+    (0.84, 50.0),
+    (0.61, 30.0),
+    (0.32, 15.0),
+];
+
+/// The closed-loop governor: integrates fed energy into die temperature and
+/// battery charge, and exposes the resulting DVFS derate / down state.
+///
+/// The engine drives it with two calls per scheduling decision:
+/// [`advance_to`](Self::advance_to) (idle gap up to "now", then read
+/// [`derate`](Self::derate)) and [`feed`](Self::feed) (the energy of the
+/// busy segment just simulated). All arithmetic is plain `f64` driven
+/// solely by that call sequence, so any deterministic serving loop stays
+/// deterministic — and thread-count-invariant — with governance on.
+#[derive(Debug, Clone)]
+pub struct ThermalGovernor {
+    cfg: GovernanceConfig,
+    idle_w: f64,
+    temp_c: f64,
+    level: usize,
+    charge_j: f64,
+    down_until: Option<f64>,
+    pending_outage: Option<(f64, f64)>,
+    clock_s: f64,
+    stats: GovernanceStats,
+}
+
+/// Seconds of `[0, dt]` during which the exact-exponential trajectory from
+/// `t0` toward `steady` (time constant `tau`) sits strictly above `trip`.
+fn time_above(t0: f64, t1: f64, steady: f64, tau: f64, dt: f64, trip: f64) -> f64 {
+    let above0 = t0 > trip;
+    let above1 = t1 > trip;
+    if above0 && above1 {
+        return dt;
+    }
+    if !above0 && !above1 {
+        return 0.0;
+    }
+    // Exactly one crossing: solve steady + (t0 − steady)·e^{−x/τ} = trip.
+    let ratio = (trip - steady) / (t0 - steady);
+    if !(ratio > 0.0 && ratio < 1.0) {
+        return if above1 { dt } else { 0.0 };
+    }
+    let x = (-tau * ratio.ln()).clamp(0.0, dt);
+    if above1 {
+        dt - x
+    } else {
+        x
+    }
+}
+
+impl ThermalGovernor {
+    /// Creates a governor at `t = 0`: die at ambient, full configured
+    /// charge, no throttle. `idle_w` is the device's idle draw, integrated
+    /// across the gaps between fed busy segments.
+    pub fn new(cfg: GovernanceConfig, idle_w: f64) -> Self {
+        let charge_j = cfg
+            .battery
+            .as_ref()
+            .map_or(0.0, |b| b.capacity_j * b.initial_frac);
+        let temp_c = cfg.thermal.ambient_c;
+        Self {
+            idle_w,
+            temp_c,
+            level: 0,
+            charge_j,
+            down_until: None,
+            pending_outage: None,
+            clock_s: 0.0,
+            stats: GovernanceStats {
+                peak_temp_c: temp_c,
+                ..GovernanceStats::default()
+            },
+            cfg,
+        }
+    }
+
+    /// Integrates idle time up to absolute time `t` (no-op when `t` is not
+    /// ahead of the governor clock). During a brown-out window the device
+    /// draws nothing and only the recharge source runs.
+    pub fn advance_to(&mut self, t: f64) {
+        if t <= self.clock_s {
+            return;
+        }
+        if let Some(until) = self.down_until {
+            if self.clock_s < until {
+                let seg = t.min(until);
+                self.integrate_segment(0.0, seg);
+                if t < until {
+                    return;
+                }
+                self.down_until = None;
+            }
+        }
+        if self.clock_s < t {
+            let to = t;
+            self.integrate_segment(self.idle_w, to);
+        }
+    }
+
+    /// Feeds the energy of a busy segment spanning `[from_s, to_s]`. Any
+    /// gap between the governor clock and `from_s` is integrated as idle
+    /// first; the segment itself runs at `energy_j / (to_s − from_s)` watts.
+    pub fn feed(&mut self, energy_j: f64, from_s: f64, to_s: f64) {
+        self.advance_to(from_s);
+        let dt = to_s - self.clock_s;
+        if dt > 0.0 {
+            self.integrate_segment(energy_j / dt, to_s);
+        } else if energy_j > 0.0 {
+            // Zero-width burst: drains charge, leaves the die unchanged.
+            self.drain(energy_j, self.clock_s, self.clock_s);
+            self.check_brownout();
+        }
+    }
+
+    /// One exact RC step at constant `power_w` from the governor clock to
+    /// `to`, plus battery accounting and one hysteresis ladder step.
+    fn integrate_segment(&mut self, power_w: f64, to: f64) {
+        let from = self.clock_s;
+        let dt = to - from;
+        if dt <= 0.0 {
+            return;
+        }
+        let tau = self.cfg.thermal.tau_s();
+        let ambient = self.cfg.thermal.ambient_at(from);
+        let steady = ambient + self.cfg.thermal.r_c_per_w * power_w;
+        let t0 = self.temp_c;
+        let t1 = steady + (t0 - steady) * (-dt / tau).exp();
+        self.stats.time_above_trip_s += time_above(t0, t1, steady, tau, dt, self.cfg.trip_c);
+        self.temp_c = t1;
+        if t1 > self.stats.peak_temp_c {
+            self.stats.peak_temp_c = t1;
+        }
+        // Hysteresis: at most one ladder step per segment, so the ladder
+        // cannot limit-cycle within the trip/release band.
+        if t1 >= self.cfg.trip_c && self.level + 1 < LADDER.len() {
+            self.level += 1;
+            self.stats.throttle_steps += 1;
+        } else if t1 <= self.cfg.release_c && self.level > 0 {
+            self.level -= 1;
+        }
+        self.drain(power_w * dt, from, to);
+        self.clock_s = to;
+        self.check_brownout();
+    }
+
+    /// Books `energy_j` of draw over `[from, to]` against the battery (and
+    /// its recharge source), clamped to `[0, capacity]`.
+    fn drain(&mut self, energy_j: f64, from: f64, to: f64) {
+        self.stats.energy_drawn_j += energy_j;
+        if let Some(batt) = &self.cfg.battery {
+            let gained = batt.recharge.energy_j(from, to);
+            self.charge_j = (self.charge_j - energy_j + gained).clamp(0.0, batt.capacity_j);
+        }
+    }
+
+    /// Triggers a brown-out window when charge is at or below the
+    /// threshold: the device goes Down until the recharge source restores
+    /// the resume fraction (possibly never), and the throttle ladder
+    /// resets — the device reboots cold.
+    fn check_brownout(&mut self) {
+        if self.down_until.is_some() {
+            return;
+        }
+        let Some(batt) = &self.cfg.battery else {
+            return;
+        };
+        if self.charge_j > batt.brownout_frac * batt.capacity_j {
+            return;
+        }
+        let need = batt.resume_frac * batt.capacity_j - self.charge_j;
+        let until = batt.recharge.time_to_recharge(self.clock_s, need);
+        self.stats.brownouts += 1;
+        self.level = 0;
+        self.down_until = Some(until);
+        self.pending_outage = Some((self.clock_s, until));
+    }
+
+    /// The derate the engine must apply right now. Level 0 returns the
+    /// exact [`Derate::IDENTITY`] constant — the bit-exactness anchor.
+    pub fn derate(&self) -> Derate {
+        if self.level == 0 {
+            return Derate::IDENTITY;
+        }
+        let (freq, cap_w) = LADDER[self.level];
+        Derate {
+            freq,
+            bw: 1.0,
+            cap_w,
+        }
+    }
+
+    /// Absolute end of the active brown-out window, if one is active.
+    pub fn down_until(&self) -> Option<f64> {
+        self.down_until.filter(|&until| self.clock_s < until)
+    }
+
+    /// Takes the most recent brown-out window `(start_s, end_s)` exactly
+    /// once; the fleet router uses this to open an outage.
+    pub fn take_pending_outage(&mut self) -> Option<(f64, f64)> {
+        self.pending_outage.take()
+    }
+
+    /// Current die temperature, °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Current throttle ladder level (0 = no throttle).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Battery state of charge as a fraction of capacity (1.0 without a
+    /// battery — wall power never depletes).
+    pub fn charge_frac(&self) -> f64 {
+        match &self.cfg.battery {
+            Some(batt) => self.charge_j / batt.capacity_j,
+            None => 1.0,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> GovernanceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_cfg() -> GovernanceConfig {
+        // τ = 10 s so tests converge quickly; 50 W settles at 95 °C.
+        GovernanceConfig {
+            thermal: ThermalConfig {
+                r_c_per_w: 1.4,
+                c_j_per_c: 86.0 / 12.04,
+                ambient_c: 25.0,
+                ambient_ramp_c_per_s: 0.0,
+            },
+            trip_c: 70.0,
+            release_c: 60.0,
+            battery: None,
+        }
+    }
+
+    #[test]
+    fn rc_step_is_step_size_robust() {
+        // One 100 s segment at 40 W vs. 1000 × 0.1 s segments: the exact
+        // exponential makes the split agree to float round-off.
+        let mut coarse = ThermalGovernor::new(hot_cfg(), 4.3);
+        coarse.feed(40.0 * 100.0, 0.0, 100.0);
+        let mut fine = ThermalGovernor::new(hot_cfg(), 4.3);
+        for i in 0..1000 {
+            let a = i as f64 * 0.1;
+            fine.feed(40.0 * 0.1, a, a + 0.1);
+        }
+        assert!(
+            (coarse.temp_c() - fine.temp_c()).abs() < 1e-9,
+            "coarse {} vs fine {}",
+            coarse.temp_c(),
+            fine.temp_c()
+        );
+    }
+
+    #[test]
+    fn sustained_load_settles_at_ambient_plus_rp() {
+        let cfg = hot_cfg();
+        let mut gov = ThermalGovernor::new(cfg, 4.3);
+        // 20 W forever: steady state 25 + 1.4·20 = 53 °C, below trip.
+        gov.feed(20.0 * 1000.0, 0.0, 1000.0);
+        assert!((gov.temp_c() - 53.0).abs() < 1e-6, "temp {}", gov.temp_c());
+        assert_eq!(gov.level(), 0);
+        assert!(gov.derate().is_identity());
+        assert_eq!(gov.stats().time_above_trip_s, 0.0);
+    }
+
+    #[test]
+    fn trip_forces_down_steps_and_release_recovers_with_hysteresis() {
+        let mut gov = ThermalGovernor::new(hot_cfg(), 4.3);
+        // 55 W sustained: steady 102 °C — must trip.
+        let mut tripped_at = None;
+        for i in 0..400 {
+            let a = i as f64 * 0.5;
+            gov.feed(55.0 * 0.5, a, a + 0.5);
+            if gov.level() > 0 && tripped_at.is_none() {
+                tripped_at = Some(a);
+                assert!(gov.temp_c() >= 70.0);
+            }
+        }
+        assert!(tripped_at.is_some(), "55 W soak never tripped");
+        assert!(gov.stats().time_above_trip_s > 0.0);
+        assert!(gov.stats().throttle_steps >= 1);
+        assert!(!gov.derate().is_identity());
+        let throttled_level = gov.level();
+        assert!(throttled_level > 0);
+        // Cool-down: idle only (steady state 25 + 1.4·4.3 ≈ 31 °C). The
+        // ladder releases one level per segment once below 60 °C.
+        for i in 0..20 {
+            gov.advance_to(200.0 + (i + 1) as f64 * 20.0);
+        }
+        assert!(gov.temp_c() < 32.0, "temp {}", gov.temp_c());
+        assert_eq!(gov.level(), 0);
+        // A mid-band temperature (between release and trip) must hold the
+        // ladder where it is: reheat to ~65 °C and check no level change.
+        let mut mid = ThermalGovernor::new(hot_cfg(), 4.3);
+        mid.feed(55.0 * 30.0, 0.0, 30.0); // heat past trip
+        let level = mid.level();
+        assert!(level > 0);
+        // 28.6 W steady state = 25 + 1.4·28.6 ≈ 65 °C: inside the band.
+        mid.feed(28.6 * 200.0, 30.0, 230.0);
+        assert!(mid.temp_c() > 60.0 && mid.temp_c() < 70.0);
+        assert_eq!(mid.level(), level, "ladder moved inside hysteresis band");
+    }
+
+    #[test]
+    fn time_above_trip_matches_analytic_crossing() {
+        let cfg = hot_cfg();
+        let tau = cfg.thermal.tau_s();
+        let mut gov = ThermalGovernor::new(cfg, 4.3);
+        // One long 55 W segment from ambient: T(t) = 102 + (25−102)e^{−t/τ}.
+        // Crossing of 70 °C at x = −τ·ln((70−102)/(25−102)).
+        let dt = 100.0;
+        gov.feed(55.0 * dt, 0.0, dt);
+        let x = -tau * ((70.0 - 102.0f64) / (25.0 - 102.0)).ln();
+        let expect = dt - x;
+        assert!(
+            (gov.stats().time_above_trip_s - expect).abs() < 1e-9,
+            "got {} want {expect}",
+            gov.stats().time_above_trip_s
+        );
+    }
+
+    #[test]
+    fn battery_drains_browns_out_and_recovers_on_schedule() {
+        let batt = BatteryConfig {
+            capacity_j: 1000.0,
+            initial_frac: 1.0,
+            brownout_frac: 0.10,
+            resume_frac: 0.50,
+            recharge: RechargeProfile::Constant { watts: 10.0 },
+        };
+        let mut gov = ThermalGovernor::new(hot_cfg().with_battery(batt), 4.3);
+        // 100 W for 10 s drains 1000 J, recharge adds 100 J: charge 100 J
+        // = exactly the brown-out threshold.
+        gov.feed(100.0 * 10.0, 0.0, 10.0);
+        assert_eq!(gov.stats().brownouts, 1);
+        let until = gov.down_until().expect("down window open");
+        // Needs 400 J at 10 W → 40 s: recovery at t = 50.
+        assert!((until - 50.0).abs() < 1e-9, "until {until}");
+        let outage = gov.take_pending_outage().expect("outage pending");
+        assert_eq!(outage, (10.0, until));
+        assert!(gov.take_pending_outage().is_none(), "outage taken twice");
+        // While down the device draws nothing; at `until` it is back.
+        gov.advance_to(until + 1.0);
+        assert!(gov.down_until().is_none());
+        assert!(
+            (gov.charge_frac() - 0.5).abs() < 0.05,
+            "{}",
+            gov.charge_frac()
+        );
+    }
+
+    #[test]
+    fn drained_battery_without_recharge_is_down_forever() {
+        let batt = BatteryConfig {
+            capacity_j: 100.0,
+            recharge: RechargeProfile::None,
+            ..BatteryConfig::default()
+        };
+        let mut gov = ThermalGovernor::new(hot_cfg().with_battery(batt), 4.3);
+        gov.feed(50.0 * 10.0, 0.0, 10.0);
+        assert_eq!(gov.stats().brownouts, 1);
+        assert_eq!(gov.down_until(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn solar_integral_and_inverse_agree() {
+        let solar = RechargeProfile::Solar {
+            peak_w: 20.0,
+            period_s: 600.0,
+        };
+        // Full period harvests peak·P/π.
+        let per_period = 20.0 * 600.0 / PI;
+        assert!((solar.energy_j(0.0, 600.0) - per_period).abs() < 1e-9);
+        // Dark half harvests nothing (up to float round-off).
+        assert!(solar.energy_j(300.0, 600.0).abs() < 1e-9);
+        // Inverse property: recharging `need` from an arbitrary phase lands
+        // exactly where the forward integral says it should.
+        for (now, need) in [(0.0, 100.0), (123.4, 2500.0), (450.0, 7000.0)] {
+            let t = solar.time_to_recharge(now, need);
+            assert!(t > now);
+            assert!(
+                (solar.energy_j(now, t) - need).abs() < 1e-6,
+                "now {now} need {need}: harvested {}",
+                solar.energy_j(now, t)
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_governor_returns_the_exact_identity_constant() {
+        let mut gov = ThermalGovernor::new(GovernanceConfig::default(), 4.3);
+        gov.feed(10.0 * 50.0, 0.0, 50.0);
+        gov.advance_to(100.0);
+        let d = gov.derate();
+        assert_eq!(d.freq.to_bits(), Derate::IDENTITY.freq.to_bits());
+        assert_eq!(d.bw.to_bits(), Derate::IDENTITY.bw.to_bits());
+        assert_eq!(d.cap_w.to_bits(), Derate::IDENTITY.cap_w.to_bits());
+    }
+
+    #[test]
+    fn ambient_ramp_raises_steady_state() {
+        let mut cfg = hot_cfg();
+        cfg.thermal.ambient_ramp_c_per_s = 0.1; // +0.1 °C/s heat wave
+        let mut ramped = ThermalGovernor::new(cfg, 4.3);
+        let mut flat = ThermalGovernor::new(hot_cfg(), 4.3);
+        for i in 0..200 {
+            let a = i as f64;
+            ramped.feed(20.0, a, a + 1.0);
+            flat.feed(20.0, a, a + 1.0);
+        }
+        assert!(ramped.temp_c() > flat.temp_c() + 10.0);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_configs() {
+        let mut bad = GovernanceConfig::default();
+        bad.thermal.r_c_per_w = 0.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(GovernanceError::NonPositive {
+                what: "thermal.r_c_per_w",
+                ..
+            })
+        ));
+        let bad = GovernanceConfig::default().with_trip(60.0, 60.0);
+        assert!(matches!(
+            bad.validate(),
+            Err(GovernanceError::Hysteresis { .. })
+        ));
+        let bad = GovernanceConfig::default().with_battery(BatteryConfig {
+            brownout_frac: 0.5,
+            resume_frac: 0.5,
+            ..BatteryConfig::default()
+        });
+        assert!(matches!(
+            bad.validate(),
+            Err(GovernanceError::BatteryThresholds { .. })
+        ));
+        let bad = GovernanceConfig::default().with_battery(BatteryConfig {
+            capacity_j: f64::NAN,
+            ..BatteryConfig::default()
+        });
+        assert!(matches!(
+            bad.validate(),
+            Err(GovernanceError::NonPositive { .. })
+        ));
+        assert!(GovernanceConfig::default().validate().is_ok());
+        assert!(GovernanceConfig::default()
+            .with_battery(BatteryConfig::default())
+            .validate()
+            .is_ok());
+    }
+}

@@ -20,7 +20,7 @@ base="$1"
 cand="$2"
 threshold="${3:-20}"
 
-require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,serving/des_100k,cluster/des_3rep_100k}"
+require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,thermal/,serving/des_100k,cluster/des_3rep_100k}"
 
 python3 - "$base" "$cand" "$threshold" "$require" <<'EOF'
 import json

@@ -74,4 +74,14 @@ cargo run --release -q -p edgereasoning-bench --bin session_study -- --smoke
 cmp "$SESSION_CSV" "$SESSION_CSV.first" || { echo "FAIL: session smoke not deterministic"; exit 1; }
 rm -f "$SESSION_CSV.first"
 
+echo "==> thermal_study --smoke (deterministic thermal/battery-governance CSV)"
+cargo run --release -q -p edgereasoning-bench --bin thermal_study -- --smoke
+THERMAL_CSV=outputs/thermal_study_smoke.csv
+[ -s "$THERMAL_CSV" ] || { echo "FAIL: $THERMAL_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$THERMAL_CSV")" -gt 1 ] || { echo "FAIL: $THERMAL_CSV has no data rows"; exit 1; }
+cp "$THERMAL_CSV" "$THERMAL_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin thermal_study -- --smoke
+cmp "$THERMAL_CSV" "$THERMAL_CSV.first" || { echo "FAIL: thermal smoke not deterministic"; exit 1; }
+rm -f "$THERMAL_CSV.first"
+
 echo "CI OK"

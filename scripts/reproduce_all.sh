@@ -15,6 +15,7 @@ BINS=(
   fleet_study
   traffic_study
   session_study
+  thermal_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

@@ -7,7 +7,7 @@ use edgereasoning::core::latency::{DecodeLatencyModel, PrefillLatencyModel, Tota
 use edgereasoning::core::planner::{pareto_frontier, ConfigPoint, Planner};
 use edgereasoning::core::rig::RigConfig;
 use edgereasoning::core::study::{Study, StudyCell};
-use edgereasoning::engine::cluster::{simulate_cluster, ClusterConfig};
+use edgereasoning::engine::cluster::{simulate_cluster, ClusterConfig, CrashConfig};
 use edgereasoning::engine::engine::{EngineConfig, OomPolicy};
 use edgereasoning::engine::kv_cache::KvCacheManager;
 use edgereasoning::engine::request::GenerationRequest;
@@ -27,10 +27,11 @@ use edgereasoning::models::profile::{expected_min, natural_mean_for_observed};
 use edgereasoning::soc::faults::{Disturbance, FaultKind, FaultSchedule};
 use edgereasoning::soc::gpu::{Derate, ExecCalib, Gpu};
 use edgereasoning::soc::kernel::{ComputeKind, KernelClass, KernelDesc};
-use edgereasoning::soc::power::ramp_avg_factor;
+use edgereasoning::soc::power::{ramp_avg_factor, EnergyMeter};
 use edgereasoning::soc::rng::Rng;
 use edgereasoning::soc::runtime::{item_seed, par_map_deterministic};
 use edgereasoning::soc::spec::{OrinSpec, PowerMode};
+use edgereasoning::soc::thermal::GovernanceConfig;
 use edgereasoning::workloads::prompt::PromptConfig;
 use edgereasoning::workloads::suite::Benchmark;
 use proptest::prelude::*;
@@ -661,6 +662,167 @@ proptest! {
                 .expect("runs");
         prop_assert_eq!(fleet.fleet, single);
         prop_assert_eq!(fleet.replicas[0], single);
+    }
+
+    /// An inert thermal governor — a trip point no workload can reach and
+    /// no battery — holds ladder level 0, whose derate is the exact
+    /// `Derate::IDENTITY` constant. Continuous serving with governance
+    /// enabled must therefore be bit-identical to the governance-off
+    /// engine at every seed.
+    #[test]
+    fn inert_governance_continuous_is_bit_identical(seed in 0u64..500) {
+        let cfg = ServingConfig::new(1.8, 6, 12, 96, 64)
+            .with_deadline(150.0)
+            .with_retries(2, 0.5);
+        let inert = GovernanceConfig::default().with_trip(1e6, 9e5);
+        let mut on = SimEngine::new(EngineConfig::vllm().with_governance(inert), seed);
+        let got =
+            simulate_serving_continuous(&mut on, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("runs");
+        let mut off = SimEngine::new(EngineConfig::vllm(), seed);
+        let want =
+            simulate_serving_continuous(&mut off, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+                .expect("runs");
+        prop_assert_eq!(got, want);
+        let stats = on.governance_stats().expect("governance enabled");
+        prop_assert_eq!(stats.throttle_steps, 0);
+        prop_assert_eq!(stats.brownouts, 0);
+    }
+
+    /// The same inert-governor identity for the session loop: prefix
+    /// caching on, the governor silently metering in the background.
+    #[test]
+    fn inert_governance_session_loop_is_bit_identical(seed in 0u64..500) {
+        let cfg = ServingConfig::new(1e-4, 8, 10, 128, 96);
+        let trace = uniform_session_trace(&cfg, seed);
+        let scfg = SessionConfig::new(8);
+        let inert = GovernanceConfig::default().with_trip(1e6, 9e5);
+        let mut on = SimEngine::new(EngineConfig::vllm().with_governance(inert), seed);
+        let mut it = trace.clone().into_iter();
+        let got = simulate_serving_sessions(
+            &mut on,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &scfg,
+            || it.next(),
+        )
+        .expect("session loop runs");
+        let mut off = SimEngine::new(EngineConfig::vllm(), seed);
+        let mut it = trace.into_iter();
+        let want = simulate_serving_sessions(
+            &mut off,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &scfg,
+            || it.next(),
+        )
+        .expect("session loop runs");
+        prop_assert_eq!(got.serving, want.serving);
+        prop_assert_eq!(got.offered, want.offered);
+        prop_assert_eq!(got.cached_prompt_tokens, want.cached_prompt_tokens);
+    }
+
+    /// Inert governance on a fleet *with* disturbance and crash weather:
+    /// the governor's IDENTITY derate min-combines with the scripted
+    /// schedule without moving a bit (min(1, x) = x for any fault derate),
+    /// so every report field except the governance counters matches the
+    /// ungoverned fleet exactly.
+    #[test]
+    fn inert_governance_cluster_with_weather_is_bit_identical(seed in 0u64..500) {
+        let cfg = ServingConfig::new(1.8, 6, 12, 96, 64)
+            .with_deadline(150.0)
+            .with_retries(2, 0.5);
+        let weather = |engine: EngineConfig| {
+            ClusterConfig::new(2, engine)
+                .with_fault_intensity(2.0)
+                .with_crashes(CrashConfig { mtbf_s: 90.0, mttr_s: 10.0, cold_start_s: 5.0 })
+                .with_hedging(3.0)
+        };
+        let inert = GovernanceConfig::default().with_trip(1e6, 9e5);
+        let got = simulate_cluster(
+            &weather(EngineConfig::vllm().with_governance(inert)),
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            seed,
+        )
+        .expect("cluster runs");
+        let want = simulate_cluster(
+            &weather(EngineConfig::vllm()),
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &cfg,
+            seed,
+        )
+        .expect("cluster runs");
+        prop_assert_eq!(got.fleet, want.fleet);
+        prop_assert_eq!(got.replicas, want.replicas);
+        prop_assert_eq!(got.availability.to_bits(), want.availability.to_bits());
+        prop_assert_eq!(got.crash_events, want.crash_events);
+        prop_assert_eq!(got.crash_lost, want.crash_lost);
+        prop_assert_eq!(got.crash_recovered, want.crash_recovered);
+        prop_assert_eq!(got.hedges_fired, want.hedges_fired);
+        prop_assert_eq!(got.hedge_wins, want.hedge_wins);
+        prop_assert_eq!(got.hedge_energy_j.to_bits(), want.hedge_energy_j.to_bits());
+        prop_assert_eq!(got.brownout_events, 0);
+        prop_assert!(got.governance.is_some() && want.governance.is_none());
+    }
+
+    /// `ramp_avg_factor` degenerate windows: `tau == 0` is the instant
+    /// ramp (factor exactly 1 everywhere), a zero-width window `a == b`
+    /// equals the instantaneous factor, and every factor lies in [0, 1].
+    #[test]
+    fn ramp_factor_degenerate_windows(
+        a in 0.0f64..100.0, width in 0.0f64..50.0, tau in 0.001f64..60.0
+    ) {
+        prop_assert_eq!(ramp_avg_factor(a, a + width, 0.0).to_bits(), 1.0f64.to_bits());
+        let f = ramp_avg_factor(a, a + width, tau);
+        prop_assert!((0.0..=1.0).contains(&f), "factor {f} out of range");
+        let point = ramp_avg_factor(a, a, tau);
+        let instant = 1.0 - (-a / tau).exp();
+        prop_assert!((point - instant).abs() <= 1e-12, "{point} vs {instant}");
+    }
+
+    /// [`EnergyMeter`] under NaN-free inputs: energy and time are
+    /// non-negative, `merge` commutes bit-exactly (float `+` commutes),
+    /// and associates within rounding (float `+` does not associate in the
+    /// last ulp, so the grouping tolerance is relative, not zero).
+    #[test]
+    fn energy_meter_merge_commutes_and_associates(
+        segs in prop::collection::vec((0.0f64..10.0, 0.0f64..100.0), 3..9)
+    ) {
+        let meter = |chunk: &[(f64, f64)]| {
+            let mut m = EnergyMeter::new();
+            for &(dt, p) in chunk {
+                m.record(dt, p);
+            }
+            m
+        };
+        let (a, b, c) = (
+            meter(&segs[..1]),
+            meter(&segs[1..2]),
+            meter(&segs[2..]),
+        );
+        prop_assert!(a.energy_j() >= 0.0 && a.elapsed_s() >= 0.0);
+        prop_assert!(c.energy_j() >= 0.0 && c.elapsed_s() >= 0.0);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.energy_j().to_bits(), ba.energy_j().to_bits());
+        prop_assert_eq!(ab.elapsed_s().to_bits(), ba.elapsed_s().to_bits());
+
+        let mut left = ab; // (a + b) + c
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a; // a + (b + c)
+        right.merge(&bc);
+        let tol = 1e-12 * left.energy_j().abs().max(1.0);
+        prop_assert!((left.energy_j() - right.energy_j()).abs() <= tol);
+        let tol = 1e-12 * left.elapsed_s().abs().max(1.0);
+        prop_assert!((left.elapsed_s() - right.elapsed_s()).abs() <= tol);
     }
 }
 
