@@ -227,6 +227,25 @@ fn bench_cluster(c: &mut Criterion) {
             .expect("runs")
         })
     });
+    // One million queries through the same stormy fleet: the headline for
+    // the zero-allocation event core. Must stay well under a second per
+    // lane on commodity hardware.
+    let des_cfg_1m = ServingConfig::new(12.0, 30, 1_000_000, 128, 128)
+        .with_deadline(60.0)
+        .with_retries(3, 0.5);
+    let des_fleet_1m = des_fleet.clone().with_horizon(200_000.0);
+    g.bench_function("des_3rep_1m", |b| {
+        b.iter(|| {
+            simulate_cluster(
+                black_box(&des_fleet_1m),
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                black_box(&des_cfg_1m),
+                7,
+            )
+            .expect("runs")
+        })
+    });
     g.finish();
 }
 

@@ -28,6 +28,11 @@
 //! Run everything with `scripts` or individually:
 //! `cargo run --release -p edgereasoning-bench --bin fig06_07_08`.
 
+#![forbid(unsafe_code)]
+// Reproduction binaries should fail with a message naming what went
+// wrong, not a bare panic site (tests keep their expect/unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;
@@ -107,10 +112,15 @@ impl TableWriter {
     /// Panics if the output directory or file cannot be written.
     pub fn write_csv(&self, name: &str) {
         let path = output_path(name);
-        let mut f = fs::File::create(&path).expect("create CSV");
-        writeln!(f, "{}", self.header.join(",")).expect("write CSV header");
+        let mut f = fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        let mut put = |line: &str| {
+            writeln!(f, "{line}")
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        };
+        put(&self.header.join(","));
         for row in &self.rows {
-            writeln!(f, "{}", row.join(",")).expect("write CSV row");
+            put(&row.join(","));
         }
         eprintln!("wrote {}", path.display());
     }
@@ -125,17 +135,18 @@ impl TableWriter {
 pub fn output_path(name: &str) -> PathBuf {
     let root = workspace_root();
     let dir = root.join("outputs");
-    fs::create_dir_all(&dir).expect("create outputs dir");
+    fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create outputs dir {}: {e}", dir.display()));
     dir.join(format!("{name}.csv"))
 }
 
 fn workspace_root() -> PathBuf {
-    // crates/bench -> crates -> workspace root.
+    // crates/bench -> crates -> workspace root; the manifest dir is a
+    // compile-time constant, so two ancestors always exist.
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("workspace root")
-        .to_path_buf()
+        .map_or_else(PathBuf::new, Path::to_path_buf)
 }
 
 /// Formats a paper-vs-measured pair with relative deviation.

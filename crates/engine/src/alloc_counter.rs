@@ -1,0 +1,116 @@
+//! Test-only counting allocator: the enforcement arm of the
+//! zero-steady-state-allocation contract (DESIGN.md §14).
+//!
+//! The engine's hot loops — `BatchStepper::step`, the `PendingQueue`
+//! dispatch operations, the cluster router — recycle every buffer they
+//! touch, so a warm iteration performs no heap allocation at all. That
+//! property silently erodes under maintenance unless it is asserted, so
+//! the engine's unit-test binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]` and the hot-loop tests assert a zero delta over a
+//! warm measurement window.
+//!
+//! Counts are **per thread** (a `const`-initialized `thread_local`, so the
+//! counter itself never allocates): the libtest harness runs tests on
+//! concurrent threads, and a process-wide counter would make every
+//! assertion racy. Only allocation *events* are counted (alloc, realloc,
+//! alloc_zeroed — frees are free), which is exactly the budget the
+//! contract constrains.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `System`-backed allocator that counts allocation events per thread.
+pub(crate) struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn bump() {
+        // `try_with`: allocation during thread teardown must not panic.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Allocation events performed by the current thread so far. Subtract two
+/// snapshots to budget a code region.
+pub(crate) fn thread_allocs() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread_allocs;
+
+    #[test]
+    fn counter_registers_allocations() {
+        let before = thread_allocs();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let after = thread_allocs();
+        assert!(after > before, "heap allocation must bump the counter");
+        drop(v);
+        assert_eq!(
+            thread_allocs(),
+            after,
+            "frees are not allocation events and must not count"
+        );
+    }
+
+    #[test]
+    fn counter_registers_reallocations() {
+        let mut v: Vec<u64> = Vec::with_capacity(4);
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let before = thread_allocs();
+        v.extend_from_slice(&[5, 6, 7, 8]); // forces a grow
+        assert!(thread_allocs() > before, "realloc must bump the counter");
+    }
+
+    #[test]
+    fn counter_is_silent_for_allocation_free_code() {
+        let mut acc = 0u64;
+        let before = thread_allocs();
+        for i in 0..1000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        let after = thread_allocs();
+        assert_eq!(after - before, 0, "pure arithmetic must not allocate");
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn warm_vec_reuse_is_allocation_free() {
+        // The recycling pattern the hot loops rely on: clear + refill
+        // within capacity never touches the allocator.
+        let mut buf: Vec<u64> = Vec::with_capacity(64);
+        buf.extend(0..64);
+        let before = thread_allocs();
+        for round in 0..100u64 {
+            buf.clear();
+            buf.extend(round..round + 64);
+        }
+        assert_eq!(thread_allocs() - before, 0);
+    }
+}

@@ -114,6 +114,124 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// A two-tier bucketed event queue (a simplified calendar queue, Brown
+/// 1988): a *near* tier sorted for O(1) pop plus an unsorted *far* tier
+/// refilled window-by-window. Pop order is identical to [`EventQueue`] —
+/// ascending `(time, insertion seq)` with the FIFO tie-break on bit-equal
+/// times — because both orders are the same total order; the 500-seed
+/// proptest in `tests/properties.rs` pins this.
+///
+/// Evaluated against the `BinaryHeap` under `serving/des_100k` and
+/// `cluster/des_3rep_100k` (see DESIGN.md §14): the retry-wakeup queue is
+/// small and bursty in both regimes, so the heap's cheaper pushes win and
+/// [`PendingQueue`] keeps [`EventQueue`]. The bucketed queue stays here —
+/// tested and benched — as the drop-in for a future high-rate regime where
+/// the pending-event set grows past the cache-friendly range.
+#[derive(Debug, Clone, Default)]
+#[cfg(test)]
+pub(crate) struct BucketQueue<T> {
+    /// Events below `horizon`, sorted descending so the earliest is last.
+    near: Vec<Event<T>>,
+    /// Events at or past `horizon`, unsorted.
+    far: Vec<Event<T>>,
+    horizon: f64,
+    next_seq: u64,
+}
+
+#[cfg(test)]
+impl<T: Copy> BucketQueue<T> {
+    /// Creates an empty queue.
+    pub(crate) fn new() -> Self {
+        Self {
+            near: Vec::new(),
+            far: Vec::new(),
+            horizon: f64::NEG_INFINITY,
+            next_seq: 0,
+        }
+    }
+
+    /// Ascending `(time, seq)` — the pop order shared with [`EventQueue`].
+    fn cmp_event(a: &Event<T>, b: &Event<T>) -> std::cmp::Ordering {
+        a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq))
+    }
+
+    /// Schedules `payload` at `time`.
+    pub(crate) fn push(&mut self, time: f64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ev = Event { time, seq, payload };
+        if time < self.horizon {
+            // Keep the near tier sorted descending: binary-search from the
+            // back, where in-window pushes land in practice.
+            let pos = self
+                .near
+                .partition_point(|e| Self::cmp_event(e, &ev) == std::cmp::Ordering::Greater);
+            self.near.insert(pos, ev);
+        } else {
+            self.far.push(ev);
+        }
+    }
+
+    /// Moves the next window of far events into the near tier. The window
+    /// spans from the earliest far event to the mean far spacing times the
+    /// refill batch — a self-sizing bucket width that keeps each refill
+    /// roughly O(batch log batch) without tuning.
+    fn refill(&mut self) {
+        if self.far.is_empty() {
+            return;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in &self.far {
+            lo = lo.min(e.time);
+            hi = hi.max(e.time);
+        }
+        // Window width: span / count * batch, so ~`REFILL_BATCH` events
+        // move per refill under a uniform spread; degenerate spans (all
+        // equal times) take everything at once.
+        const REFILL_BATCH: f64 = 32.0;
+        let span = hi - lo;
+        let width = if span > 0.0 {
+            span / self.far.len() as f64 * REFILL_BATCH
+        } else {
+            f64::INFINITY
+        };
+        let horizon = if width.is_finite() {
+            (lo + width).max(lo)
+        } else {
+            f64::INFINITY
+        };
+        self.horizon = horizon;
+        // `horizon > lo` always (width > 0), so at least the earliest far
+        // event moves and refill never spins.
+        let mut i = 0;
+        while i < self.far.len() {
+            if self.far[i].time < horizon {
+                self.near.push(self.far.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.near.sort_unstable_by(|a, b| Self::cmp_event(b, a));
+    }
+
+    /// Earliest event, if any.
+    pub(crate) fn peek(&mut self) -> Option<(f64, &T)> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.last().map(|e| (e.time, &e.payload))
+    }
+
+    /// Removes and returns the earliest event.
+    pub(crate) fn pop(&mut self) -> Option<(f64, T)> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.pop().map(|e| (e.time, e.payload))
+    }
+}
+
 /// Generational handle into a [`QueryArena`] slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct QKey {
@@ -231,6 +349,10 @@ pub(crate) struct PendingQueue {
     deferred: Vec<QKey>,
     /// Retry wakeups (stale entries dropped lazily on peek).
     wakeups: EventQueue<QKey>,
+    /// Recycled index scratch for [`shed_over_capacity`]
+    /// (Self::shed_over_capacity), so capacity passes allocate nothing in
+    /// steady state.
+    defs_scratch: Vec<usize>,
 }
 
 impl PendingQueue {
@@ -246,6 +368,7 @@ impl PendingQueue {
             ready: VecDeque::new(),
             deferred: Vec::new(),
             wakeups: EventQueue::new(),
+            defs_scratch: Vec::new(),
         }
     }
 
@@ -407,15 +530,16 @@ impl PendingQueue {
     /// and returns the count — the legacy `waiting[capacity..]` cut.
     pub(crate) fn shed_over_capacity(&mut self, now: f64, capacity: usize) -> usize {
         let mut r_end = self.ready_now_len(now);
-        let mut defs: Vec<usize> = (0..self.deferred.len())
-            .filter(|&i| {
-                self.arena
-                    .get(self.deferred[i])
-                    .is_some_and(|s| s.ready_s <= now)
-            })
-            .collect();
+        let mut defs = std::mem::take(&mut self.defs_scratch);
+        defs.clear();
+        defs.extend((0..self.deferred.len()).filter(|&i| {
+            self.arena
+                .get(self.deferred[i])
+                .is_some_and(|s| s.ready_s <= now)
+        }));
         let total = r_end + defs.len();
         if total <= capacity {
+            self.defs_scratch = defs;
             return 0;
         }
         let mut excess = total - capacity;
@@ -447,6 +571,7 @@ impl PendingQueue {
             }
             excess -= 1;
         }
+        self.defs_scratch = defs;
         shed - excess
     }
 
@@ -630,6 +755,72 @@ mod tests {
     }
 
     #[test]
+    fn bucket_queue_pops_in_time_then_fifo_order() {
+        let mut q = BucketQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a1");
+        q.push(1.0, "a2");
+        q.push(3.0, "c");
+        assert_eq!(q.peek(), Some((1.0, &"a1")));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a1", "a2", "b", "c"]);
+    }
+
+    /// 500-seed property: the bucketed queue's pop sequence is bit-identical
+    /// to the `BinaryHeap`-backed [`EventQueue`] under interleaved pushes and
+    /// pops with duplicate times (FIFO tie-break preserved).
+    #[test]
+    fn bucket_queue_matches_binary_heap_over_500_seeds() {
+        for seed in 0u64..500 {
+            // SplitMix64: cheap deterministic per-seed stream.
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let mut heap = EventQueue::new();
+            let mut bucket = BucketQueue::new();
+            let mut popped = Vec::new();
+            for op in 0..200 {
+                if op % 3 == 2 {
+                    let a = heap.pop();
+                    let b = bucket.pop();
+                    match (a, b) {
+                        (Some((ta, pa)), Some((tb, pb))) => {
+                            assert_eq!(ta.to_bits(), tb.to_bits(), "seed {seed} op {op}");
+                            assert_eq!(pa, pb, "seed {seed} op {op}");
+                            popped.push((ta, pa));
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!("seed {seed} op {op}: {a:?} vs {b:?}"),
+                    }
+                } else {
+                    // Coarse times force plenty of exact ties; the payload
+                    // is the push index so order mismatches are visible.
+                    let t = (next() % 32) as f64 * 0.25;
+                    heap.push(t, op);
+                    bucket.push(t, op);
+                }
+            }
+            let mut last = f64::NEG_INFINITY;
+            while let (Some((ta, pa)), Some((tb, pb))) = (heap.pop(), bucket.pop()) {
+                assert_eq!(ta.to_bits(), tb.to_bits(), "seed {seed}");
+                assert_eq!(pa, pb, "seed {seed}");
+                assert!(ta >= last, "seed {seed}: time order");
+                last = ta;
+                popped.push((ta, pa));
+            }
+            assert!(
+                heap.pop().is_none() && bucket.pop().is_none(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
     fn arena_keys_are_generational() {
         let mut a = QueryArena::default();
         let slot = QuerySlot {
@@ -730,6 +921,52 @@ mod tests {
         assert_eq!(acc.failed, 2);
         assert!(q.is_exhausted());
         assert_eq!(q.live(), 0, "dropped slots are released");
+    }
+
+    /// The allocation-budget invariant for DES dispatch (DESIGN.md §14):
+    /// once the arena free list, deques and scratch buffers are warm, a
+    /// full scheduling cycle — min_ready, pump, deadline/capacity sheds,
+    /// collect, commit, requeue-with-backoff, release — allocates nothing.
+    #[test]
+    fn warm_dispatch_cycle_allocates_nothing() {
+        let mut q = PendingQueue::new(ArrivalProcess::Poisson, 50.0, 50_000, 7);
+        let mut acc = ServingAccumulator::default();
+        let mut group = Vec::new();
+        let mut cycle = |q: &mut PendingQueue, i: usize| {
+            let t = q.min_ready();
+            if !t.is_finite() {
+                return;
+            }
+            q.pump(t);
+            let _ = q.shed_expired(t, 1e9);
+            let _ = q.shed_over_capacity(t, 64);
+            q.collect_ready(t, 4, &mut group);
+            if group.is_empty() {
+                return;
+            }
+            if i.is_multiple_of(5) {
+                // Failed admission: exercises the deferred set and the
+                // retry-wakeup heap.
+                q.requeue_failed(&group, t, 3, 0.5, &mut acc);
+            } else {
+                q.commit_admitted(&group);
+                for &k in &group {
+                    q.release(k);
+                }
+            }
+        };
+        for i in 0..400 {
+            cycle(&mut q, i);
+        }
+        let before = crate::alloc_counter::thread_allocs();
+        for i in 400..800 {
+            cycle(&mut q, i);
+        }
+        assert_eq!(
+            crate::alloc_counter::thread_allocs() - before,
+            0,
+            "a warm dispatch cycle must not allocate"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 use edgereasoning_kernels::phases::{
     build_decode_attn_into, build_decode_base_into, build_prefill_into, KernelPlan,
 };
-use edgereasoning_soc::faults::FaultSchedule;
+use edgereasoning_soc::faults::{FaultIndex, FaultSchedule};
 use edgereasoning_soc::gpu::{Derate, ExecCalib, Gpu, PhaseStats};
 use edgereasoning_soc::rng::Rng;
 use edgereasoning_soc::spec::{GpuSpec, OrinSpec, PowerMode};
@@ -216,6 +216,7 @@ pub struct InferenceEngine {
     cache_enabled: bool,
     counters: EngineCounters,
     faults: FaultSchedule,
+    fault_index: FaultIndex,
     governor: Option<ThermalGovernor>,
     clock_s: f64,
 }
@@ -236,6 +237,7 @@ impl InferenceEngine {
             cache_enabled: true,
             counters: EngineCounters::default(),
             faults: FaultSchedule::none(),
+            fault_index: FaultIndex::default(),
             governor,
             clock_s: 0.0,
         }
@@ -244,6 +246,7 @@ impl InferenceEngine {
     /// Installs a platform-disturbance schedule. The empty schedule
     /// ([`FaultSchedule::none`]) restores bit-exact fault-free behaviour.
     pub fn set_fault_schedule(&mut self, faults: FaultSchedule) {
+        self.fault_index = FaultIndex::new(&faults);
         self.faults = faults;
         if self.faults.is_empty() {
             self.gpu.set_derate(Derate::IDENTITY);
@@ -282,17 +285,25 @@ impl InferenceEngine {
             if self.faults.is_empty() {
                 return false;
             }
-            let derate = self.faults.derate_at(t, self.gpu.mode());
+            let derate = self.fault_index.derate_at(t, self.gpu.mode());
             self.gpu.set_derate(derate);
             return !derate.is_identity();
         };
         governor.advance_to(t);
         let mut derate = governor.derate();
         if !self.faults.is_empty() {
-            derate = derate.combine(&self.faults.derate_at(t, self.gpu.mode()));
+            derate = derate.combine(&self.fault_index.derate_at(t, self.gpu.mode()));
         }
         self.gpu.set_derate(derate);
         !derate.is_identity()
+    }
+
+    /// Kernel-stall windows of the installed schedule starting inside
+    /// `[t0, t1)`: their count and total stall seconds, served from the
+    /// O(log n) [`FaultIndex`] (bit-identical to
+    /// [`FaultSchedule::stalls_in`]).
+    pub(crate) fn stalls_in(&self, t0: f64, t1: f64) -> (usize, f64) {
+        self.fault_index.stalls_in(t0, t1)
     }
 
     /// Feeds a simulated busy segment's energy into the governance loop
@@ -532,7 +543,7 @@ impl InferenceEngine {
             self.counters.throttled_phases += 1;
             throttled_s += prefill.latency_s;
         }
-        let (n_stalls, stall_s) = self.faults.stalls_in(t0, t0 + prefill.latency_s);
+        let (n_stalls, stall_s) = self.fault_index.stalls_in(t0, t0 + prefill.latency_s);
         if n_stalls > 0 {
             self.counters.stalls += n_stalls as u64;
             if stall_s > 0.0 {
@@ -599,7 +610,9 @@ impl InferenceEngine {
                 throttled_s += span;
             }
             decode.merge(&step.repeated(chunk));
-            let (n_stalls, stall_s) = self.faults.stalls_in(t0 + elapsed, t0 + elapsed + span);
+            let (n_stalls, stall_s) = self
+                .fault_index
+                .stalls_in(t0 + elapsed, t0 + elapsed + span);
             if n_stalls > 0 {
                 self.counters.stalls += n_stalls as u64;
                 if stall_s > 0.0 {
@@ -805,7 +818,9 @@ impl InferenceEngine {
                     throttled_s += span;
                 }
                 decode.merge(&step.repeated(chunk));
-                let (n_stalls, stall_s) = self.faults.stalls_in(t0 + elapsed, t0 + elapsed + span);
+                let (n_stalls, stall_s) = self
+                    .fault_index
+                    .stalls_in(t0 + elapsed, t0 + elapsed + span);
                 if n_stalls > 0 {
                     self.counters.stalls += n_stalls as u64;
                     if stall_s > 0.0 {

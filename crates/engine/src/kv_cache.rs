@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use edgereasoning_kernels::arch::ModelArch;
+use edgereasoning_soc::rng::FxBuildHasher;
 use serde::{Deserialize, Serialize};
 
 /// Handle to a live sequence's cache allocation.
@@ -53,7 +54,10 @@ pub struct KvCacheManager {
     total_blocks: u64,
     free_blocks: u64,
     next_id: u64,
-    seqs: HashMap<SeqId, u64>, // blocks held per sequence
+    // Blocks held per sequence. FxHash: probed several times per sequence
+    // per decode step; keys are sequential internal ids, order never
+    // observed.
+    seqs: HashMap<SeqId, u64, FxBuildHasher>,
 }
 
 impl KvCacheManager {
@@ -78,7 +82,10 @@ impl KvCacheManager {
             total_blocks,
             free_blocks: total_blocks,
             next_id: 0,
-            seqs: HashMap::new(),
+            // Live sequences churn constantly under serving load (monotone
+            // ids leave tombstones behind); a generous floor keeps the
+            // growth rehashes off the admission path.
+            seqs: HashMap::with_capacity_and_hasher(1024, FxBuildHasher::default()),
         })
     }
 

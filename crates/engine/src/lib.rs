@@ -36,11 +36,22 @@
 //! # Ok::<(), edgereasoning_engine::EngineError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Production builds carry no unsafe code at all; test builds hold the lint
+// at `deny` with one scoped allow for the counting-allocator harness (a
+// `GlobalAlloc` impl is inherently unsafe), which exists only under test.
+#![cfg_attr(not(test), forbid(unsafe_code))]
+#![cfg_attr(test, deny(unsafe_code))]
 #![warn(missing_docs)]
 // The engine is the hot serving path: misuse must surface as typed errors,
 // never as panics (tests keep their expect/unwrap for brevity).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+#[cfg(test)]
+#[allow(unsafe_code)]
+pub(crate) mod alloc_counter;
+#[cfg(test)]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 pub mod arrivals;
 pub mod cluster;

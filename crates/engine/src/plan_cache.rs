@@ -29,6 +29,7 @@ use std::collections::HashMap;
 
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_soc::gpu::PhaseStats;
+use edgereasoning_soc::rng::FxBuildHasher;
 
 /// Which lowering a cached phase cost describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,23 +72,61 @@ pub struct PhaseKey {
 /// Memoizes noise-free aggregate phase costs keyed by [`PhaseKey`].
 #[derive(Debug, Clone, Default)]
 pub struct PhasePlanCache {
-    entries: HashMap<PhaseKey, PhaseStats>,
+    // FxHash: the lookup sits on the per-decode-step hot path, and the keys
+    // are internal plain data (never adversarial, order never observed).
+    entries: HashMap<PhaseKey, PhaseStats, FxBuildHasher>,
+    // One last-hit memo per phase kind: consecutive decode steps of a
+    // cohort reuse the same DecodeBase key, and slots stepping in lockstep
+    // reuse DecodeCtx keys, so a key-equality check answers most lookups
+    // without hashing. Kind-indexed so the base/ctx alternation within one
+    // step doesn't thrash a single slot. Memo hits count as cache hits —
+    // `EngineCounters` stays bit-identical.
+    last: [Option<(PhaseKey, PhaseStats)>; 3],
     hits: u64,
     misses: u64,
 }
 
+#[inline]
+fn kind_ix(kind: PhaseKind) -> usize {
+    match kind {
+        PhaseKind::Prefill => 0,
+        PhaseKind::DecodeBase => 1,
+        PhaseKind::DecodeCtx => 2,
+    }
+}
+
 impl PhasePlanCache {
+    /// Initial bucket capacity: fault-weather runs key plans by GPU
+    /// fingerprint, and every derate window mints a fresh fingerprint
+    /// family, so dataset-scale runs reach tens of thousands of entries —
+    /// pre-sizing skips the doubling rehashes on the way up.
+    const INITIAL_CAPACITY: usize = 1 << 14;
+
     /// Creates an empty cache.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            entries: HashMap::with_capacity_and_hasher(
+                Self::INITIAL_CAPACITY,
+                FxBuildHasher::default(),
+            ),
+            ..Self::default()
+        }
     }
 
     /// Looks up a deterministic phase cost, counting the hit or miss.
     pub fn get(&mut self, key: &PhaseKey) -> Option<PhaseStats> {
+        let ix = kind_ix(key.kind);
+        if let Some((k, v)) = &self.last[ix] {
+            if k == key {
+                self.hits += 1;
+                return Some(*v);
+            }
+        }
         match self.entries.get(key) {
             Some(stats) => {
                 self.hits += 1;
+                self.last[ix] = Some((*key, *stats));
                 Some(*stats)
             }
             None => {
@@ -99,6 +138,7 @@ impl PhasePlanCache {
 
     /// Stores a deterministic phase cost.
     pub fn insert(&mut self, key: PhaseKey, stats: PhaseStats) {
+        self.last[kind_ix(key.kind)] = Some((key, stats));
         self.entries.insert(key, stats);
     }
 
@@ -129,6 +169,7 @@ impl PhasePlanCache {
     /// Drops all entries and resets the hit/miss counters.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.last = [None; 3];
         self.reset_stats();
     }
 

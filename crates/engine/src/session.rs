@@ -275,9 +275,9 @@ pub fn simulate_serving_sessions(
         if cfg.queue_capacity > 0 {
             let ready = backlog.partition_point(|q| q.arrival_s <= now);
             if ready > cfg.queue_capacity {
-                for i in (cfg.queue_capacity..ready).rev() {
-                    backlog.remove(i);
-                }
+                // One O(n) drain of the contiguous newest-ready range, not
+                // an O(n) `remove` shift per shed entry.
+                backlog.drain(cfg.queue_capacity..ready);
                 acc.shed += ready - cfg.queue_capacity;
                 continue;
             }

@@ -181,6 +181,11 @@ pub struct BatchStepper {
     ctx_scratch: Vec<(usize, PhaseStats)>,
     share_scratch: Vec<f64>,
     weight_scratch: Vec<f64>,
+    /// Recycled per-cohort sequence-id buffers: admissions draw from here
+    /// and every cohort death (retire, cancel, fail, evict-drain) returns
+    /// its vector, so long serving runs reuse the same handful of
+    /// allocations instead of allocating one `Vec<SeqId>` per admission.
+    seq_pool: Vec<Vec<SeqId>>,
 }
 
 impl BatchStepper {
@@ -218,6 +223,7 @@ impl BatchStepper {
             ctx_scratch: Vec::new(),
             share_scratch: Vec::new(),
             weight_scratch: Vec::new(),
+            seq_pool: Vec::new(),
         })
     }
 
@@ -521,7 +527,8 @@ impl BatchStepper {
         // Place as many sequences as fit right now (FailFast: all of them,
         // by the reservation above). Private allocations cover only the
         // prompt past the shared prefix.
-        let mut seqs = Vec::with_capacity(req.batch);
+        let mut seqs = self.seq_pool.pop().unwrap_or_default();
+        seqs.reserve(req.batch);
         for placed in 0..req.batch {
             match self.alloc_private(req.prompt_tokens - shared_tokens) {
                 Some(sid) => seqs.push(sid),
@@ -540,7 +547,9 @@ impl BatchStepper {
         }
 
         let mut busy = 0.0;
-        if !seqs.is_empty() {
+        if seqs.is_empty() {
+            self.seq_pool.push(seqs);
+        } else {
             // Prompt prefill (batch 1, shared prompt — the paper's setup),
             // shaped by the un-cached suffix only: cache hits skip their
             // share of the prefill compute, latency and energy entirely.
@@ -562,8 +571,7 @@ impl BatchStepper {
             if policy == OomPolicy::FailFast {
                 // The static FailFast path folds kernel stalls into the
                 // prefill phase; the preempt path does not. Mirror both.
-                let (n_stalls, stall_s) =
-                    engine.fault_schedule().stalls_in(t, t + prefill.latency_s);
+                let (n_stalls, stall_s) = engine.stalls_in(t, t + prefill.latency_s);
                 if n_stalls > 0 {
                     engine.counters_mut().stalls += n_stalls as u64;
                     if stall_s > 0.0 {
@@ -660,7 +668,8 @@ impl BatchStepper {
             // Admit as many as currently fit; the rest keep waiting. Only
             // the private context (past the still-resident shared prefix)
             // needs blocks.
-            let mut seqs = Vec::with_capacity(count);
+            let mut seqs = self.seq_pool.pop().unwrap_or_default();
+            seqs.reserve(count);
             for placed in 0..count {
                 match self.alloc_private(ctx0 - shared_tokens) {
                     Some(sid) => seqs.push(sid),
@@ -675,6 +684,7 @@ impl BatchStepper {
                 }
             }
             if seqs.is_empty() {
+                self.seq_pool.push(seqs);
                 continue; // other slots hold the cache; retry next step
             }
 
@@ -783,7 +793,9 @@ impl BatchStepper {
             }
         }
         if self.cohorts.last().is_some_and(|c| c.seqs.is_empty()) {
-            self.cohorts.pop();
+            if let Some(c) = self.cohorts.pop() {
+                self.seq_pool.push(c.seqs);
+            }
         }
         Ok(())
     }
@@ -915,9 +927,7 @@ impl BatchStepper {
         if throttled {
             engine.counters_mut().throttled_phases += 1;
         }
-        let (n_stalls, stall_s) = engine
-            .fault_schedule()
-            .stalls_in(self.clock, self.clock + span);
+        let (n_stalls, stall_s) = engine.stalls_in(self.clock, self.clock + span);
         if n_stalls > 0 {
             engine.counters_mut().stalls += n_stalls as u64;
         }
@@ -1000,36 +1010,45 @@ impl BatchStepper {
             c.produced += chunk;
         }
 
-        // Retire finished cohorts, then finalize fully-done slots.
+        // Retire finished cohorts, then finalize fully-done slots. Both
+        // walks compact their list in place (single stable pass, no
+        // per-removal `Vec::remove` shifting); the relative order of
+        // survivors — and therefore every later phase-key sequence and RNG
+        // draw — is unchanged.
         let mut finished_any = false;
-        let mut ci = 0;
-        while ci < self.cohorts.len() {
+        let mut keep = 0;
+        for ci in 0..self.cohorts.len() {
             if self.cohorts[ci].produced >= self.cohorts[ci].max_new_tokens {
-                let cohort = self.cohorts.remove(ci);
-                for seq in &cohort.seqs {
-                    self.kv.release(*seq)?;
+                let mut seqs = std::mem::take(&mut self.cohorts[ci].seqs);
+                for &seq in &seqs {
+                    self.kv.release(seq)?;
                 }
-                if let Some(s) = self.slots[cohort.slot].as_mut() {
-                    s.done_seqs += cohort.seqs.len();
+                if let Some(s) = self.slots[self.cohorts[ci].slot].as_mut() {
+                    s.done_seqs += seqs.len();
                 }
+                seqs.clear();
+                self.seq_pool.push(seqs);
                 finished_any = true;
             } else {
-                ci += 1;
+                self.cohorts.swap(keep, ci);
+                keep += 1;
             }
         }
+        self.cohorts.truncate(keep);
         let mut retired = Vec::new();
         if finished_any {
             // Walk live slots in admission order (pre-slab: ascending slot
             // index): finalize_parts draws run-level jitter RNG per retired
             // slot, so this order is part of the bit-exactness contract.
-            let mut oi = 0;
-            while oi < self.order.len() {
+            let mut keep = 0;
+            for oi in 0..self.order.len() {
                 let i = self.order[oi];
                 let done = self.slots[i]
                     .as_ref()
                     .is_some_and(|s| s.done_seqs == s.batch);
                 if !done {
-                    oi += 1;
+                    self.order[keep] = i;
+                    keep += 1;
                     continue;
                 }
                 if let Some(s) = self.slots[i].take() {
@@ -1053,9 +1072,9 @@ impl BatchStepper {
                         extra_wait_s: s.wait_s * jitter,
                     });
                 }
-                self.order.remove(oi);
                 self.free.push(i);
             }
+            self.order.truncate(keep);
             if !self.is_busy() {
                 // Fully drained: drop retired slot shells so slab capacity
                 // never outlives a burst across a long serving run.
@@ -1081,18 +1100,28 @@ impl BatchStepper {
             .slots
             .iter()
             .position(|s| s.as_ref().is_some_and(|s| s.id == id))?;
-        let mut ci = 0;
-        while ci < self.cohorts.len() {
+        // Single stable compaction pass over each list (collect once, drain
+        // once) instead of a `remove`/`retain` shift per matching entry —
+        // with many simultaneous cancellations the total cost stays linear
+        // in the list lengths rather than quadratic.
+        let mut keep = 0;
+        for ci in 0..self.cohorts.len() {
             if self.cohorts[ci].slot == idx {
-                let cohort = self.cohorts.remove(ci);
-                for seq in &cohort.seqs {
-                    let _ = self.kv.release(*seq);
+                let mut seqs = std::mem::take(&mut self.cohorts[ci].seqs);
+                for &seq in &seqs {
+                    let _ = self.kv.release(seq);
                 }
+                seqs.clear();
+                self.seq_pool.push(seqs);
             } else {
-                ci += 1;
+                self.cohorts.swap(keep, ci);
+                keep += 1;
             }
         }
-        self.waiting.retain(|w| w.slot != idx);
+        self.cohorts.truncate(keep);
+        if self.waiting.iter().any(|w| w.slot == idx) {
+            self.waiting.retain(|w| w.slot != idx);
+        }
         let s = self.slots[idx].take()?;
         self.unpin_prefix(s.prefix_path, s.batch);
         if let Some(pos) = self.order.iter().position(|&i| i == idx) {
@@ -1112,12 +1141,13 @@ impl BatchStepper {
     /// [`step`](Self::step)), releasing all KV state. Returns the failed
     /// slot handles.
     pub fn fail_all(&mut self) -> Vec<SlotId> {
-        for c in &self.cohorts {
-            for seq in &c.seqs {
-                let _ = self.kv.release(*seq);
+        for mut c in self.cohorts.drain(..) {
+            for &seq in &c.seqs {
+                let _ = self.kv.release(seq);
             }
+            c.seqs.clear();
+            self.seq_pool.push(c.seqs);
         }
-        self.cohorts.clear();
         self.waiting.clear();
         // Admission order, as the pre-slab ascending-index walk produced.
         let failed = self
@@ -1252,6 +1282,104 @@ mod tests {
         assert_eq!(retired.len(), 1);
         assert_eq!(retired[0].id, b.id);
         assert_eq!(stepper.kv_free_tokens(), cap, "cancel must not leak KV");
+    }
+
+    /// The allocation-budget invariant (DESIGN.md §14): once warm, a decode
+    /// iteration that retires nothing performs zero heap allocations. The
+    /// first pass of the request warms the plan cache, KV maps and scratch
+    /// capacities; the second identical request is all cache hits, and its
+    /// mid-flight steps are measured under the counting allocator.
+    #[test]
+    fn steady_state_step_allocates_nothing() {
+        let mut e = InferenceEngine::new(
+            EngineConfig {
+                // A small trace cap puts the recorder in its decimating
+                // steady state (fixed capacity) well before the window.
+                tbt_trace_cap: 8,
+                ..EngineConfig::vllm()
+            },
+            11,
+        );
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        let req = GenerationRequest::new(64, 1920).with_batch(2);
+        // Warm pass: run an identical request to completion.
+        stepper.admit(&mut e, 0.0, &req).expect("admits");
+        while stepper.is_busy() {
+            stepper.step(&mut e).expect("steps");
+        }
+        // Measured pass: same phase keys throughout. Step past the trace
+        // recorder's growth phase, then budget a window of mid-flight
+        // iterations.
+        stepper
+            .admit(&mut e, stepper.clock_s(), &req)
+            .expect("admits");
+        for _ in 0..20 {
+            let out = stepper.step(&mut e).expect("steps");
+            assert!(out.retired.is_empty(), "warm-up must stay mid-flight");
+        }
+        let before = crate::alloc_counter::thread_allocs();
+        for _ in 0..10 {
+            let out = stepper.step(&mut e).expect("steps");
+            assert!(out.retired.is_empty(), "window must stay mid-flight");
+        }
+        assert_eq!(
+            crate::alloc_counter::thread_allocs() - before,
+            0,
+            "a warm decode step must not allocate"
+        );
+        while stepper.is_busy() {
+            stepper.step(&mut e).expect("steps");
+        }
+    }
+
+    /// Many simultaneous cancellations stay linear: each `cancel` is one
+    /// stable compaction pass per list, and the stepper's state is fully
+    /// reclaimed afterwards (the mass-failure recovery path).
+    #[test]
+    fn mass_cancellation_reclaims_everything() {
+        let mut e = engine(29);
+        let mut stepper =
+            BatchStepper::new(&e, ModelId::Dsr1Qwen1_5b, Precision::Fp16).expect("fits");
+        let cap = stepper.kv_free_tokens();
+        let mut ids = Vec::new();
+        for i in 0..24 {
+            let adm = stepper
+                .admit(
+                    &mut e,
+                    i as f64 * 0.1,
+                    &GenerationRequest::new(64, 256).with_batch(2),
+                )
+                .expect("admits");
+            ids.push(adm.id);
+        }
+        let _ = stepper.step(&mut e).expect("steps");
+        // Cancel every slot back to front (worst case for shift-based
+        // removal: every removal used to slide the whole tail).
+        let mut energy = 0.0;
+        for &id in ids.iter().rev() {
+            energy += stepper.cancel(id).expect("slot is live");
+        }
+        assert!(energy > 0.0);
+        assert!(!stepper.is_busy(), "all slots cancelled");
+        assert_eq!(stepper.live_queries(), 0);
+        assert_eq!(
+            stepper.kv_free_tokens(),
+            cap,
+            "mass cancellation must not leak KV"
+        );
+        // The stepper stays serviceable: a fresh admission runs to
+        // completion on the recycled state.
+        let adm = stepper
+            .admit(&mut e, 100.0, &GenerationRequest::new(64, 96))
+            .expect("admits");
+        let mut retired = Vec::new();
+        while stepper.is_busy() {
+            retired.extend(stepper.step(&mut e).expect("steps").retired);
+        }
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].id, adm.id);
+        assert_eq!(stepper.kv_free_tokens(), cap);
     }
 
     #[test]

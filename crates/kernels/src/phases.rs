@@ -170,7 +170,10 @@ pub fn build_prefill_into(
         m as f64 * d as f64 * ACT,
     ));
 
-    for _ in 0..arch.layers {
+    // One layer's kernels; the loop body is layer-index-independent, so the
+    // first cycle is built and the rest replicated with a memcpy.
+    let cycle_start = out.len();
+    {
         out.push(rms_norm(m, d));
         // Fused QKV projection.
         push_linear(out, KernelClass::Gemm, prec, m, da + 2 * dkv, d);
@@ -224,6 +227,13 @@ pub fn build_prefill_into(
             m as f64 * arch.d_ff as f64 * ACT,
         ));
         push_linear(out, KernelClass::Gemm, prec, m, d, arch.d_ff);
+    }
+    let cycle = cycle_start..out.len();
+    if arch.layers == 0 {
+        out.truncate(cycle_start);
+    }
+    for _ in 1..arch.layers {
+        out.extend_from_within(cycle.clone());
     }
 
     // Final norm + LM head on the last token of each sequence only (vLLM
@@ -289,36 +299,44 @@ pub fn build_decode_base_into(
         m as f64 * d as f64 * ACT,
     ));
 
-    for _ in 0..arch.layers {
-        out.push(rms_norm(m, d));
-        push_linear(out, KernelClass::Gemv, prec, m, da + 2 * dkv, d);
-        // RoPE on the new token.
-        out.push(KernelDesc::raw(
-            KernelClass::Elementwise,
-            ComputeKind::CudaFp32,
-            6.0 * m as f64 * (da + dkv) as f64,
-            m as f64 * (da + dkv) as f64 * ACT,
-            m as f64 * (da + dkv) as f64 * ACT,
-        ));
-        // KV append.
-        out.push(KernelDesc::raw(
-            KernelClass::MemCopy,
-            ComputeKind::CudaFp32,
-            0.0,
-            0.0,
-            m as f64 * 2.0 * dkv as f64 * ACT,
-        ));
-        push_linear(out, KernelClass::Gemv, prec, m, d, da);
-        out.push(rms_norm(m, d));
-        push_linear(out, KernelClass::Gemv, prec, m, 2 * arch.d_ff, d);
-        out.push(KernelDesc::raw(
-            KernelClass::Elementwise,
-            ComputeKind::CudaFp32,
-            4.0 * m as f64 * arch.d_ff as f64,
-            2.0 * m as f64 * arch.d_ff as f64 * ACT,
-            m as f64 * arch.d_ff as f64 * ACT,
-        ));
-        push_linear(out, KernelClass::Gemv, prec, m, d, arch.d_ff);
+    // One layer's kernels; the loop body is layer-index-independent, so the
+    // first cycle is built and the rest replicated with a memcpy.
+    let cycle_start = out.len();
+    out.push(rms_norm(m, d));
+    push_linear(out, KernelClass::Gemv, prec, m, da + 2 * dkv, d);
+    // RoPE on the new token.
+    out.push(KernelDesc::raw(
+        KernelClass::Elementwise,
+        ComputeKind::CudaFp32,
+        6.0 * m as f64 * (da + dkv) as f64,
+        m as f64 * (da + dkv) as f64 * ACT,
+        m as f64 * (da + dkv) as f64 * ACT,
+    ));
+    // KV append.
+    out.push(KernelDesc::raw(
+        KernelClass::MemCopy,
+        ComputeKind::CudaFp32,
+        0.0,
+        0.0,
+        m as f64 * 2.0 * dkv as f64 * ACT,
+    ));
+    push_linear(out, KernelClass::Gemv, prec, m, d, da);
+    out.push(rms_norm(m, d));
+    push_linear(out, KernelClass::Gemv, prec, m, 2 * arch.d_ff, d);
+    out.push(KernelDesc::raw(
+        KernelClass::Elementwise,
+        ComputeKind::CudaFp32,
+        4.0 * m as f64 * arch.d_ff as f64,
+        2.0 * m as f64 * arch.d_ff as f64 * ACT,
+        m as f64 * arch.d_ff as f64 * ACT,
+    ));
+    push_linear(out, KernelClass::Gemv, prec, m, d, arch.d_ff);
+    let cycle = cycle_start..out.len();
+    if arch.layers == 0 {
+        out.truncate(cycle_start);
+    }
+    for _ in 1..arch.layers {
+        out.extend_from_within(cycle.clone());
     }
 
     out.push(rms_norm(m, d));
@@ -358,23 +376,22 @@ pub fn build_decode_attn_into(
     let out = &mut plan.kernels;
     out.reserve(arch.layers);
 
+    // Every layer lowers to the same descriptor (nothing in the loop body
+    // depends on the layer index), so build it once and replicate.
+    let mut attn = KernelDesc::gemm(
+        KernelClass::Gemv,
+        prec.compute_kind(),
+        m,
+        ctx,
+        arch.head_dim,
+    )
+    .with_bytes_f64(
+        m as f64 * ctx as f64 * 2.0 * dkv as f64 * ACT + m as f64 * da as f64 * ACT,
+        m as f64 * da as f64 * ACT,
+    );
+    attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
     for _ in 0..arch.layers {
-        out.push(
-            KernelDesc::gemm(
-                KernelClass::Gemv,
-                prec.compute_kind(),
-                m,
-                ctx,
-                arch.head_dim,
-            )
-            .with_bytes_f64(
-                m as f64 * ctx as f64 * 2.0 * dkv as f64 * ACT + m as f64 * da as f64 * ACT,
-                m as f64 * da as f64 * ACT,
-            ),
-        );
-        if let Some(attn) = out.last_mut() {
-            attn.flops = 4.0 * m as f64 * ctx as f64 * da as f64;
-        }
+        out.push(attn);
     }
 }
 

@@ -42,6 +42,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Model-zoo lookups must surface typed errors or documented panics with
+// context, never bare unwraps (tests keep their expect/unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accuracy;
 pub mod anchors;

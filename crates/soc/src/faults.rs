@@ -315,6 +315,176 @@ impl FaultSchedule {
     }
 }
 
+/// Pre-combined derate components of one timeline segment (everything
+/// except the power-mode-relative division, which depends on the query-time
+/// [`PowerMode`]).
+#[derive(Debug, Clone, Copy)]
+struct SegmentDerate {
+    /// Min `freq_scale` over active thermal windows (`+inf` when none).
+    thermal_freq: f64,
+    /// Min `bw_scale` over active contention windows (`+inf` when none).
+    bw: f64,
+    /// Min `forced.freq_scale()` over active mode drops (`+inf` when none).
+    drop_freq: f64,
+    /// Min `forced.power_cap_w()` over active mode drops (`+inf` when none).
+    cap_w: f64,
+}
+
+impl SegmentDerate {
+    const EMPTY: SegmentDerate = SegmentDerate {
+        thermal_freq: f64::INFINITY,
+        bw: f64::INFINITY,
+        drop_freq: f64::INFINITY,
+        cap_w: f64::INFINITY,
+    };
+}
+
+/// A query-time index over a [`FaultSchedule`]: O(log n) [`derate_at`] and
+/// [`stalls_in`] lookups that are bit-identical to the schedule's linear
+/// scans.
+///
+/// [`FaultSchedule::derate_at`] walks every window whose start precedes the
+/// query instant, which makes a dense schedule (intensity 1.0 over a
+/// 20 000 s horizon is ~800 windows) cost O(past windows) *per phase
+/// boundary*. The index precomputes the piecewise-constant active-window
+/// composition once: boundaries are the sorted starts/ends of every
+/// derate-relevant window, and each segment stores the per-axis minima of
+/// the windows covering it. Queries binary-search the segment and finish
+/// the composition with pure float math.
+///
+/// Bit-exactness relies on two IEEE facts: `f64::min` over a NaN-free set
+/// is order-invariant, and division by a positive constant is weakly
+/// monotone, so `min_i(fᵢ/m) == (min_i fᵢ)/m` bit-for-bit — which lets the
+/// power-mode-relative division of [`FaultKind::PowerModeDrop`] be factored
+/// out of the precomputed minima. An index over the empty schedule returns
+/// the exact [`Derate::IDENTITY`], preserving the no-op guarantee.
+///
+/// [`derate_at`]: FaultIndex::derate_at
+/// [`stalls_in`]: FaultIndex::stalls_in
+#[derive(Debug, Clone, Default)]
+pub struct FaultIndex {
+    /// Segment boundaries: sorted, deduplicated starts/ends of every
+    /// derate-relevant window. Segment `k` covers
+    /// `[boundaries[k], boundaries[k+1])` (the last extends to `+inf`);
+    /// instants before `boundaries[0]` see the identity derate.
+    boundaries: Vec<f64>,
+    /// Per-segment composition, `segments.len() == boundaries.len()`.
+    segments: Vec<SegmentDerate>,
+    /// `(start_s, duration_s)` of every [`FaultKind::KernelStall`] window,
+    /// in schedule order (sorted by start).
+    stalls: Vec<(f64, f64)>,
+}
+
+impl FaultIndex {
+    /// Builds the index for `schedule`. O(n log n) in the window count.
+    #[must_use]
+    pub fn new(schedule: &FaultSchedule) -> Self {
+        let stalls: Vec<(f64, f64)> = schedule
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, FaultKind::KernelStall))
+            .map(|ev| (ev.start_s, ev.duration_s))
+            .collect();
+        // Only these three kinds contribute to the derate composition.
+        let derates: Vec<&Disturbance> = schedule
+            .events()
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev.kind,
+                    FaultKind::ThermalThrottle { .. }
+                        | FaultKind::BandwidthContention { .. }
+                        | FaultKind::PowerModeDrop { .. }
+                )
+            })
+            .collect();
+        let mut boundaries: Vec<f64> = derates
+            .iter()
+            .flat_map(|ev| [ev.start_s, ev.end_s()])
+            .collect();
+        boundaries.sort_by(f64::total_cmp);
+        boundaries.dedup_by(|a, b| a == b);
+        // Sweep: windows are half-open `[start, end)` and every start/end is
+        // a boundary, so the active set is constant within each segment.
+        let mut segments = Vec::with_capacity(boundaries.len());
+        let mut active: Vec<&Disturbance> = Vec::new();
+        let mut next = 0usize; // derates are sorted by start
+        for &b in &boundaries {
+            active.retain(|ev| ev.end_s() > b);
+            while next < derates.len() && derates[next].start_s <= b {
+                if derates[next].end_s() > b {
+                    active.push(derates[next]);
+                }
+                next += 1;
+            }
+            let mut seg = SegmentDerate::EMPTY;
+            for ev in &active {
+                match ev.kind {
+                    FaultKind::ThermalThrottle { freq_scale } => {
+                        seg.thermal_freq = seg.thermal_freq.min(freq_scale);
+                    }
+                    FaultKind::BandwidthContention { bw_scale } => {
+                        seg.bw = seg.bw.min(bw_scale);
+                    }
+                    FaultKind::PowerModeDrop { mode: forced } => {
+                        seg.drop_freq = seg.drop_freq.min(forced.freq_scale());
+                        seg.cap_w = seg.cap_w.min(forced.power_cap_w());
+                    }
+                    FaultKind::KernelStall | FaultKind::DeviceCrash => {}
+                }
+            }
+            segments.push(seg);
+        }
+        Self {
+            boundaries,
+            segments,
+            stalls,
+        }
+    }
+
+    /// The combined [`Derate`] at instant `t` for a GPU in `mode` —
+    /// bit-identical to [`FaultSchedule::derate_at`] on the indexed
+    /// schedule.
+    #[must_use]
+    pub fn derate_at(&self, t: f64, mode: PowerMode) -> Derate {
+        let idx = self.boundaries.partition_point(|b| *b <= t);
+        if idx == 0 {
+            return Derate::IDENTITY;
+        }
+        let seg = self.segments[idx - 1];
+        // Empty axes hold +inf, which survives the positive division and
+        // loses every min against the identity — no active-set branch
+        // needed.
+        Derate {
+            freq: 1.0f64
+                .min(seg.thermal_freq)
+                .min(seg.drop_freq / mode.freq_scale()),
+            bw: 1.0f64.min(seg.bw),
+            cap_w: f64::INFINITY.min(seg.cap_w),
+        }
+    }
+
+    /// Kernel-stall windows starting inside `[t0, t1)` — bit-identical to
+    /// [`FaultSchedule::stalls_in`] (the summation order over in-range
+    /// stalls is the schedule order, exactly as the scan visits them).
+    #[must_use]
+    pub fn stalls_in(&self, t0: f64, t1: f64) -> (usize, f64) {
+        let lo = self.stalls.partition_point(|(s, _)| *s < t0);
+        let hi = self.stalls.partition_point(|(s, _)| *s < t1);
+        let mut seconds = 0.0f64;
+        for &(_, d) in &self.stalls[lo..hi.max(lo)] {
+            seconds += d;
+        }
+        (hi.saturating_sub(lo), seconds)
+    }
+
+    /// Whether the indexed schedule had no windows at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.boundaries.is_empty() && self.stalls.is_empty()
+    }
+}
+
 /// Knuth's Poisson sampler (λ is small here: a handful of events per run).
 fn poisson(rng: &mut Rng, lambda: f64) -> usize {
     if lambda <= 0.0 {

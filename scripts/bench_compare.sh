@@ -6,11 +6,12 @@
 # Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold_pct]
 #
 # BENCH_REQUIRE_PREFIXES (comma-separated; the default requires the
-# serving/ and cluster/ groups plus the PR6 discrete-event entries
-# serving/des_100k and cluster/des_3rep_100k by name) lists bench name
-# prefixes that must be present in the candidate snapshot, so a group —
-# or the throughput-gate entries specifically — silently dropping out of
-# the build can't dodge the gate.
+# serving/ and cluster/ groups plus the discrete-event entries
+# serving/des_100k, cluster/des_3rep_100k and the allocation-sensitive
+# cluster/des_3rep_1m by name) lists bench name prefixes that must be
+# present in the candidate snapshot, so a group — or the
+# throughput/allocation-gate entries specifically — silently dropping
+# out of the build can't dodge the gate.
 set -euo pipefail
 if [[ $# -lt 2 ]]; then
   echo "usage: $0 BASELINE.json CANDIDATE.json [threshold_pct]" >&2
@@ -20,7 +21,7 @@ base="$1"
 cand="$2"
 threshold="${3:-20}"
 
-require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,thermal/,serving/des_100k,cluster/des_3rep_100k}"
+require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,thermal/,serving/des_100k,cluster/des_3rep_100k,cluster/des_3rep_1m}"
 
 python3 - "$base" "$cand" "$threshold" "$require" <<'EOF'
 import json

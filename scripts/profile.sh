@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Profiles the simulator hot paths — the two discrete-event gate benches
+# by default — with whatever profiler this machine offers, best first:
+#
+#   1. cargo flamegraph        (perf + inferno, interactive SVG)
+#   2. perf record + report    (sampled call stacks, text)
+#   3. perf stat               (hardware counters only)
+#   4. gprofng collect/display (binutils sampled profile, text)
+#
+# and prints per-function hot-spot output. Every tier degrades
+# gracefully: when no profiler exists at all, the script explains what
+# to install and exits 1 without touching the tree.
+#
+# Usage: scripts/profile.sh [BENCH_FILTER ...]
+#   BENCH_FILTER  substring filter(s) passed to the bench binary, one
+#                 profile per filter (default: serving/des_100k
+#                 cluster/des_3rep_100k)
+#
+# Environment:
+#   PROFILE_OUT   output directory (default: target/profile)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+filters=("$@")
+if [[ ${#filters[@]} -eq 0 ]]; then
+  filters=(serving/des_100k cluster/des_3rep_100k)
+fi
+out_dir="${PROFILE_OUT:-target/profile}"
+mkdir -p "$out_dir"
+
+# The bench binary re-runs its measurement loop; one uncached build up
+# front so every profile below samples the same optimized binary.
+cargo bench -p edgereasoning-bench --bench simulator --no-run >/dev/null 2>&1
+bench_bin="$(ls -t target/release/deps/simulator-* 2>/dev/null | grep -v '\.d$' | head -1)"
+if [[ -z "$bench_bin" ]]; then
+  echo "error: bench binary not found under target/release/deps" >&2
+  exit 1
+fi
+
+slug() { echo "$1" | tr '/' '_'; }
+
+profile_one() {
+  local filter="$1" tag
+  tag="$(slug "$filter")"
+  echo "== profiling $filter =="
+
+  if command -v cargo-flamegraph >/dev/null 2>&1 && command -v perf >/dev/null 2>&1; then
+    local svg="$out_dir/$tag.svg"
+    cargo flamegraph -p edgereasoning-bench --bench simulator \
+      -o "$svg" -- "$filter" && {
+      echo "flamegraph: $svg"
+      return 0
+    }
+    echo "cargo flamegraph failed; falling back" >&2
+  fi
+
+  if command -v perf >/dev/null 2>&1; then
+    local data="$out_dir/$tag.perf.data"
+    if perf record -g -o "$data" -- "$bench_bin" "$filter" >/dev/null 2>&1; then
+      perf report -i "$data" --stdio --percent-limit 1 | head -40
+      echo "perf data: $data"
+      return 0
+    fi
+    echo "perf record unavailable (permissions?); trying perf stat" >&2
+    if perf stat -- "$bench_bin" "$filter" 2>&1 | tail -20; then
+      return 0
+    fi
+    echo "perf stat failed; falling back" >&2
+  fi
+
+  if command -v gprofng >/dev/null 2>&1; then
+    local er="$out_dir/$tag.er"
+    rm -rf "$er"
+    if gprofng collect app -o "$er" "$bench_bin" "$filter" >/dev/null 2>&1; then
+      gprofng display text -functions "$er" | head -40
+      echo "gprofng experiment: $er"
+      return 0
+    fi
+    echo "gprofng collect failed" >&2
+  fi
+
+  cat >&2 <<'MSG'
+error: no usable profiler found.
+  Install one of:
+    - perf + cargo-flamegraph (cargo install flamegraph) for SVG flamegraphs
+    - linux-tools (perf) for sampled reports / hardware counters
+    - binutils gprofng for text function profiles
+MSG
+  return 1
+}
+
+status=0
+for f in "${filters[@]}"; do
+  profile_one "$f" || status=1
+done
+exit $status
