@@ -10,14 +10,18 @@
 
 use proc_macro::TokenStream;
 
-/// Accepts `#[derive(Serialize)]` and expands to an empty item list.
-#[proc_macro_derive(Serialize)]
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes on the item and its fields) and expands to an empty item
+/// list.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to an empty item list.
-#[proc_macro_derive(Deserialize)]
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes on the item and its fields) and expands to an empty item
+/// list.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

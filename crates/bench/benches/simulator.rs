@@ -2,16 +2,19 @@
 //! roofline execution, full generations, and dataset-scale evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use edgereasoning_engine::cluster::{simulate_cluster, ClusterConfig, CrashConfig};
+use edgereasoning_engine::cluster::{simulate_cluster, BreakerConfig, ClusterConfig, CrashConfig};
 use edgereasoning_engine::engine::{EngineConfig, InferenceEngine};
 use edgereasoning_engine::kv_cache::KvCacheManager;
 use edgereasoning_engine::prefix_cache::PrefixCache;
 use edgereasoning_engine::request::GenerationRequest;
-use edgereasoning_engine::serving::{simulate_serving_with, SchedulerKind, ServingConfig};
+use edgereasoning_engine::serving::{
+    simulate_serving_with, AdmissionConfig, Priority, PriorityMix, SchedulerKind, ServingConfig,
+};
 use edgereasoning_kernels::arch::ModelId;
 use edgereasoning_kernels::dtype::Precision;
 use edgereasoning_kernels::phases::{decode_step_kernels, prefill_kernels};
 use edgereasoning_models::evaluate::{evaluate, EvalOptions};
+use edgereasoning_soc::faults::{DomainConfig, DomainKind};
 use edgereasoning_soc::gpu::{ExecCalib, Gpu};
 use edgereasoning_soc::spec::{OrinSpec, PowerMode};
 use edgereasoning_soc::thermal::{GovernanceConfig, ThermalConfig, ThermalGovernor};
@@ -379,6 +382,66 @@ fn bench_thermal(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_overload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overload");
+    g.sample_size(10);
+    // One overload_study cell: a 240-query mixed-criticality stream at
+    // ~2x fleet capacity through two replicas. `fifo_2x` prices the
+    // class-tagging bookkeeping alone; `priority_2x` adds the full
+    // admission controller (class-ranked sort, token buckets, slack/KV
+    // guards, queue aging); `priority_storm_2x` adds domain weather and
+    // circuit breakers on top.
+    let mix = PriorityMix::EDGE_MIX;
+    let base = ServingConfig::new(10.0, 8, 240, 128, 96)
+        .with_deadline(8.0)
+        .with_queue_capacity(48);
+    let fifo_cfg = base.with_admission(AdmissionConfig::fifo(mix, 5));
+    let prio_cfg = base.with_admission(
+        AdmissionConfig::priority(mix, 5)
+            .with_rate(Priority::Batch, 2.5, 8.0)
+            .with_rate(Priority::Background, 0.75, 4.0)
+            .with_age_target(Priority::Background, 2.0)
+            .with_age_target(Priority::Batch, 6.0),
+    );
+    let calm = ClusterConfig::new(2, EngineConfig::vllm());
+    let stormy = ClusterConfig::new(2, EngineConfig::vllm())
+        .with_breaker(BreakerConfig {
+            cooldown_s: 4.0,
+            ..BreakerConfig::edge_default()
+        })
+        .with_domains(vec![
+            DomainConfig {
+                crash_mtbf_s: 120.0,
+                crash_mttr_s: 4.0,
+                ..DomainConfig::quiet(DomainKind::Power, vec![0, 1])
+            },
+            DomainConfig {
+                event_mtbf_s: 15.0,
+                event_duration_s: 5.0,
+                ..DomainConfig::quiet(DomainKind::Network, vec![0])
+            },
+        ]);
+    for (label, cluster, cfg) in [
+        ("fifo_2x_240q", &calm, &fifo_cfg),
+        ("priority_2x_240q", &calm, &prio_cfg),
+        ("priority_storm_2x_240q", &stormy, &prio_cfg),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                simulate_cluster(
+                    black_box(cluster),
+                    ModelId::Dsr1Qwen1_5b,
+                    Precision::Fp16,
+                    black_box(cfg),
+                    7,
+                )
+                .expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel_lowering,
@@ -388,6 +451,7 @@ criterion_group!(
     bench_cache_effect,
     bench_serving,
     bench_cluster,
+    bench_overload,
     bench_prefix_cache,
     bench_thermal
 );

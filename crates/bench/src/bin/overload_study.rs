@@ -1,0 +1,295 @@
+//! Overload study: mixed-criticality traffic at 1–3x capacity, with and
+//! without priority admission control, in calm weather and under
+//! correlated domain failures.
+//!
+//! A two-replica fleet first measures its own capacity (a saturating
+//! probe stream; the achieved QPS is the service ceiling). The grid then
+//! offers `factor x capacity` of [`TrafficMix::EDGE_GATEWAY`] traffic
+//! (20% interactive / 50% batch / 30% background) under two policies:
+//!
+//! * `fifo` — arrivals are class-tagged for reporting but admission is
+//!   order-only: a bounded queue sheds whoever arrives when it is full,
+//!   regardless of class.
+//! * `priority` — the cost-based admission controller: class-ranked
+//!   admission, per-class token buckets, deadline-slack and KV-cost
+//!   guards, and CoDel-style aging that drops stale background work.
+//!
+//! and two weathers:
+//!
+//! * `calm` — no faults.
+//! * `domains` — a shared power rail over both replicas (correlated
+//!   crashes) plus a network domain over replica 0 (router↔replica
+//!   partitions), with per-replica circuit breakers enabled.
+//!
+//! Every cell is re-checked by the conservation auditor
+//! (`engine::audit`); any violation aborts the run with a non-zero exit.
+//!
+//! The headline: at 2x overload FIFO collapses for every class —
+//! interactive SLO sinks with the rest — while priority admission keeps
+//! interactive SLO ≈ 1.0 by spending batch and background capacity first.
+//!
+//! Writes `outputs/overload_study.csv` (`--smoke` runs a reduced grid and
+//! writes `outputs/overload_study_smoke.csv` instead, for CI).
+
+use edgereasoning_bench::TableWriter;
+use edgereasoning_engine::audit_cluster;
+use edgereasoning_engine::cluster::{
+    simulate_cluster, BreakerConfig, ClusterConfig, ClusterReport,
+};
+use edgereasoning_engine::engine::EngineConfig;
+use edgereasoning_engine::serving::{AdmissionConfig, Priority, PriorityMix, ServingConfig};
+use edgereasoning_kernels::arch::ModelId;
+use edgereasoning_kernels::dtype::Precision;
+use edgereasoning_soc::faults::{DomainConfig, DomainKind};
+use edgereasoning_soc::runtime::{available_threads, par_map_deterministic};
+use edgereasoning_workloads::TrafficMix;
+
+const SEED: u64 = 0x0ead;
+const MODEL: ModelId = ModelId::Dsr1Qwen1_5b;
+const MAX_BATCH: usize = 8;
+const REPLICAS: usize = 2;
+const DEADLINE_S: f64 = 8.0;
+const PROMPT_TOKENS: usize = 128;
+const OUTPUT_TOKENS: usize = 96;
+
+/// The canonical edge traffic composition, owned by the workloads crate.
+const MIX: TrafficMix = TrafficMix::EDGE_GATEWAY;
+
+fn priority_mix() -> PriorityMix {
+    MIX.validate().expect("preset mix must be valid");
+    PriorityMix {
+        interactive: MIX.interactive,
+        batch: MIX.batch,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Policy {
+    Fifo,
+    Priority,
+}
+
+impl Policy {
+    fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Priority => "priority",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    factor: f64,
+    policy: Policy,
+    stormy: bool,
+    qps: f64,
+    queries: usize,
+}
+
+/// The two-replica fleet under test; weather and breakers are per-cell.
+fn fleet(stormy: bool) -> ClusterConfig {
+    let mut cluster = ClusterConfig::new(REPLICAS, EngineConfig::vllm());
+    if stormy {
+        cluster = cluster
+            .with_breaker(BreakerConfig {
+                cooldown_s: 4.0,
+                ..BreakerConfig::edge_default()
+            })
+            .with_domains(vec![
+                DomainConfig {
+                    crash_mtbf_s: 120.0,
+                    crash_mttr_s: 4.0,
+                    ..DomainConfig::quiet(DomainKind::Power, (0..REPLICAS).collect())
+                },
+                DomainConfig {
+                    event_mtbf_s: 15.0,
+                    event_duration_s: 5.0,
+                    ..DomainConfig::quiet(DomainKind::Network, vec![0])
+                },
+            ]);
+    }
+    cluster
+}
+
+fn serving(cell: &Cell) -> ServingConfig {
+    let capacity = cell.qps / cell.factor;
+    let admission = match cell.policy {
+        Policy::Fifo => AdmissionConfig::fifo(priority_mix(), SEED),
+        Policy::Priority => AdmissionConfig::priority(priority_mix(), SEED)
+            .with_rate(Priority::Batch, 0.5 * capacity, 8.0)
+            .with_rate(Priority::Background, 0.15 * capacity, 4.0)
+            .with_age_target(Priority::Background, 2.0)
+            .with_age_target(Priority::Batch, 6.0),
+    };
+    ServingConfig::new(
+        cell.qps,
+        MAX_BATCH,
+        cell.queries,
+        PROMPT_TOKENS,
+        OUTPUT_TOKENS,
+    )
+    .with_deadline(DEADLINE_S)
+    .with_queue_capacity(6 * MAX_BATCH)
+    .with_admission(admission)
+}
+
+/// Measures the fleet's service ceiling: a short saturating stream with
+/// no deadline pressure; achieved QPS is the capacity.
+fn probe_capacity(queries: usize) -> f64 {
+    let cfg = ServingConfig::new(40.0, MAX_BATCH, queries, PROMPT_TOKENS, OUTPUT_TOKENS)
+        .with_queue_capacity(usize::MAX);
+    let report = simulate_cluster(&fleet(false), MODEL, Precision::Fp16, &cfg, SEED)
+        .expect("capacity probe must not abort");
+    assert!(
+        report.fleet.achieved_qps.is_finite() && report.fleet.achieved_qps > 0.0,
+        "capacity probe produced no throughput"
+    );
+    report.fleet.achieved_qps
+}
+
+fn run_cell(cell: &Cell) -> ClusterReport {
+    let cfg = serving(cell);
+    let cluster = fleet(cell.stormy);
+    let report = simulate_cluster(&cluster, MODEL, Precision::Fp16, &cfg, SEED)
+        .expect("overload simulation must not abort");
+    let violations = audit_cluster(&cfg, &cluster, &report);
+    assert!(
+        violations.is_empty(),
+        "conservation auditor failed for factor {} policy {} stormy {}: {:?}",
+        cell.factor,
+        cell.policy.label(),
+        cell.stormy,
+        violations
+    );
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let factors: &[f64] = if smoke { &[2.0] } else { &[1.0, 2.0, 3.0] };
+    let queries = if smoke { 150 } else { 240 };
+    let probe_queries = if smoke { 60 } else { 160 };
+
+    let capacity = probe_capacity(probe_queries);
+    eprintln!("measured fleet capacity: {capacity:.3} qps ({REPLICAS} replicas)");
+
+    let mut cells = Vec::new();
+    for &factor in factors {
+        for stormy in [false, true] {
+            for policy in [Policy::Fifo, Policy::Priority] {
+                cells.push(Cell {
+                    factor,
+                    policy,
+                    stormy,
+                    qps: factor * capacity,
+                    queries,
+                });
+            }
+        }
+    }
+
+    eprintln!(
+        "running {} overload cells on {} worker threads",
+        cells.len(),
+        available_threads()
+    );
+    let results = par_map_deterministic(&cells, 0, |_, cell| run_cell(cell));
+
+    let mut table = TableWriter::new(
+        "Overload — priority admission vs FIFO shedding at 1-3x capacity (128/96 tokens, 12 s SLO)",
+        &[
+            "model",
+            "factor",
+            "weather",
+            "policy",
+            "offered_qps",
+            "completed",
+            "shed",
+            "failed",
+            "slo_interactive",
+            "slo_batch",
+            "slo_background",
+            "goodput_interactive",
+            "goodput_batch",
+            "goodput_background",
+            "J_interactive",
+            "J_batch",
+            "J_background",
+            "partition_events",
+            "breaker_trips",
+            "J_per_query",
+            "wall_s",
+        ],
+    );
+    // Per-class J/query: class energy over class completions (NaN-safe).
+    let j_per = |energy: f64, completed: usize| {
+        if completed == 0 {
+            f64::NAN
+        } else {
+            energy / completed as f64
+        }
+    };
+    for (cell, r) in cells.iter().zip(&results) {
+        let classes = r.classes.expect("admission is configured in every cell");
+        let (ci, cb, cg) = (
+            classes.class(Priority::Interactive),
+            classes.class(Priority::Batch),
+            classes.class(Priority::Background),
+        );
+        table.row(&[
+            MODEL.to_string(),
+            format!("{:.0}", cell.factor),
+            if cell.stormy { "domains" } else { "calm" }.to_string(),
+            cell.policy.label().to_string(),
+            format!("{:.3}", cell.qps),
+            format!("{}", r.fleet.completed),
+            format!("{}", r.fleet.shed_queries),
+            format!("{}", r.fleet.failed_queries),
+            format!("{:.3}", ci.slo_attainment),
+            format!("{:.3}", cb.slo_attainment),
+            format!("{:.3}", cg.slo_attainment),
+            format!("{:.4}", ci.goodput_qps),
+            format!("{:.4}", cb.goodput_qps),
+            format!("{:.4}", cg.goodput_qps),
+            format!("{:.1}", j_per(ci.energy_j, ci.completed)),
+            format!("{:.1}", j_per(cb.energy_j, cb.completed)),
+            format!("{:.1}", j_per(cg.energy_j, cg.completed)),
+            format!("{}", r.partition_events),
+            format!("{}", r.breaker_trips),
+            format!("{:.1}", r.fleet.energy_per_query_j),
+            format!("{:.1}", r.fleet.wall_s),
+        ]);
+    }
+    table.print();
+    table.write_csv(if smoke {
+        "overload_study_smoke"
+    } else {
+        "overload_study"
+    });
+
+    // The headline comparison: calm weather at 2x overload.
+    let find = |policy: Policy| {
+        cells
+            .iter()
+            .zip(&results)
+            .find(|(c, _)| c.factor == 2.0 && !c.stormy && c.policy == policy)
+            .map(|(_, r)| r)
+    };
+    if let (Some(fifo), Some(prio)) = (find(Policy::Fifo), find(Policy::Priority)) {
+        let slo = |r: &ClusterReport| {
+            r.classes
+                .expect("classes present")
+                .class(Priority::Interactive)
+                .slo_attainment
+        };
+        println!(
+            "2x overload (calm): interactive SLO {:.3} (fifo) vs {:.3} (priority); \
+             fleet J/query {:.1} vs {:.1}",
+            slo(fifo),
+            slo(prio),
+            fifo.fleet.energy_per_query_j,
+            prio.fleet.energy_per_query_j,
+        );
+    }
+}

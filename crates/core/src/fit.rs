@@ -657,8 +657,10 @@ pub fn fit_exp_log(x: &[f64], y: &[f64]) -> Option<PiecewiseExpLog> {
 
     match best? {
         ExpLogBest::Split { sse, lam, k, a, c } => {
-            let grid = grid.expect("split winners only exist with a grid");
-            let (alpha, beta, sse_log) = tails[k].expect("selected split has a log fit");
+            // Split winners only exist with a grid and a fitted log tail;
+            // `?` keeps that invariant non-panicking.
+            let grid = grid?;
+            let (alpha, beta, sse_log) = tails[k]?;
             let mut model = PiecewiseExpLog {
                 a,
                 lambda: grid.at(lam),
@@ -929,7 +931,7 @@ pub mod oracle {
         let (sse, lam, k, mut model) = best?;
         match lam {
             Some(i) => {
-                let grid = LambdaGrid::for_split_search(&xs).expect("grid existed for the winner");
+                let grid = LambdaGrid::for_split_search(&xs)?;
                 let sse_log: f64 = xs[k..]
                     .iter()
                     .zip(&ys[k..])

@@ -39,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Model fitting feeds the planner and the study driver: misuse must
+// surface as typed errors or explicit fallbacks, never as panics (tests
+// keep their expect/unwrap for brevity).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cost;
 pub mod energy;

@@ -138,6 +138,9 @@ impl Rig {
     ///
     /// Panics if the request does not fit device memory; use
     /// [`Rig::try_run_generation`] to handle that case.
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn run_generation(
         &mut self,
         model: ModelId,
@@ -183,6 +186,9 @@ impl Rig {
     ///
     /// Panics if a sweep point does not fit device memory; use
     /// [`Rig::try_sweep_decode`] to handle that case.
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn sweep_decode(
         &mut self,
         model: ModelId,
@@ -237,6 +243,9 @@ impl Rig {
     ///
     /// Panics if a sweep point does not fit device memory (the standard
     /// grids fit every supported model at the default budget).
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn characterize_latency(&mut self, model: ModelId, prec: Precision) -> TotalLatencyModel {
         if let Some(m) = self.latency_cache.get(&(model, prec)) {
             return *m;
@@ -278,6 +287,9 @@ impl Rig {
     /// # Panics
     ///
     /// Panics if a sweep point does not fit device memory.
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn characterize_power(
         &mut self,
         model: ModelId,
@@ -312,6 +324,9 @@ impl Rig {
     /// # Panics
     ///
     /// Panics if a sweep point does not fit device memory.
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn characterize_energy(
         &mut self,
         model: ModelId,
@@ -348,6 +363,9 @@ impl Rig {
     ///
     /// Panics if `holdout` is 0 or a hold-out generation does not fit
     /// device memory.
+    // Documented '# Panics' contract: these expects are the API surface,
+    // not accidental panics; misuse is caught loudly at the call site.
+    #[allow(clippy::expect_used)]
     pub fn validate_latency(
         &mut self,
         model: ModelId,

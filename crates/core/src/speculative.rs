@@ -95,7 +95,10 @@ impl SpeculativeConfig {
                 (k, cfg.speedup(draft_step_s, target_step_s, verify_overhead))
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty range")
+            // `1..=max_k.max(1)` always yields at least k = 1, so the
+            // fallback is unreachable; it exists to keep this path
+            // panic-free under the crate-wide expect/unwrap deny.
+            .unwrap_or((1, 1.0))
     }
 }
 

@@ -38,7 +38,23 @@
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::arrivals::{ArrivalGen, ArrivalProcess};
+use crate::serving::{Priority, PriorityMix};
 use crate::telemetry::ServingAccumulator;
+
+/// Per-priority-class conservation counters, indexed by
+/// [`Priority::index`]. The pending queue is the single point every query
+/// passes through (tagged at arrival, removed exactly once by shed, drop
+/// or release), so it owns the offered/shed/failed ledger; completions are
+/// counted by the scheduler loops at retirement.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClassCounters {
+    /// Queries tagged per class (incremented at arrival materialization).
+    pub(crate) offered: [usize; 3],
+    /// Queries shed per class (deadline, capacity, aging, slack guard).
+    pub(crate) shed: [usize; 3],
+    /// Queries dropped per class after exhausting retries.
+    pub(crate) failed: [usize; 3],
+}
 
 /// One scheduled event: a payload due at a simulated instant.
 #[derive(Debug, Clone, Copy)]
@@ -264,6 +280,8 @@ pub(crate) struct QuerySlot {
     /// Whether a device crash ever voided this query's in-flight work
     /// (cluster failover bookkeeping; cleared when the query completes).
     pub(crate) crashed: bool,
+    /// Priority class (Interactive unless a tagger is configured).
+    pub(crate) class: Priority,
     phase: QueryPhase,
 }
 
@@ -353,6 +371,12 @@ pub(crate) struct PendingQueue {
     /// (Self::shed_over_capacity), so capacity passes allocate nothing in
     /// steady state.
     defs_scratch: Vec<usize>,
+    /// Priority tagger `(mix, class_seed)`: when set, each materialized
+    /// arrival is tagged via [`PriorityMix::class_of`] (a pure hash of the
+    /// seq — the arrival RNG stream is untouched).
+    tagger: Option<(PriorityMix, u64)>,
+    /// Per-class offered/shed/failed ledger (meaningful when tagging).
+    counts: ClassCounters,
 }
 
 impl PendingQueue {
@@ -369,7 +393,43 @@ impl PendingQueue {
             deferred: Vec::new(),
             wakeups: EventQueue::new(),
             defs_scratch: Vec::new(),
+            tagger: None,
+            counts: ClassCounters::default(),
         }
+    }
+
+    /// Enables priority tagging: every arrival materialized from now on is
+    /// classed by `mix` under `class_seed`. Call before the first
+    /// [`pump`](Self::pump) so the whole trace is tagged.
+    pub(crate) fn set_tagger(&mut self, mix: PriorityMix, class_seed: u64) {
+        self.tagger = Some((mix, class_seed));
+    }
+
+    /// Priority class of `k` (Interactive for a stale key — harmless, as
+    /// the counters only move through live keys).
+    pub(crate) fn class_of(&self, k: QKey) -> Priority {
+        self.arena.get(k).map_or(Priority::Interactive, |s| s.class)
+    }
+
+    /// The per-class offered/shed/failed ledger.
+    pub(crate) fn class_counts(&self) -> &ClassCounters {
+        &self.counts
+    }
+
+    /// Counts `k` as shed in its class's ledger and releases its slot.
+    fn note_shed(&mut self, k: QKey) {
+        if let Some(s) = self.arena.get(k) {
+            self.counts.shed[s.class.index()] += 1;
+        }
+        self.arena.release(k);
+    }
+
+    /// Counts `k` as failed in its class's ledger and releases its slot.
+    fn note_failed(&mut self, k: QKey) {
+        if let Some(s) = self.arena.get(k) {
+            self.counts.failed[s.class.index()] += 1;
+        }
+        self.arena.release(k);
     }
 
     /// Whether every query has been admitted, shed or dropped (the legacy
@@ -456,12 +516,18 @@ impl PendingQueue {
             self.peeked = None;
             let seq = self.next_seq;
             self.next_seq += 1;
+            let class = match self.tagger {
+                Some((mix, seed)) => mix.class_of(seed, seq),
+                None => Priority::Interactive,
+            };
+            self.counts.offered[class.index()] += 1;
             let k = self.arena.alloc(QuerySlot {
                 seq,
                 arrival_s: t,
                 ready_s: t,
                 attempts: 0,
                 crashed: false,
+                class,
                 phase: QueryPhase::Ready,
             });
             self.ready.push_back(k);
@@ -483,7 +549,7 @@ impl PendingQueue {
                 break;
             }
             self.ready.pop_front();
-            self.arena.release(k);
+            self.note_shed(k);
             n += 1;
         }
         let mut i = 0;
@@ -495,13 +561,73 @@ impl PendingQueue {
                 .is_some_and(|s| now > s.arrival_s + deadline_s);
             if expired {
                 self.deferred.remove(i);
-                self.arena.release(k);
+                self.note_shed(k);
                 n += 1;
             } else {
                 i += 1;
             }
         }
         n
+    }
+
+    /// CoDel-style queue aging: sheds every waiting query older than its
+    /// class's target (`now - arrival_s > targets[class]`), returning the
+    /// shed count. All-infinite targets short-circuit to a no-op.
+    pub(crate) fn shed_aged(&mut self, now: f64, targets: &[f64; 3]) -> usize {
+        if targets.iter().all(|t| t.is_infinite()) {
+            return 0;
+        }
+        let mut n = 0;
+        let mut i = 0;
+        while i < self.ready.len() {
+            let Some(&k) = self.ready.get(i) else { break };
+            let aged = self
+                .arena
+                .get(k)
+                .is_some_and(|s| now - s.arrival_s > targets[s.class.index()]);
+            if aged {
+                self.ready.remove(i);
+                self.note_shed(k);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let k = self.deferred[i];
+            let aged = self
+                .arena
+                .get(k)
+                .is_some_and(|s| now - s.arrival_s > targets[s.class.index()]);
+            if aged {
+                self.deferred.remove(i);
+                self.note_shed(k);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    }
+
+    /// Sheds one specific waiting query (slack-guard and liveness drops).
+    /// Returns false — and does nothing — for a stale or in-flight key.
+    pub(crate) fn shed_key(&mut self, k: QKey) -> bool {
+        let phase = self.arena.get(k).map(|s| s.phase);
+        match phase {
+            Some(QueryPhase::Ready) => {
+                if self.ready.front() == Some(&k) {
+                    self.ready.pop_front();
+                } else if let Some(pos) = self.ready.iter().position(|&r| r == k) {
+                    self.ready.remove(pos);
+                }
+            }
+            Some(QueryPhase::Deferred) => self.remove_deferred(k),
+            _ => return false,
+        }
+        self.note_shed(k);
+        true
     }
 
     /// Index of the first ready-deque entry with `ready_s > now` (the
@@ -562,12 +688,12 @@ impl PendingQueue {
             };
             if take_ready {
                 if let Some(k) = self.ready.remove(r_end - 1) {
-                    self.arena.release(k);
+                    self.note_shed(k);
                 }
                 r_end -= 1;
             } else if let Some(i) = defs.pop() {
                 let k = self.deferred.remove(i);
-                self.arena.release(k);
+                self.note_shed(k);
             }
             excess -= 1;
         }
@@ -719,7 +845,7 @@ impl PendingQueue {
                 self.wakeups.push(ready_s, k);
             } else {
                 acc.failed += 1;
-                self.arena.release(k);
+                self.note_failed(k);
             }
         }
     }
@@ -829,6 +955,7 @@ mod tests {
             ready_s: 1.0,
             attempts: 0,
             crashed: false,
+            class: Priority::Interactive,
             phase: QueryPhase::Ready,
         };
         let k1 = a.alloc(slot);

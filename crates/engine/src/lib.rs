@@ -54,6 +54,7 @@ pub(crate) mod alloc_counter;
 static COUNTING_ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 pub mod arrivals;
+pub mod audit;
 pub mod cluster;
 mod des;
 pub mod engine;
@@ -69,6 +70,7 @@ pub mod stepper;
 pub mod telemetry;
 
 pub use arrivals::ArrivalProcess;
+pub use audit::{audit_classes, audit_cluster, audit_serving};
 pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport, CrashConfig, ReplicaHealth};
 pub use engine::{EngineConfig, EngineKind, InferenceEngine, OomPolicy};
 pub use kv_cache::{KvCacheManager, KvError, SeqId};
@@ -77,15 +79,17 @@ pub use plan_cache::{EngineCounters, PhaseKey, PhaseKind, PhasePlanCache};
 pub use prefix_cache::{PrefixCache, PrefixCacheStats};
 pub use request::GenerationRequest;
 pub use serving::{
-    simulate_serving, simulate_serving_continuous, simulate_serving_traffic, simulate_serving_with,
-    SchedulerKind, ServingConfig, ServingConfigError, ServingReport,
+    simulate_serving, simulate_serving_continuous, simulate_serving_overload,
+    simulate_serving_traffic, simulate_serving_with, AdmissionConfig, AdmissionPolicy,
+    ClassBreakdown, ClassReport, Priority, PriorityMix, SchedulerKind, ServingConfig,
+    ServingConfigError, ServingReport,
 };
 pub use serving_reference::simulate_serving_continuous_reference;
 pub use session::{
     simulate_serving_sessions, uniform_session_trace, SessionConfig, SessionReport, SessionRequest,
 };
 pub use stepper::{AdmitOutcome, BatchStepper, FinishedSlot, SlotId, StepOutcome};
-pub use telemetry::ServingAccumulator;
+pub use telemetry::{Ewma, ServingAccumulator};
 
 /// Canonical alias for the cached, deterministic simulation engine.
 pub type SimEngine = InferenceEngine;

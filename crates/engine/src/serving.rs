@@ -50,7 +50,7 @@ use crate::des::{PendingQueue, QKey};
 use crate::engine::InferenceEngine;
 use crate::request::GenerationRequest;
 use crate::stepper::{BatchStepper, SlotId};
-use crate::telemetry::ServingAccumulator;
+use crate::telemetry::{Ewma, ServingAccumulator};
 use crate::EngineError;
 
 /// Highest degradation-ladder level (batch shrink saturates at `2^-6`).
@@ -76,6 +76,178 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
+/// Request priority class, tagged per query by the workload mix.
+/// Interactive outranks Batch outranks Background at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-sensitive user-facing traffic (chat turns, robot commands).
+    Interactive,
+    /// Throughput work with a deadline but slack (summarization jobs).
+    Batch,
+    /// Best-effort work that tolerates arbitrary delay (indexing, evals).
+    Background,
+}
+
+impl Priority {
+    /// Every class, in admission-rank order (highest priority first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// Dense index, also the admission rank (lower admits first).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+            Priority::Background => write!(f, "background"),
+        }
+    }
+}
+
+/// Traffic composition over the priority classes. The Background fraction
+/// is the remainder `1 - interactive - batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityMix {
+    /// Fraction of queries tagged [`Priority::Interactive`].
+    pub interactive: f64,
+    /// Fraction tagged [`Priority::Batch`].
+    pub batch: f64,
+}
+
+impl PriorityMix {
+    /// Everything Interactive (the degenerate single-class mix).
+    pub const INTERACTIVE_ONLY: PriorityMix = PriorityMix {
+        interactive: 1.0,
+        batch: 0.0,
+    };
+
+    /// The canonical mixed-criticality edge mix used by the overload
+    /// study: 20% interactive, 50% batch, 30% background.
+    pub const EDGE_MIX: PriorityMix = PriorityMix {
+        interactive: 0.2,
+        batch: 0.5,
+    };
+
+    /// Deterministically tags arrival `seq` with a class.
+    ///
+    /// Uses a SplitMix64 finalizer over `(seed, seq)` rather than the
+    /// arrival RNG, so turning tagging on cannot perturb the arrival
+    /// schedule (the tag stream is independent of every other draw).
+    #[must_use]
+    pub fn class_of(&self, seed: u64, seq: u64) -> Priority {
+        let mut z = seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.interactive {
+            Priority::Interactive
+        } else if u < self.interactive + self.batch {
+            Priority::Batch
+        } else {
+            Priority::Background
+        }
+    }
+}
+
+/// How tagged traffic is admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Plain arrival-order admission with the blunt deadline/capacity
+    /// sheds. Classes are tagged and *reported* but never influence a
+    /// decision — bit-identical to running with no admission config.
+    Fifo,
+    /// Cost-based priority admission: class-rank-first selection,
+    /// per-class token buckets, predicted-KV-cost and deadline-slack
+    /// guards, and CoDel-style queue aging.
+    Priority,
+}
+
+/// Priority-class admission-control configuration. Per-class arrays are
+/// indexed by [`Priority::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// The admission policy.
+    pub policy: AdmissionPolicy,
+    /// Traffic composition used for tagging.
+    pub mix: PriorityMix,
+    /// Tagging lane, hashed with each query's sequence number
+    /// (independent of the arrival seed).
+    pub class_seed: u64,
+    /// Token-bucket refill rate per class, admissions/s
+    /// (`INFINITY` = unmetered).
+    pub rate_qps: [f64; 3],
+    /// Token-bucket capacity per class, admissions (`INFINITY` =
+    /// unbounded; at least one token otherwise).
+    pub burst: [f64; 3],
+    /// CoDel-style queue-aging target per class, seconds: a query waiting
+    /// longer is shed instead of poisoning the queue (`INFINITY` = never).
+    pub age_target_s: [f64; 3],
+    /// Rejects admissions whose predicted KV need exceeds free KV.
+    pub kv_guard: bool,
+    /// Sheds queries whose predicted completion would already blow the
+    /// deadline (no slack left).
+    pub slack_guard: bool,
+}
+
+impl AdmissionConfig {
+    /// Tag-and-report-only FIFO: every control inert, decisions
+    /// bit-identical to `admission: None`.
+    #[must_use]
+    pub fn fifo(mix: PriorityMix, class_seed: u64) -> Self {
+        Self {
+            policy: AdmissionPolicy::Fifo,
+            mix,
+            class_seed,
+            rate_qps: [f64::INFINITY; 3],
+            burst: [f64::INFINITY; 3],
+            age_target_s: [f64::INFINITY; 3],
+            kv_guard: false,
+            slack_guard: false,
+        }
+    }
+
+    /// Priority admission with the cost guards on and buckets unmetered.
+    #[must_use]
+    pub fn priority(mix: PriorityMix, class_seed: u64) -> Self {
+        Self {
+            policy: AdmissionPolicy::Priority,
+            mix,
+            class_seed,
+            rate_qps: [f64::INFINITY; 3],
+            burst: [f64::INFINITY; 3],
+            age_target_s: [f64::INFINITY; 3],
+            kv_guard: true,
+            slack_guard: true,
+        }
+    }
+
+    /// Meters one class with a token bucket, builder-style.
+    #[must_use]
+    pub fn with_rate(mut self, class: Priority, rate_qps: f64, burst: f64) -> Self {
+        self.rate_qps[class.index()] = rate_qps;
+        self.burst[class.index()] = burst;
+        self
+    }
+
+    /// Sets one class's queue-aging target, builder-style.
+    #[must_use]
+    pub fn with_age_target(mut self, class: Priority, target_s: f64) -> Self {
+        self.age_target_s[class.index()] = target_s;
+        self
+    }
+}
+
 /// A rejected [`ServingConfig`] field (typed, so callers can match instead
 /// of parsing strings — NaN arrival rates used to slip through and poison
 /// every downstream average).
@@ -93,10 +265,19 @@ pub enum ServingConfigError {
     ZeroPromptTokens,
     /// `output_tokens` was zero.
     ZeroOutputTokens,
-    /// `deadline_s` was set but NaN, zero or negative.
+    /// `deadline_s` was set but non-finite, zero or negative.
     InvalidDeadline,
-    /// `retry_backoff_s` was NaN or negative.
+    /// `retry_backoff_s` was non-finite or negative.
     InvalidRetryBackoff,
+    /// An admission mix fraction was NaN, negative, or summed past 1.
+    InvalidAdmissionMix,
+    /// An admission token-bucket rate was NaN or negative.
+    InvalidAdmissionRate,
+    /// An admission token-bucket burst was NaN, negative, or below one
+    /// token (a bucket that can never admit anything).
+    InvalidAdmissionBurst,
+    /// An admission queue-aging target was NaN, zero or negative.
+    InvalidAdmissionAge,
 }
 
 impl std::fmt::Display for ServingConfigError {
@@ -108,8 +289,31 @@ impl std::fmt::Display for ServingConfigError {
             Self::ZeroQueries => write!(f, "queries must be positive"),
             Self::ZeroPromptTokens => write!(f, "prompt_tokens must be positive"),
             Self::ZeroOutputTokens => write!(f, "output_tokens must be positive"),
-            Self::InvalidDeadline => write!(f, "deadline_s must be positive when set"),
-            Self::InvalidRetryBackoff => write!(f, "retry_backoff_s must be non-negative"),
+            Self::InvalidDeadline => write!(f, "deadline_s must be finite and positive when set"),
+            Self::InvalidRetryBackoff => {
+                write!(f, "retry_backoff_s must be finite and non-negative")
+            }
+            Self::InvalidAdmissionMix => {
+                write!(
+                    f,
+                    "admission mix fractions must be non-negative and sum to at most 1"
+                )
+            }
+            Self::InvalidAdmissionRate => {
+                write!(
+                    f,
+                    "admission rate_qps must be non-negative (INFINITY = unmetered)"
+                )
+            }
+            Self::InvalidAdmissionBurst => {
+                write!(f, "admission burst must be at least one token")
+            }
+            Self::InvalidAdmissionAge => {
+                write!(
+                    f,
+                    "admission age_target_s must be positive (INFINITY = never)"
+                )
+            }
         }
     }
 }
@@ -142,6 +346,10 @@ pub struct ServingConfig {
     /// Enables the degradation ladder (batch shrink, then token-budget
     /// shrink) under sustained throttling or deadline misses.
     pub degradation: bool,
+    /// Priority-class admission control (`None` = untagged FIFO serving,
+    /// the original behaviour; continuous scheduler only).
+    #[serde(default)]
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ServingConfig {
@@ -166,6 +374,7 @@ impl ServingConfig {
             max_retries: 0,
             retry_backoff_s: 0.0,
             degradation: false,
+            admission: None,
         }
     }
 
@@ -199,6 +408,13 @@ impl ServingConfig {
         self
     }
 
+    /// Enables priority-class admission control, builder-style.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -224,12 +440,34 @@ impl ServingConfig {
             return Err(ServingConfigError::ZeroOutputTokens);
         }
         if let Some(d) = self.deadline_s {
-            if d.is_nan() || d <= 0.0 {
+            if !d.is_finite() || d <= 0.0 {
                 return Err(ServingConfigError::InvalidDeadline);
             }
         }
-        if self.retry_backoff_s.is_nan() || self.retry_backoff_s < 0.0 {
+        if !self.retry_backoff_s.is_finite() || self.retry_backoff_s < 0.0 {
             return Err(ServingConfigError::InvalidRetryBackoff);
+        }
+        if let Some(adm) = &self.admission {
+            let m = adm.mix;
+            if m.interactive.is_nan()
+                || m.batch.is_nan()
+                || m.interactive < 0.0
+                || m.batch < 0.0
+                || m.interactive + m.batch > 1.0
+            {
+                return Err(ServingConfigError::InvalidAdmissionMix);
+            }
+            for i in 0..3 {
+                if adm.rate_qps[i].is_nan() || adm.rate_qps[i] < 0.0 {
+                    return Err(ServingConfigError::InvalidAdmissionRate);
+                }
+                if adm.burst[i].is_nan() || adm.burst[i] < 1.0 {
+                    return Err(ServingConfigError::InvalidAdmissionBurst);
+                }
+                if adm.age_target_s[i].is_nan() || adm.age_target_s[i] <= 0.0 {
+                    return Err(ServingConfigError::InvalidAdmissionAge);
+                }
+            }
         }
         Ok(())
     }
@@ -403,6 +641,227 @@ impl Accum {
     }
 }
 
+/// Outcomes for one priority class. Counts reconcile with the flat
+/// [`ServingReport`]: summed over classes, `offered` equals the offered
+/// load and `completed`/`shed`/`failed` equal the report's totals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClassReport {
+    /// Queries tagged with this class.
+    pub offered: usize,
+    /// Queries completed.
+    pub completed: usize,
+    /// Queries shed (deadline, capacity, aging, or slack guard).
+    pub shed: usize,
+    /// Queries dropped after exhausting retries.
+    pub failed: usize,
+    /// Completed queries that finished after their deadline.
+    pub deadline_misses: usize,
+    /// On-time completions over offered (`NaN` when nothing was offered).
+    pub slo_attainment: f64,
+    /// Mean end-to-end latency of completions, seconds (`NaN` when none).
+    pub avg_latency_s: f64,
+    /// Energy attributed to this class's completions, joules (each batch's
+    /// energy split evenly over its members).
+    pub energy_j: f64,
+    /// On-time completions per wall second.
+    pub goodput_qps: f64,
+}
+
+/// Per-class serving outcomes, indexed by [`Priority::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClassBreakdown {
+    /// One report per class, in [`Priority::ALL`] order.
+    pub classes: [ClassReport; 3],
+}
+
+impl ClassBreakdown {
+    /// The report for `class`.
+    #[must_use]
+    pub fn class(&self, class: Priority) -> &ClassReport {
+        &self.classes[class.index()]
+    }
+}
+
+/// Per-class completion accumulators (offered/shed/failed counts live in
+/// the [`PendingQueue`], which sees every tagging and drop decision).
+#[derive(Debug, Default)]
+pub(crate) struct ClassAccum {
+    completed: [usize; 3],
+    misses: [usize; 3],
+    lat_sum: [f64; 3],
+    energy_j: [f64; 3],
+}
+
+impl ClassAccum {
+    pub(crate) fn record(
+        &mut self,
+        class: Priority,
+        latency_s: f64,
+        missed: bool,
+        energy_share_j: f64,
+    ) {
+        let i = class.index();
+        self.completed[i] += 1;
+        if missed {
+            self.misses[i] += 1;
+        }
+        self.lat_sum[i] += latency_s;
+        self.energy_j[i] += energy_share_j;
+    }
+
+    pub(crate) fn into_breakdown(
+        self,
+        counts: &crate::des::ClassCounters,
+        wall_s: f64,
+    ) -> ClassBreakdown {
+        let mut classes = [ClassReport::default(); 3];
+        for (i, slot) in classes.iter_mut().enumerate() {
+            let offered = counts.offered[i];
+            let completed = self.completed[i];
+            let on_time = completed - self.misses[i];
+            *slot = ClassReport {
+                offered,
+                completed,
+                shed: counts.shed[i],
+                failed: counts.failed[i],
+                deadline_misses: self.misses[i],
+                slo_attainment: if offered == 0 {
+                    f64::NAN
+                } else {
+                    on_time as f64 / offered as f64
+                },
+                avg_latency_s: if completed == 0 {
+                    f64::NAN
+                } else {
+                    self.lat_sum[i] / completed as f64
+                },
+                energy_j: self.energy_j[i],
+                goodput_qps: if wall_s > 0.0 {
+                    on_time as f64 / wall_s
+                } else {
+                    0.0
+                },
+            };
+        }
+        ClassBreakdown { classes }
+    }
+}
+
+/// Runtime state of the admission controller: token buckets, the service
+/// EWMA backing the slack guard, and the per-class completion ledger.
+pub(crate) struct AdmissionState {
+    pub(crate) cfg: AdmissionConfig,
+    tokens: [f64; 3],
+    last_s: f64,
+    /// EWMA of observed batch service times, for the slack guard.
+    svc_est: Ewma,
+    scratch: Vec<QKey>,
+    pub(crate) classes: ClassAccum,
+}
+
+impl AdmissionState {
+    pub(crate) fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            tokens: cfg.burst,
+            last_s: 0.0,
+            svc_est: Ewma::new(0.2),
+            scratch: Vec::new(),
+            classes: ClassAccum::default(),
+        }
+    }
+
+    /// Feeds one observed batch service time into the slack-guard EWMA.
+    pub(crate) fn observe_service(&mut self, service_s: f64) {
+        self.svc_est.observe(service_s);
+    }
+
+    fn refill(&mut self, now: f64) {
+        let dt = (now - self.last_s).max(0.0);
+        self.last_s = now;
+        for i in 0..3 {
+            let rate = self.cfg.rate_qps[i];
+            if rate.is_infinite() {
+                self.tokens[i] = self.cfg.burst[i];
+            } else {
+                self.tokens[i] = (self.tokens[i] + rate * dt).min(self.cfg.burst[i]);
+            }
+        }
+    }
+
+    /// Earliest instant any starved bucket regains a whole token
+    /// (`INFINITY` when no finite-rate bucket is below one token) — the
+    /// idle-loop jump target when admission is bucket-limited.
+    pub(crate) fn next_release_s(&self, now: f64) -> f64 {
+        let mut t = f64::INFINITY;
+        for i in 0..3 {
+            let rate = self.cfg.rate_qps[i];
+            if self.tokens[i] < 1.0 && rate > 0.0 && rate.is_finite() {
+                t = t.min(now + (1.0 - self.tokens[i]) / rate);
+            }
+        }
+        t
+    }
+
+    /// Priority admission: fills `out` with up to `room` queries,
+    /// class-rank first (arrival order within a class), charging token
+    /// buckets and applying the KV-cost guard. Queries with no deadline
+    /// slack left are shed on the spot (returned as the shed count) —
+    /// admitting them would burn GPU time on work that cannot finish on
+    /// time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn select(
+        &mut self,
+        pq: &mut PendingQueue,
+        now: f64,
+        room: usize,
+        free_kv_tokens: u64,
+        per_query_kv: u64,
+        deadline_s: Option<f64>,
+        out: &mut Vec<QKey>,
+    ) -> usize {
+        out.clear();
+        self.refill(now);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        pq.collect_ready(now, usize::MAX, &mut scratch);
+        // Stable sort on class rank: within a class, the seq (arrival)
+        // order collect_ready produced is preserved.
+        scratch.sort_by_key(|&k| pq.class_of(k).index());
+        let mut shed = 0usize;
+        let mut claimed = 0u64;
+        for &k in &scratch {
+            if self.cfg.slack_guard {
+                if let (Some(d), Some(est)) = (deadline_s, self.svc_est.get()) {
+                    if now + est > pq.arrival_s(k) + d {
+                        if pq.shed_key(k) {
+                            shed += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+            if out.len() == room {
+                // Keep scanning: the slack guard still sheds hopeless
+                // tails even once the batch is full.
+                continue;
+            }
+            let i = pq.class_of(k).index();
+            if self.tokens[i] < 1.0 {
+                continue;
+            }
+            if self.cfg.kv_guard && claimed + per_query_kv > free_kv_tokens {
+                continue;
+            }
+            self.tokens[i] -= 1.0;
+            claimed += per_query_kv;
+            out.push(k);
+        }
+        scratch.clear();
+        self.scratch = scratch;
+        shed
+    }
+}
+
 /// Re-inserts voided in-flight queries into the pending queue at their
 /// arrival-order positions (the queue is always sorted by query index,
 /// which is arrival order).
@@ -508,6 +967,11 @@ pub fn simulate_serving(
 ) -> Result<ServingReport, EngineError> {
     cfg.validate()
         .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
+    if cfg.admission.is_some() {
+        return Err(EngineError::InvalidRequest(
+            "priority admission requires the continuous scheduler".into(),
+        ));
+    }
     let mut queries = poisson_arrivals(cfg, seed);
     let mut pending: Vec<usize> = (0..cfg.queries).collect();
     let mut now = 0.0f64;
@@ -705,9 +1169,27 @@ fn simulate_serving_des(
     process: ArrivalProcess,
     seed: u64,
 ) -> Result<ServingReport, EngineError> {
+    simulate_serving_des_full(engine, model, prec, cfg, process, seed).map(|(r, _)| r)
+}
+
+/// As [`simulate_serving_des`], additionally returning the per-class
+/// breakdown when an [`AdmissionConfig`] is present (classes are only
+/// tagged — and therefore only reportable — with one configured).
+fn simulate_serving_des_full(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    process: ArrivalProcess,
+    seed: u64,
+) -> Result<(ServingReport, Option<ClassBreakdown>), EngineError> {
     cfg.validate()
         .map_err(|e| EngineError::InvalidRequest(e.to_string()))?;
     let mut pq = PendingQueue::new(process, cfg.arrival_qps, cfg.queries, seed);
+    let mut adm = cfg.admission.map(AdmissionState::new);
+    if let Some(a) = &cfg.admission {
+        pq.set_tagger(a.mix, a.class_seed);
+    }
     let mut stepper = BatchStepper::new(engine, model, prec)?;
     let mut live: Vec<LiveSlot> = Vec::new();
     // Recycled member vectors: slot membership lists churn once per
@@ -755,13 +1237,44 @@ fn simulate_serving_des(
                 continue;
             }
         }
+        // CoDel-style queue aging: stale low-priority work is dropped
+        // early instead of poisoning the queue (priority policy only).
+        if let Some(st) = adm
+            .as_ref()
+            .filter(|s| s.cfg.policy == AdmissionPolicy::Priority)
+        {
+            let shed = pq.shed_aged(now, &st.cfg.age_target_s);
+            if shed > 0 {
+                acc.shed += shed;
+                continue;
+            }
+        }
 
         // Iteration-level admission: fill the headroom the running batch
         // leaves under the (possibly degraded) batch limit.
         let eff_batch = effective_batch(cfg, level);
         let room = eff_batch.saturating_sub(stepper.live_queries());
+        let mut slack_shed = 0usize;
         if room > 0 {
-            pq.collect_ready(now, room, &mut group);
+            match adm
+                .as_mut()
+                .filter(|s| s.cfg.policy == AdmissionPolicy::Priority)
+            {
+                Some(st) => {
+                    let need = (cfg.prompt_tokens + effective_out_tokens(cfg, level)) as u64;
+                    slack_shed = st.select(
+                        &mut pq,
+                        now,
+                        room,
+                        stepper.kv_free_tokens(),
+                        need,
+                        cfg.deadline_s,
+                        &mut group,
+                    );
+                    acc.shed += slack_shed;
+                }
+                None => pq.collect_ready(now, room, &mut group),
+            }
             if !group.is_empty() {
                 let out_tokens = effective_out_tokens(cfg, level);
                 let req =
@@ -798,6 +1311,27 @@ fn simulate_serving_des(
         if !stepper.is_busy() {
             // Nothing admitted and nothing running (e.g. every ready query
             // was just requeued with backoff): wait for the next instant.
+            if slack_shed == 0 {
+                if let Some(st) = adm
+                    .as_mut()
+                    .filter(|s| s.cfg.policy == AdmissionPolicy::Priority)
+                {
+                    // Idle with ready work but an empty admission group:
+                    // either a bucket is starved (jump to its refill) or
+                    // nothing can ever admit (shed the head for liveness).
+                    let t = st.next_release_s(now);
+                    if t.is_finite() && t > now {
+                        now = t;
+                    } else {
+                        pq.collect_ready(now, 1, &mut group);
+                        if let Some(&k) = group.first() {
+                            if pq.shed_key(k) {
+                                acc.shed += 1;
+                            }
+                        }
+                    }
+                }
+            }
             continue;
         }
 
@@ -814,15 +1348,25 @@ fn simulate_serving_des(
                     let completion = slot.admit_s + service;
                     drain_now = drain_now.max(completion);
                     let mut step_missed = false;
+                    let energy_share = f.outcome.total_energy_j() / slot.members.len() as f64;
                     for &k in &slot.members {
                         let latency = completion - pq.arrival_s(k);
                         acc.record_query(latency, slot.admit_s - pq.arrival_s(k));
+                        let mut missed = false;
                         if let Some(d) = cfg.deadline_s {
                             if latency > d {
                                 acc.deadline_misses += 1;
                                 step_missed = true;
+                                missed = true;
                             }
                         }
+                        if let Some(st) = adm.as_mut() {
+                            st.classes
+                                .record(pq.class_of(k), latency, missed, energy_share);
+                        }
+                    }
+                    if let Some(st) = adm.as_mut() {
+                        st.observe_service(service);
                     }
                     acc.energy += f.outcome.total_energy_j();
                     acc.tokens += f.outcome.total_generated_tokens() as f64;
@@ -878,7 +1422,52 @@ fn simulate_serving_des(
         }
     }
 
-    Ok(acc.into_report(cfg, now))
+    let breakdown = adm.map(|st| st.classes.into_breakdown(pq.class_counts(), now));
+    let report = acc.into_report(cfg, now);
+    // Debug and test builds audit every run's ledgers on the way out; the
+    // release serving path pays nothing (study bins audit explicitly). A
+    // run whose device died for good strands its queue and is exempt from
+    // conservation (nothing retired the stranded work, by design).
+    #[cfg(any(test, debug_assertions))]
+    if pq.is_exhausted() {
+        let violations = crate::audit::audit_serving(cfg, &report);
+        debug_assert!(violations.is_empty(), "conservation audit: {violations:?}");
+        if let Some(b) = &breakdown {
+            let violations = crate::audit::audit_classes(cfg, &report, b);
+            debug_assert!(violations.is_empty(), "class audit: {violations:?}");
+        }
+    }
+    Ok((report, breakdown))
+}
+
+/// Runs the continuous scheduler with priority-class tagging and returns
+/// the per-class breakdown alongside the flat report. The flat report is
+/// what [`simulate_serving_traffic`] would produce for the same config;
+/// the breakdown splits it by [`Priority`] class.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidRequest`] when `cfg.admission` is `None` (without
+/// tagging there are no classes to break down) or the config fails
+/// validation; engine failures as in [`simulate_serving_continuous`].
+pub fn simulate_serving_overload(
+    engine: &mut InferenceEngine,
+    model: ModelId,
+    prec: Precision,
+    cfg: &ServingConfig,
+    process: ArrivalProcess,
+    seed: u64,
+) -> Result<(ServingReport, ClassBreakdown), EngineError> {
+    if cfg.admission.is_none() {
+        return Err(EngineError::InvalidRequest(
+            "simulate_serving_overload requires an admission config".into(),
+        ));
+    }
+    let (report, classes) = simulate_serving_des_full(engine, model, prec, cfg, process, seed)?;
+    let classes = classes.ok_or_else(|| {
+        EngineError::InvalidRequest("admission config produced no class breakdown".into())
+    })?;
+    Ok((report, classes))
 }
 
 #[cfg(test)]
@@ -1445,6 +2034,252 @@ mod tests {
             3,
         )
         .expect_err("inverted hysteresis must be rejected");
+        assert!(matches!(err, EngineError::InvalidRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_and_negative_knobs() {
+        let base = cfg(1.0, 8);
+        let cases: Vec<(ServingConfig, ServingConfigError)> = vec![
+            (
+                base.with_deadline(f64::INFINITY),
+                ServingConfigError::InvalidDeadline,
+            ),
+            (
+                base.with_deadline(f64::NAN),
+                ServingConfigError::InvalidDeadline,
+            ),
+            (base.with_deadline(0.0), ServingConfigError::InvalidDeadline),
+            (
+                base.with_deadline(-5.0),
+                ServingConfigError::InvalidDeadline,
+            ),
+            (
+                base.with_retries(2, f64::INFINITY),
+                ServingConfigError::InvalidRetryBackoff,
+            ),
+            (
+                base.with_retries(2, f64::NAN),
+                ServingConfigError::InvalidRetryBackoff,
+            ),
+            (
+                base.with_retries(2, -1.0),
+                ServingConfigError::InvalidRetryBackoff,
+            ),
+        ];
+        for (bad, want) in cases {
+            assert_eq!(bad.validate(), Err(want), "{bad:?}");
+        }
+        // Boundary acceptances: tiny positive deadline, zero backoff.
+        assert_eq!(base.with_deadline(1e-9).validate(), Ok(()));
+        assert_eq!(base.with_retries(2, 0.0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_broken_admission_configs() {
+        let base = cfg(1.0, 8);
+        let adm = || AdmissionConfig::priority(PriorityMix::EDGE_MIX, 1);
+        let with = |a: AdmissionConfig| base.with_admission(a);
+        // Mix fractions: NaN, negative, sum past one.
+        let mut a = adm();
+        a.mix = PriorityMix {
+            interactive: f64::NAN,
+            batch: 0.1,
+        };
+        assert_eq!(
+            with(a).validate(),
+            Err(ServingConfigError::InvalidAdmissionMix)
+        );
+        let mut a = adm();
+        a.mix = PriorityMix {
+            interactive: -0.1,
+            batch: 0.1,
+        };
+        assert_eq!(
+            with(a).validate(),
+            Err(ServingConfigError::InvalidAdmissionMix)
+        );
+        let mut a = adm();
+        a.mix = PriorityMix {
+            interactive: 0.7,
+            batch: 0.4,
+        };
+        assert_eq!(
+            with(a).validate(),
+            Err(ServingConfigError::InvalidAdmissionMix)
+        );
+        // Bucket rates and bursts.
+        assert_eq!(
+            with(adm().with_rate(Priority::Batch, -1.0, 4.0)).validate(),
+            Err(ServingConfigError::InvalidAdmissionRate)
+        );
+        assert_eq!(
+            with(adm().with_rate(Priority::Batch, f64::NAN, 4.0)).validate(),
+            Err(ServingConfigError::InvalidAdmissionRate)
+        );
+        assert_eq!(
+            with(adm().with_rate(Priority::Batch, 1.0, 0.5)).validate(),
+            Err(ServingConfigError::InvalidAdmissionBurst),
+            "a bucket that can never hold one token would starve forever"
+        );
+        assert_eq!(
+            with(adm().with_rate(Priority::Batch, 1.0, f64::NAN)).validate(),
+            Err(ServingConfigError::InvalidAdmissionBurst)
+        );
+        // Aging targets.
+        assert_eq!(
+            with(adm().with_age_target(Priority::Background, 0.0)).validate(),
+            Err(ServingConfigError::InvalidAdmissionAge)
+        );
+        assert_eq!(
+            with(adm().with_age_target(Priority::Background, f64::NAN)).validate(),
+            Err(ServingConfigError::InvalidAdmissionAge)
+        );
+        // Boundaries that must pass: sum-to-one mix, burst of exactly one,
+        // zero rate (a class that only drains its burst), infinite age.
+        let mut a = adm();
+        a.mix = PriorityMix {
+            interactive: 0.5,
+            batch: 0.5,
+        };
+        assert_eq!(with(a).validate(), Ok(()));
+        assert_eq!(
+            with(adm().with_rate(Priority::Background, 0.0, 1.0)).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn fifo_admission_is_bit_identical_to_no_admission() {
+        // Tagging alone decides nothing: the FIFO policy must leave the
+        // whole schedule — and thus the flat report — untouched, bit for
+        // bit, while still producing a class breakdown that conserves.
+        let load = ServingConfig::new(4.0, 8, 60, 128, 96)
+            .with_deadline(30.0)
+            .with_retries(2, 1.0);
+        for seed in [1u64, 7, 23] {
+            let mut e = InferenceEngine::new(EngineConfig::vllm(), seed);
+            let want = simulate_serving_continuous(
+                &mut e,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &load,
+                seed,
+            )
+            .expect("runs");
+            let tagged = load.with_admission(AdmissionConfig::fifo(PriorityMix::EDGE_MIX, 99));
+            let mut e = InferenceEngine::new(EngineConfig::vllm(), seed);
+            let (got, classes) = simulate_serving_overload(
+                &mut e,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                &tagged,
+                ArrivalProcess::PoissonLegacy,
+                seed,
+            )
+            .expect("runs");
+            assert_eq!(want, got, "seed {seed}: FIFO tagging must be inert");
+            let offered: usize = Priority::ALL
+                .iter()
+                .map(|&p| classes.class(p).offered)
+                .sum();
+            assert_eq!(offered, 60);
+        }
+    }
+
+    #[test]
+    fn priority_admission_holds_interactive_slo_where_fifo_collapses() {
+        // ~2x overload with a tight deadline: FIFO serves in arrival order
+        // and lets every class rot in the queue equally; priority
+        // admission serves Interactive first and sheds hopeless work
+        // early, so the Interactive class keeps its SLO.
+        let overload = ServingConfig::new(6.0, 8, 120, 128, 96)
+            .with_deadline(12.0)
+            .with_queue_capacity(0);
+        let fifo = overload.with_admission(AdmissionConfig::fifo(PriorityMix::EDGE_MIX, 5));
+        let prio = overload.with_admission(AdmissionConfig::priority(PriorityMix::EDGE_MIX, 5));
+        let run = |c: &ServingConfig| {
+            let mut e = InferenceEngine::new(EngineConfig::vllm(), 5);
+            simulate_serving_overload(
+                &mut e,
+                ModelId::Dsr1Qwen1_5b,
+                Precision::Fp16,
+                c,
+                ArrivalProcess::PoissonLegacy,
+                5,
+            )
+            .expect("runs")
+        };
+        let (_, fifo_classes) = run(&fifo);
+        let (_, prio_classes) = run(&prio);
+        let fifo_slo = fifo_classes.class(Priority::Interactive).slo_attainment;
+        let prio_slo = prio_classes.class(Priority::Interactive).slo_attainment;
+        assert!(
+            prio_slo > fifo_slo + 0.2,
+            "priority must protect Interactive: fifo {fifo_slo} vs priority {prio_slo}"
+        );
+        assert!(
+            prio_classes.class(Priority::Background).slo_attainment
+                <= prio_classes.class(Priority::Interactive).slo_attainment,
+            "protection is paid for by the background class"
+        );
+    }
+
+    #[test]
+    fn queue_aging_sheds_stale_background_work() {
+        // A millisecond aging target for Background under overload: the
+        // moment background work waits, it is dropped — Interactive never
+        // is (its target stays infinite).
+        let load = ServingConfig::new(6.0, 4, 80, 128, 96).with_admission(
+            AdmissionConfig::priority(PriorityMix::EDGE_MIX, 5)
+                .with_age_target(Priority::Background, 0.001),
+        );
+        let mut e = InferenceEngine::new(EngineConfig::vllm(), 9);
+        let (_, classes) = simulate_serving_overload(
+            &mut e,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &load,
+            ArrivalProcess::PoissonLegacy,
+            9,
+        )
+        .expect("runs");
+        assert!(
+            classes.class(Priority::Background).shed > 0,
+            "stale background work must age out: {classes:?}"
+        );
+        assert_eq!(
+            classes.class(Priority::Interactive).shed,
+            0,
+            "no deadline and an infinite age target: Interactive never sheds"
+        );
+    }
+
+    #[test]
+    fn class_mix_is_deterministic_and_roughly_proportional() {
+        let mix = PriorityMix::EDGE_MIX;
+        let mut counts = [0usize; 3];
+        for seq in 0..10_000u64 {
+            counts[mix.class_of(42, seq).index()] += 1;
+            assert_eq!(mix.class_of(42, seq), mix.class_of(42, seq));
+        }
+        let frac = |c: usize| c as f64 / 10_000.0;
+        assert!((frac(counts[0]) - 0.2).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[1]) - 0.5).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[2]) - 0.3).abs() < 0.02, "{counts:?}");
+        // Different lanes decorrelate.
+        assert_ne!(
+            (0..64).map(|s| mix.class_of(1, s)).collect::<Vec<_>>(),
+            (0..64).map(|s| mix.class_of(2, s)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn static_scheduler_rejects_admission_control() {
+        let mut e = engine();
+        let bad = cfg(1.0, 8).with_admission(AdmissionConfig::fifo(PriorityMix::EDGE_MIX, 1));
+        let err = simulate_serving(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &bad, 1)
+            .expect_err("static scheduler cannot honor admission control");
         assert!(matches!(err, EngineError::InvalidRequest(_)), "{err:?}");
     }
 }

@@ -37,6 +37,45 @@ pub const EXACT_SAMPLE_CAP: usize = 4096;
 /// Relative-error bound of the sketch percentiles past the exact window.
 pub const SKETCH_ALPHA: f64 = 0.01;
 
+/// An exponentially-weighted moving average that seeds from its *first
+/// observation* instead of an arbitrary zero.
+///
+/// A zero-seeded EWMA is biased cold: until enough samples wash the zero
+/// out, the estimate reads far below reality, which made latency-armed
+/// mechanisms (hedging thresholds, circuit-breaker blowout detection)
+/// treat an untouched replica as infinitely fast. Seeding from the first
+/// sample removes the bias entirely; [`Ewma::get`] returns `None` until
+/// then, so callers can keep estimate-driven triggers disarmed during
+/// cold start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A cold estimator with smoothing factor `alpha` in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, value: None }
+    }
+
+    /// Folds one observation in: the first sample seeds the estimate
+    /// verbatim, later samples smooth as `alpha·x + (1-alpha)·est`.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current estimate, or `None` before any observation.
+    #[must_use]
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
 /// Metric accumulator shared by the serving/cluster scheduler loops (one
 /// per replica plus one fleet-wide in `engine::cluster`).
 #[derive(Debug, Clone)]
@@ -232,6 +271,19 @@ mod tests {
 
     fn cfg() -> ServingConfig {
         ServingConfig::new(1.0, 8, 64, 128, 128)
+    }
+
+    #[test]
+    fn ewma_seeds_from_first_observation_not_zero() {
+        // Regression for the cold-start bias: the first sample must become
+        // the estimate verbatim, never be averaged against a phantom 0.0.
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.get(), None, "cold estimator is disarmed");
+        e.observe(10.0);
+        assert_eq!(e.get(), Some(10.0), "first observation seeds verbatim");
+        e.observe(20.0);
+        let want: f64 = 0.2 * 20.0 + 0.8 * 10.0;
+        assert_eq!(e.get().map(f64::to_bits), Some(want.to_bits()));
     }
 
     #[test]

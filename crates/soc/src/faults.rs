@@ -296,6 +296,24 @@ impl FaultSchedule {
         d
     }
 
+    /// Merges two schedules into one: the union of their windows, re-sorted
+    /// deterministically. Because [`FaultSchedule::derate_at`] composes
+    /// overlapping windows by per-axis minimum, merging is order-invariant
+    /// and min-combines naturally; merging with an empty schedule returns a
+    /// schedule equal to `self` (same windows, same sort).
+    #[must_use]
+    pub fn merge(&self, other: &FaultSchedule) -> FaultSchedule {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut events = self.events.clone();
+        events.extend_from_slice(&other.events);
+        Self::from_events(events)
+    }
+
     /// Kernel-stall windows starting inside `[t0, t1)`: returns their count
     /// and the total stall seconds they inject.
     #[must_use]
@@ -485,6 +503,200 @@ impl FaultIndex {
     }
 }
 
+/// What correlated infrastructure the members of a failure domain share.
+///
+/// The kind decides what a *domain event* does to every member at once:
+/// power domains brown the whole group out (a forced low power mode),
+/// thermal domains throttle every board in the enclosure, and network
+/// domains partition the members from the router (they look Up but are
+/// unreachable — the fleet layer detects the partition by timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// Shared power rail: events force every member into a low power mode.
+    Power,
+    /// Shared enclosure/heatsink: events throttle every member's clocks.
+    Thermal,
+    /// Shared switch/uplink: events partition members from the router.
+    Network,
+}
+
+/// One failure domain: a group of replicas that fails together.
+///
+/// Domains emit two kinds of trouble, each on its own seeded RNG lane so
+/// enabling one never perturbs the other: *crashes* (every member reboots
+/// together, exponential MTBF / lognormal MTTR, exactly like the
+/// per-replica [`FaultSchedule::generate_crashes`] model) and *events*
+/// (brown-out, throttle, or partition windows, depending on
+/// [`DomainKind`]). Setting a rate to `0.0` disables that lane; a config
+/// with no members or all lanes disabled produces an empty
+/// [`DomainSchedule`], which the fleet layer treats as bit-identical to no
+/// domain at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// What the members share.
+    pub kind: DomainKind,
+    /// Replica indices belonging to the domain (fleet-layer indices).
+    pub members: Vec<usize>,
+    /// Mean seconds between whole-domain crashes (`0.0` disables).
+    pub crash_mtbf_s: f64,
+    /// Mean repair seconds after a domain crash.
+    pub crash_mttr_s: f64,
+    /// Mean seconds between domain events (`0.0` disables).
+    pub event_mtbf_s: f64,
+    /// Mean duration of one domain event window, seconds.
+    pub event_duration_s: f64,
+}
+
+impl DomainConfig {
+    /// A quiet domain over `members`: no crashes, no events. Useful as a
+    /// base for struct-update syntax.
+    #[must_use]
+    pub fn quiet(kind: DomainKind, members: Vec<usize>) -> Self {
+        Self {
+            kind,
+            members,
+            crash_mtbf_s: 0.0,
+            crash_mttr_s: 0.0,
+            event_mtbf_s: 0.0,
+            event_duration_s: 0.0,
+        }
+    }
+
+    /// Generates the domain's seeded schedule over `[0, horizon_s]`.
+    ///
+    /// `domain_index` keys the RNG lane so equal configs at different
+    /// positions in a fleet draw independent weather; equal
+    /// `(seed, domain_index, horizon_s)` always reproduce the identical
+    /// schedule.
+    #[must_use]
+    pub fn generate(&self, seed: u64, domain_index: usize, horizon_s: f64) -> DomainSchedule {
+        let lane = seed ^ 0x00d0_3a1d ^ (domain_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut schedule = DomainSchedule {
+            kind: self.kind,
+            members: self.members.clone(),
+            crashes: Vec::new(),
+            derates: FaultSchedule::none(),
+            partitions: Vec::new(),
+        };
+        if self.members.is_empty() || horizon_s <= 0.0 {
+            return schedule;
+        }
+        schedule.crashes = windows_exp_lognormal(
+            lane ^ 0x00c7_a511,
+            self.crash_mtbf_s,
+            self.crash_mttr_s,
+            horizon_s,
+        );
+        let events = windows_exp_lognormal(
+            lane ^ 0x00e7_e217,
+            self.event_mtbf_s,
+            self.event_duration_s,
+            horizon_s,
+        );
+        match self.kind {
+            DomainKind::Power => {
+                // Brown-out: the rail sags and every member is forced into
+                // the lowest power mode for the window.
+                schedule.derates = FaultSchedule::from_events(
+                    events
+                        .iter()
+                        .map(|&(start, end)| Disturbance {
+                            start_s: start,
+                            duration_s: end - start,
+                            kind: FaultKind::PowerModeDrop {
+                                mode: PowerMode::W15,
+                            },
+                        })
+                        .collect(),
+                );
+            }
+            DomainKind::Thermal => {
+                // Hot enclosure: a fixed pessimistic throttle for the whole
+                // group (the per-replica weather min-combines on top).
+                schedule.derates = FaultSchedule::from_events(
+                    events
+                        .iter()
+                        .map(|&(start, end)| Disturbance {
+                            start_s: start,
+                            duration_s: end - start,
+                            kind: FaultKind::ThermalThrottle { freq_scale: 0.6 },
+                        })
+                        .collect(),
+                );
+            }
+            DomainKind::Network => {
+                schedule.partitions = events;
+            }
+        }
+        schedule
+    }
+}
+
+/// The realized seeded weather of one [`DomainConfig`] over a horizon.
+///
+/// Plain data for the fleet layer: crash outages void every member
+/// together, derate windows min-combine with each member's own
+/// [`FaultSchedule`] (via [`FaultSchedule::merge`]), and partition windows
+/// make members unreachable from the router while staying Up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSchedule {
+    /// What the members share (copied from the config).
+    pub kind: DomainKind,
+    /// Replica indices the schedule applies to.
+    pub members: Vec<usize>,
+    /// `(start_s, end_s)` whole-domain outage windows, disjoint and sorted.
+    pub crashes: Vec<(f64, f64)>,
+    /// Derate windows every member sees (empty for network domains).
+    pub derates: FaultSchedule,
+    /// `(start_s, end_s)` router↔member partition windows, disjoint and
+    /// sorted (empty for non-network domains).
+    pub partitions: Vec<(f64, f64)>,
+}
+
+impl DomainSchedule {
+    /// Whether the schedule carries no trouble at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.derates.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Whether replica `replica` belongs to this domain.
+    #[must_use]
+    pub fn covers(&self, replica: usize) -> bool {
+        self.members.contains(&replica)
+    }
+}
+
+/// Disjoint `(start, end)` windows: exponential inter-arrival gaps with
+/// mean `mtbf_s`, lognormal durations with mean `duration_s`. The repair
+/// completes before the next failure can begin, mirroring
+/// [`FaultSchedule::generate_crashes`]. Non-positive `mtbf_s` or
+/// `horizon_s` yields no windows.
+fn windows_exp_lognormal(
+    seed: u64,
+    mtbf_s: f64,
+    duration_s: f64,
+    horizon_s: f64,
+) -> Vec<(f64, f64)> {
+    if mtbf_s <= 0.0 || !mtbf_s.is_finite() || horizon_s <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    let dur = duration_s.max(0.1);
+    let mut windows = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        t += -(1.0 - rng.next_f64()).ln() * mtbf_s;
+        if t >= horizon_s {
+            break;
+        }
+        let w = rng.lognormal_mean_std(dur, 0.5 * dur);
+        windows.push((t, t + w));
+        t += w;
+    }
+    windows
+}
+
 /// Knuth's Poisson sampler (λ is small here: a handful of events per run).
 fn poisson(rng: &mut Rng, lambda: f64) -> usize {
     if lambda <= 0.0 {
@@ -641,6 +853,100 @@ mod tests {
         let derates = FaultSchedule::generate(7, 1.5, 500.0);
         let _ = FaultSchedule::generate_crashes(7, 100.0, 15.0, 500.0);
         assert_eq!(derates, FaultSchedule::generate(7, 1.5, 500.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_min_combines() {
+        let a = FaultSchedule::generate(5, 1.0, 400.0);
+        assert_eq!(a.merge(&FaultSchedule::none()), a);
+        assert_eq!(FaultSchedule::none().merge(&a), a);
+        let b = FaultSchedule::from_events(vec![Disturbance {
+            start_s: 0.0,
+            duration_s: 1e9,
+            kind: FaultKind::ThermalThrottle { freq_scale: 0.3 },
+        }]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.events().len(), a.events().len() + 1);
+        // The blanket 0.3 throttle wins every min at any instant.
+        assert_eq!(merged.derate_at(17.0, PowerMode::MaxN).freq, 0.3);
+        // Merge order never matters: same windows, same deterministic sort.
+        assert_eq!(merged, b.merge(&a));
+    }
+
+    #[test]
+    fn quiet_domain_generates_empty_schedule() {
+        let cfg = DomainConfig::quiet(DomainKind::Power, vec![0, 1]);
+        let s = cfg.generate(42, 0, 1000.0);
+        assert!(s.is_empty());
+        assert!(s.covers(1));
+        assert!(!s.covers(2));
+        // No members: empty even with rates set.
+        let cfg = DomainConfig {
+            crash_mtbf_s: 100.0,
+            crash_mttr_s: 10.0,
+            ..DomainConfig::quiet(DomainKind::Power, vec![])
+        };
+        assert!(cfg.generate(42, 0, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn domain_generation_is_deterministic_and_lane_separated() {
+        let cfg = DomainConfig {
+            crash_mtbf_s: 300.0,
+            crash_mttr_s: 20.0,
+            event_mtbf_s: 150.0,
+            event_duration_s: 30.0,
+            ..DomainConfig::quiet(DomainKind::Power, vec![0, 1, 2])
+        };
+        let a = cfg.generate(9, 0, 2000.0);
+        assert_eq!(a, cfg.generate(9, 0, 2000.0));
+        assert_ne!(a, cfg.generate(9, 1, 2000.0), "domain index keys the lane");
+        // Disabling events must not move the crash draws (separate lanes).
+        let crashes_only = DomainConfig {
+            event_mtbf_s: 0.0,
+            ..cfg.clone()
+        };
+        assert_eq!(crashes_only.generate(9, 0, 2000.0).crashes, a.crashes);
+    }
+
+    #[test]
+    fn domain_kind_routes_events_to_the_right_channel() {
+        let base = DomainConfig {
+            event_mtbf_s: 100.0,
+            event_duration_s: 20.0,
+            ..DomainConfig::quiet(DomainKind::Power, vec![0])
+        };
+        let power = base.generate(3, 0, 3000.0);
+        assert!(!power.derates.is_empty());
+        assert!(power.partitions.is_empty());
+        assert!(power
+            .derates
+            .events()
+            .iter()
+            .all(|ev| matches!(ev.kind, FaultKind::PowerModeDrop { .. })));
+
+        let thermal = DomainConfig {
+            kind: DomainKind::Thermal,
+            ..base.clone()
+        }
+        .generate(3, 0, 3000.0);
+        assert!(thermal
+            .derates
+            .events()
+            .iter()
+            .all(|ev| matches!(ev.kind, FaultKind::ThermalThrottle { .. })));
+        assert!(thermal.partitions.is_empty());
+
+        let network = DomainConfig {
+            kind: DomainKind::Network,
+            ..base.clone()
+        }
+        .generate(3, 0, 3000.0);
+        assert!(network.derates.is_empty());
+        assert!(!network.partitions.is_empty());
+        for w in network.partitions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "partitions overlap: {w:?}");
+        }
     }
 
     #[test]

@@ -37,11 +37,13 @@
 // expect/unwrap for brevity.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod mix;
 pub mod prompt;
 pub mod question;
 pub mod session;
 pub mod suite;
 
+pub use mix::TrafficMix;
 pub use prompt::PromptConfig;
 pub use question::Question;
 pub use session::{SessionGen, SessionMixConfig, SessionTurn};

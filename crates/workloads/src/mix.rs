@@ -1,0 +1,134 @@
+//! Mixed-criticality traffic compositions.
+//!
+//! The serving engine tags each arrival Interactive / Batch / Background
+//! and admits by class; workloads own the *composition* — what fraction
+//! of a deployment's traffic sits in each class. This module defines the
+//! canonical compositions used by the overload study so the bins and the
+//! engine agree on one source of truth for "what does edge traffic look
+//! like".
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of offered traffic per priority class. Must be finite,
+/// non-negative, and sum to 1 (within [`TrafficMix::SUM_TOL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// Latency-critical requests (a human or a control loop is waiting).
+    pub interactive: f64,
+    /// Throughput-oriented requests with a deadline but slack (report
+    /// generation, plan refinement).
+    pub batch: f64,
+    /// Best-effort requests that tolerate shedding (log summarization,
+    /// speculative prefetch).
+    pub background: f64,
+}
+
+impl TrafficMix {
+    /// Tolerance on `interactive + batch + background == 1`.
+    pub const SUM_TOL: f64 = 1e-9;
+
+    /// The mixed-criticality composition of a general edge gateway:
+    /// 20% interactive, 50% batch, 30% background. Matches the engine's
+    /// `PriorityMix::EDGE_MIX` and the overload study.
+    pub const EDGE_GATEWAY: TrafficMix = TrafficMix {
+        interactive: 0.2,
+        batch: 0.5,
+        background: 0.3,
+    };
+
+    /// A robot or kiosk whose traffic is dominated by its control/chat
+    /// loop: 60% interactive, 30% batch, 10% background.
+    pub const ROBOT_ASSISTANT: TrafficMix = TrafficMix {
+        interactive: 0.6,
+        batch: 0.3,
+        background: 0.1,
+    };
+
+    /// An overnight analytics box: 5% interactive, 35% batch, 60%
+    /// background — almost everything is sheddable.
+    pub const ANALYTICS_NODE: TrafficMix = TrafficMix {
+        interactive: 0.05,
+        batch: 0.35,
+        background: 0.6,
+    };
+
+    /// Single-class traffic (everything interactive) — the degenerate
+    /// mix under which priority admission must reduce to FIFO.
+    pub const INTERACTIVE_ONLY: TrafficMix = TrafficMix {
+        interactive: 1.0,
+        batch: 0.0,
+        background: 0.0,
+    };
+
+    /// All canonical presets, for sweeps.
+    pub const PRESETS: [TrafficMix; 3] = [
+        TrafficMix::EDGE_GATEWAY,
+        TrafficMix::ROBOT_ASSISTANT,
+        TrafficMix::ANALYTICS_NODE,
+    ];
+
+    /// Checks the mix is a valid probability split.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("interactive", self.interactive),
+            ("batch", self.batch),
+            ("background", self.background),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} fraction must be finite and >= 0, got {v}"));
+            }
+        }
+        let sum = self.interactive + self.batch + self.background;
+        if (sum - 1.0).abs() > Self::SUM_TOL {
+            return Err(format!("class fractions must sum to 1, got {sum}"));
+        }
+        Ok(())
+    }
+
+    /// The fractions in engine class-rank order
+    /// `[interactive, batch, background]`.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 3] {
+        [self.interactive, self.batch, self.background]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_probability_splits() {
+        for mix in TrafficMix::PRESETS {
+            mix.validate().unwrap();
+        }
+        TrafficMix::INTERACTIVE_ONLY.validate().unwrap();
+    }
+
+    #[test]
+    fn broken_mixes_are_rejected() {
+        let bad_sum = TrafficMix {
+            interactive: 0.5,
+            batch: 0.5,
+            background: 0.5,
+        };
+        assert!(bad_sum.validate().unwrap_err().contains("sum to 1"));
+        let negative = TrafficMix {
+            interactive: -0.1,
+            batch: 0.6,
+            background: 0.5,
+        };
+        assert!(negative.validate().unwrap_err().contains("interactive"));
+        let nan = TrafficMix {
+            background: f64::NAN,
+            ..TrafficMix::EDGE_GATEWAY
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn fractions_are_in_class_rank_order() {
+        let m = TrafficMix::EDGE_GATEWAY;
+        assert_eq!(m.fractions(), [0.2, 0.5, 0.3]);
+    }
+}

@@ -6,7 +6,7 @@
 # Usage: scripts/bench_compare.sh BASELINE.json CANDIDATE.json [threshold_pct]
 #
 # BENCH_REQUIRE_PREFIXES (comma-separated; the default requires the
-# serving/ and cluster/ groups plus the discrete-event entries
+# serving/, cluster/ and overload/ groups plus the discrete-event entries
 # serving/des_100k, cluster/des_3rep_100k and the allocation-sensitive
 # cluster/des_3rep_1m by name) lists bench name prefixes that must be
 # present in the candidate snapshot, so a group — or the
@@ -21,7 +21,7 @@ base="$1"
 cand="$2"
 threshold="${3:-20}"
 
-require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,thermal/,serving/des_100k,cluster/des_3rep_100k,cluster/des_3rep_1m}"
+require="${BENCH_REQUIRE_PREFIXES:-serving/,cluster/,prefix_cache/,thermal/,overload/,serving/des_100k,cluster/des_3rep_100k,cluster/des_3rep_1m}"
 
 python3 - "$base" "$cand" "$threshold" "$require" <<'EOF'
 import json

@@ -84,4 +84,17 @@ cargo run --release -q -p edgereasoning-bench --bin thermal_study -- --smoke
 cmp "$THERMAL_CSV" "$THERMAL_CSV.first" || { echo "FAIL: thermal smoke not deterministic"; exit 1; }
 rm -f "$THERMAL_CSV.first"
 
+echo "==> overload_study --smoke (deterministic overload/admission CSV + auditor)"
+cargo run --release -q -p edgereasoning-bench --bin overload_study -- --smoke
+OVERLOAD_CSV=outputs/overload_study_smoke.csv
+[ -s "$OVERLOAD_CSV" ] || { echo "FAIL: $OVERLOAD_CSV empty or missing"; exit 1; }
+[ "$(wc -l < "$OVERLOAD_CSV")" -gt 1 ] || { echo "FAIL: $OVERLOAD_CSV has no data rows"; exit 1; }
+cp "$OVERLOAD_CSV" "$OVERLOAD_CSV.first"
+cargo run --release -q -p edgereasoning-bench --bin overload_study -- --smoke
+cmp "$OVERLOAD_CSV" "$OVERLOAD_CSV.first" || { echo "FAIL: overload smoke not deterministic"; exit 1; }
+rm -f "$OVERLOAD_CSV.first"
+
+echo "==> conservation auditor re-check over study-smoke configurations"
+cargo test --release -q --test properties auditor_passes_on_study_smoke_configs
+
 echo "CI OK"

@@ -16,6 +16,7 @@ BINS=(
   traffic_study
   session_study
   thermal_study
+  overload_study
 )
 for b in "${BINS[@]}"; do
   echo "=============================================================="

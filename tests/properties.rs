@@ -1022,3 +1022,111 @@ fn parallel_study_bit_identical_to_sequential() {
         assert_eq!(sequential.counters, parallel.counters);
     }
 }
+
+/// PR10 knobs-off contract, leg 1: tagging arrivals with a FIFO admission
+/// config must be *decision-inert* — over 500 seeds the flat serving
+/// report is bit-identical to running with no admission config at all.
+/// (The class tag stream draws from its own hash lane, so turning it on
+/// cannot perturb arrivals, scheduling, or energy.)
+#[test]
+fn fifo_admission_bit_identical_to_no_admission_over_500_seeds() {
+    use edgereasoning::engine::serving::{AdmissionConfig, PriorityMix};
+    for seed in 0..500u64 {
+        let plain = ServingConfig::new(3.0, 4, 10, 64, 48).with_deadline(30.0);
+        let tagged = plain.with_admission(AdmissionConfig::fifo(PriorityMix::EDGE_MIX, seed ^ 7));
+        let mut e1 = SimEngine::new(EngineConfig::vllm(), seed);
+        let r1 = simulate_serving_continuous(
+            &mut e1,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &plain,
+            seed,
+        )
+        .expect("plain runs");
+        let mut e2 = SimEngine::new(EngineConfig::vllm(), seed);
+        let r2 = simulate_serving_continuous(
+            &mut e2,
+            ModelId::Dsr1Qwen1_5b,
+            Precision::Fp16,
+            &tagged,
+            seed,
+        )
+        .expect("tagged runs");
+        assert_eq!(r1, r2, "FIFO tagging perturbed the report at seed {seed}");
+    }
+}
+
+/// PR10 conservation auditor, study-smoke leg: the serving and cluster
+/// configurations the study bins run in CI (`--smoke` grids) must produce
+/// reports with zero auditor violations — every request retires exactly
+/// once and the energy ledger closes.
+#[test]
+fn auditor_passes_on_study_smoke_configs() {
+    use edgereasoning::engine::{audit_cluster, audit_serving};
+    // serving_study-style smoke cell.
+    let cfg = ServingConfig::new(1.5, 6, 14, 96, 64).with_deadline(120.0);
+    let mut e = SimEngine::new(EngineConfig::vllm(), 11);
+    let r = simulate_serving_continuous(&mut e, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 11)
+        .expect("serving smoke runs");
+    assert_eq!(audit_serving(&cfg, &r), Vec::<String>::new());
+    // fleet_study-style smoke cell: crashes + hedging + retries.
+    let cfg = ServingConfig::new(2.0, 8, 16, 128, 128)
+        .with_deadline(12.0)
+        .with_retries(3, 0.5);
+    let cluster = ClusterConfig::new(2, EngineConfig::vllm())
+        .with_crashes(CrashConfig {
+            mtbf_s: 90.0,
+            mttr_s: 10.0,
+            cold_start_s: 5.0,
+        })
+        .with_hedging(1.5);
+    let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, 3)
+        .expect("fleet smoke runs");
+    assert_eq!(audit_cluster(&cfg, &cluster, &r), Vec::<String>::new());
+}
+
+proptest! {
+    /// PR10 domain weather: correlated domain crashes and partitions may
+    /// void and requeue work, but every offered request still retires
+    /// exactly once (completed + shed + failed == offered) and the
+    /// auditor stays clean.
+    #[test]
+    fn domain_crash_void_and_requeue_conserves_requests(
+        seed in 0u64..1_000,
+        crash_mtbf in 40.0f64..120.0,
+        event_mtbf in 30.0f64..90.0,
+    ) {
+        use edgereasoning::engine::audit_cluster;
+        use edgereasoning::engine::cluster::BreakerConfig;
+        use edgereasoning::soc::faults::{DomainConfig, DomainKind};
+        let queries = 40usize;
+        let cfg = ServingConfig::new(2.0, 6, queries, 96, 64)
+            .with_deadline(15.0)
+            .with_retries(2, 0.5);
+        let cluster = ClusterConfig::new(2, EngineConfig::vllm())
+            .with_breaker(BreakerConfig {
+                cooldown_s: 4.0,
+                ..BreakerConfig::edge_default()
+            })
+            .with_domains(vec![
+                DomainConfig {
+                    crash_mtbf_s: crash_mtbf,
+                    crash_mttr_s: 5.0,
+                    ..DomainConfig::quiet(DomainKind::Power, vec![0, 1])
+                },
+                DomainConfig {
+                    event_mtbf_s: event_mtbf,
+                    event_duration_s: 6.0,
+                    ..DomainConfig::quiet(DomainKind::Network, vec![0])
+                },
+            ]);
+        let r = simulate_cluster(&cluster, ModelId::Dsr1Qwen1_5b, Precision::Fp16, &cfg, seed)
+            .expect("domain weather runs");
+        prop_assert_eq!(
+            r.fleet.completed + r.fleet.shed_queries + r.fleet.failed_queries,
+            queries
+        );
+        let violations = audit_cluster(&cfg, &cluster, &r);
+        prop_assert!(violations.is_empty(), "auditor violations: {:?}", violations);
+    }
+}
